@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Int64 List Printf Resoc_core Resoc_des Resoc_fabric Resoc_fault Resoc_hw Resoc_hybrid Resoc_noc Resoc_repl Resoc_resilience Resoc_workload

@@ -1,0 +1,158 @@
+(* soc_sim: command-line driver for the resoc simulator.
+
+   soc_sim scenario <name>         run a packaged domain scenario
+   soc_sim run [options]           run a custom resilient-SoC configuration
+   soc_sim list                    list packaged scenarios *)
+
+module Engine = Resoc_des.Engine
+module Register = Resoc_hw.Register
+module Diversity = Resoc_resilience.Diversity
+module Rejuvenation = Resoc_resilience.Rejuvenation
+module Group = Resoc_core.Group
+module Soc = Resoc_core.Soc
+module Resilient_system = Resoc_core.Resilient_system
+module Scenario = Resoc_workload.Scenario
+open Cmdliner
+
+let print_report report =
+  Format.printf "%a@." Resilient_system.pp_report report
+
+let print_trace sys =
+  let entries = Resoc_des.Trace.entries (Resilient_system.trace sys) in
+  Format.printf "@.--- resilience event trace (%d entries) ---@." (List.length entries);
+  List.iter (fun e -> Format.printf "%a@." Resoc_des.Trace.pp_entry e) entries
+
+(* --- scenario command --- *)
+
+let scenario_names () = List.map (fun s -> s.Scenario.name) (Scenario.all ())
+
+let run_scenario name horizon_override show_trace =
+  match List.find_opt (fun s -> s.Scenario.name = name) (Scenario.all ()) with
+  | None ->
+    Format.eprintf "unknown scenario %S; available: %s@." name
+      (String.concat ", " (scenario_names ()));
+    exit 1
+  | Some scenario ->
+    Format.printf "scenario %s: %s@.@." scenario.Scenario.name scenario.Scenario.description;
+    let horizon =
+      match horizon_override with Some h -> h | None -> scenario.Scenario.horizon
+    in
+    let sys = Resilient_system.create scenario.Scenario.config in
+    let report =
+      Resilient_system.run sys ~horizon ~workload_period:scenario.Scenario.workload_period
+    in
+    print_report report;
+    if show_trace then print_trace sys
+
+let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the resilience event trace.")
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name.")
+  in
+  let horizon_arg =
+    Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"CYCLES" ~doc:"Override the horizon.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a packaged domain scenario")
+    Term.(const run_scenario $ name_arg $ horizon_arg $ trace_flag)
+
+(* --- list command --- *)
+
+let list_scenarios () =
+  List.iter
+    (fun s -> Format.printf "%-12s %s@." s.Scenario.name s.Scenario.description)
+    (Scenario.all ())
+
+let list_cmd = Cmd.v (Cmd.info "list" ~doc:"List packaged scenarios") Term.(const list_scenarios $ const ())
+
+(* --- run command --- *)
+
+let protocol_conv =
+  Arg.enum
+    [
+      ("pbft", `Pbft);
+      ("minbft", `Minbft);
+      ("a2m-bft", `A2m_bft);
+      ("cheapbft", `Cheapbft);
+      ("paxos", `Paxos);
+      ("primary-backup", `Primary_backup);
+    ]
+
+let protection_conv =
+  Arg.enum [ ("plain", Register.Plain); ("parity", Register.Parity); ("secded", Register.Secded) ]
+
+let diversity_conv =
+  Arg.enum
+    [ ("same", Diversity.Same); ("round-robin", Diversity.Round_robin); ("max", Diversity.Max_diversity) ]
+
+let run_custom protocol f n_clients mesh protection diversity n_variants rejuv_period
+    relocate apt_mean horizon workload_period seed show_trace =
+  let soc_config =
+    { Soc.default_config with mesh_width = mesh; mesh_height = mesh; seed = Int64.of_int seed }
+  in
+  let group =
+    { Group.default_spec with kind = protocol; f; n_clients; usig_protection = protection }
+  in
+  let config =
+    {
+      Resilient_system.default_config with
+      soc = soc_config;
+      group;
+      diversity;
+      n_variants;
+      rejuvenation =
+        (match rejuv_period with
+         | Some period -> Some { Rejuvenation.period; downtime = max 1 (period / 10) }
+         | None -> None);
+      relocate_on_rejuvenation = relocate;
+      apt =
+        (match apt_mean with
+         | Some mean ->
+           Some { Resilient_system.default_apt with mean_exploit_cycles = float_of_int mean }
+         | None -> None);
+    }
+  in
+  let sys = Resilient_system.create config in
+  let report = Resilient_system.run sys ~horizon ~workload_period in
+  print_report report;
+  if show_trace then print_trace sys
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv `Minbft & info [ "protocol" ] ~docv:"P" ~doc:"Replication protocol.")
+  in
+  let f = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Tolerated faults.") in
+  let n_clients = Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client count.") in
+  let mesh = Arg.(value & opt int 4 & info [ "mesh" ] ~docv:"N" ~doc:"Mesh edge (NxN).") in
+  let protection =
+    Arg.(value & opt protection_conv Register.Secded
+         & info [ "usig-protection" ] ~doc:"USIG register protection (minbft).")
+  in
+  let diversity =
+    Arg.(value & opt diversity_conv Diversity.Max_diversity & info [ "diversity" ] ~doc:"Variant strategy.")
+  in
+  let n_variants = Arg.(value & opt int 4 & info [ "variants" ] ~doc:"Design variant pool size.") in
+  let rejuv =
+    Arg.(value & opt (some int) None & info [ "rejuvenate" ] ~docv:"PERIOD" ~doc:"Rejuvenation period.")
+  in
+  let relocate = Arg.(value & flag & info [ "relocate" ] ~doc:"Relocate regions on rejuvenation.") in
+  let apt =
+    Arg.(value & opt (some int) None
+         & info [ "apt" ] ~docv:"MEAN" ~doc:"Enable the APT adversary (mean exploit effort in cycles).")
+  in
+  let horizon = Arg.(value & opt int 300_000 & info [ "horizon" ] ~doc:"Simulation horizon (cycles).") in
+  let period = Arg.(value & opt int 2_000 & info [ "workload-period" ] ~doc:"Request cadence per client.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master random seed.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a custom resilient-SoC configuration")
+    Term.(const run_custom $ protocol $ f $ n_clients $ mesh $ protection $ diversity $ n_variants
+          $ rejuv $ relocate $ apt $ horizon $ period $ seed $ trace_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "soc_sim" ~version:"1.0.0"
+       ~doc:"Fault- and intrusion-resilient manycore SoC simulator (DSN'23 reproduction)")
+    [ scenario_cmd; run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

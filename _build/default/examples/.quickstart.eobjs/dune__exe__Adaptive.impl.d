@@ -1,0 +1,1 @@
+examples/adaptive.ml: Array Format List Resoc_core Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Resoc_repl Resoc_resilience

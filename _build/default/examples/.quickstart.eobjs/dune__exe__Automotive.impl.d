@@ -1,0 +1,1 @@
+examples/automotive.ml: Format Resoc_core Resoc_des Resoc_fault Resoc_repl Resoc_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 Resoc_core Resoc_des Resoc_fault Resoc_repl Resoc_workload

@@ -1,0 +1,1 @@
+examples/smart_grid.ml: Format Printf Resoc_core Resoc_resilience Resoc_workload

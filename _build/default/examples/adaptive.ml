@@ -1,0 +1,74 @@
+(* Adaptive resilience: the two §II.D mechanisms working together.
+
+   A threat detector watches suspicious events; an adaptation controller
+   scales the fault budget f out during the surge and back in afterwards,
+   while an epoch-based protocol switch shows the second adaptation lever:
+   falling back from hybrid-anchored MinBFT to hybrid-free PBFT when the
+   trusted components themselves degrade.
+
+   Run with: dune exec examples/adaptive.exe *)
+
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Register = Resoc_hw.Register
+module Usig = Resoc_hybrid.Usig
+module Seu = Resoc_fault.Seu
+module Threat = Resoc_resilience.Threat
+module Adaptation = Resoc_resilience.Adaptation
+module Stats = Resoc_repl.Stats
+module Group = Resoc_core.Group
+module Protocol_switch = Resoc_core.Protocol_switch
+
+let () =
+  Format.printf "== Adaptation: scaling f with the threat ==@.@.";
+  let engine = Engine.create () in
+  let threat = Threat.create engine ~half_life:20_000 in
+  let f = ref 1 in
+  let history = ref [] in
+  let policy = { Adaptation.default_policy with eval_period = 1_000; cooldown = 5_000 } in
+  let _ =
+    Adaptation.start engine policy threat
+      {
+        Adaptation.current_f = (fun () -> !f);
+        scale_to =
+          (fun f' ->
+            history := (Engine.now engine, f') :: !history;
+            f := f');
+      }
+  in
+  (* A surge of suspicious events in [50k, 150k). *)
+  let rng = Rng.split (Engine.rng engine) in
+  Engine.every engine ~period:2_000 (fun () ->
+      let now = Engine.now engine in
+      let p = if now >= 50_000 && now < 150_000 then 0.8 else 0.01 in
+      if Rng.bernoulli rng p then Threat.report threat ());
+  Engine.run ~until:300_000 engine;
+  Format.printf "controller decisions (time, new f):@.";
+  List.iter (fun (t, f') -> Format.printf "  @%6d -> f=%d@." t f') (List.rev !history);
+  Format.printf "final f: %d@.@." !f;
+
+  Format.printf "== Adaptation: switching protocols when the hybrids degrade ==@.@.";
+  let engine = Engine.create () in
+  let spec =
+    { Group.default_spec with kind = `Minbft; n_clients = 1; usig_protection = Register.Plain }
+  in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) spec in
+  (match (Protocol_switch.group sw).Group.usig_of with
+   | Some usig_of ->
+     let registers = Array.init 3 (fun replica -> Usig.counter_register (usig_of ~replica)) in
+     ignore (Seu.start engine (Rng.create 7L) ~rate_per_bit_cycle:2.0e-6 registers)
+   | None -> ());
+  ignore
+    (Engine.at engine ~time:120_000 (fun () ->
+         Format.printf "@.[cycle 120000] hybrid churn detected -> switching to PBFT@.";
+         Protocol_switch.switch sw { spec with Group.kind = `Pbft } ~downtime:5_000));
+  Engine.every engine ~period:2_000 (fun () ->
+      if Engine.now engine < 280_000 then Protocol_switch.submit sw ~client:0 ~payload:1L);
+  Engine.run ~until:300_000 engine;
+  let group = Protocol_switch.group sw in
+  Format.printf "epoch %d on %s: total %d completed, %d dropped in the switch hole@."
+    (Protocol_switch.epoch sw) group.Group.protocol
+    (Protocol_switch.total_completed sw)
+    (Protocol_switch.dropped_during_switch sw);
+  Format.printf "view changes in the final epoch: %d (hybrid-free PBFT runs quietly)@."
+    (group.Group.stats ()).Stats.view_changes

@@ -1,0 +1,1 @@
+lib/core/group.ml: Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Resoc_repl Soc

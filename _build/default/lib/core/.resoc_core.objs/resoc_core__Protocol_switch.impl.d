@@ -1,0 +1,1 @@
+lib/core/protocol_switch.ml: Group Hashtbl Int64 Resoc_des Resoc_repl

@@ -1,0 +1,1 @@
+lib/core/protocol_switch.mli: Group Resoc_des

@@ -1,0 +1,1 @@
+lib/core/resilient_system.ml: Array Format Group List Printf Resoc_des Resoc_fabric Resoc_fault Resoc_hw Resoc_repl Resoc_resilience Soc

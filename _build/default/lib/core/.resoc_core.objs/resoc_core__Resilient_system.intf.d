@@ -1,0 +1,1 @@
+lib/core/resilient_system.mli: Format Group Resoc_des Resoc_hw Resoc_repl Resoc_resilience Soc

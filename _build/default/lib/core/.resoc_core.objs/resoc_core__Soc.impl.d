@@ -1,0 +1,1 @@
+lib/core/soc.ml: Array Hashtbl List Resoc_des Resoc_fabric Resoc_noc Resoc_repl

@@ -1,0 +1,57 @@
+(** Protocol-agnostic handle over a running replication group.
+
+    Wraps each of the four protocols behind one record of closures so that
+    workloads, rejuvenation managers and experiment harnesses need not know
+    which protocol is running — the uniformity that makes E3/E4-style
+    comparisons one-liners. *)
+
+module Engine = Resoc_des.Engine
+module Behavior = Resoc_fault.Behavior
+module Stats = Resoc_repl.Stats
+module Transport = Resoc_repl.Transport
+module Register = Resoc_hw.Register
+module Usig = Resoc_hybrid.Usig
+
+type t = {
+  protocol : string;
+  n_replicas : int;
+  f : int;
+  submit : client:int -> payload:int64 -> unit;
+  stats : unit -> Stats.t;
+  replica_state : replica:int -> int64;
+  set_replica_state : replica:int -> int64 -> unit;
+  set_offline : replica:int -> unit;
+  set_online : replica:int -> unit;
+  messages : unit -> int;
+  bytes : unit -> int;
+  usig_of : (replica:int -> Usig.t) option;  (** MinBFT only. *)
+}
+
+type transport_kind =
+  | Hub of { latency : int }  (** Uniform-latency fabric (protocol-only runs). *)
+  | On_soc of Soc.t  (** Routed over the SoC's mesh NoC. *)
+
+type spec = {
+  kind : [ `Pbft | `Minbft | `A2m_bft | `Cheapbft | `Paxos | `Primary_backup ];
+  f : int;
+  n_clients : int;
+  request_timeout : int;
+  vc_timeout : int;
+  usig_protection : Register.protection;  (** MinBFT only. *)
+  batch_window : int;
+      (** Hybrid-BFT protocols only: primary-side batching window in cycles
+          (0 = order immediately). *)
+  behaviors : Behavior.t array option;
+}
+
+val default_spec : spec
+(** MinBFT, f=1, 2 clients, honest. *)
+
+val n_replicas_of : spec -> int
+
+val message_bytes : [ `Pbft | `Minbft | `A2m_bft | `Cheapbft | `Paxos | `Primary_backup ] -> int
+(** Nominal wire size per protocol message (drives NoC serialization). *)
+
+val build : Engine.t -> transport_kind -> spec -> t
+(** For [On_soc], replicas and clients are spread over the mesh with
+    {!Soc.spread_placement}; the engine argument must be the SoC's. *)

@@ -1,0 +1,71 @@
+module Engine = Resoc_des.Engine
+module Stats = Resoc_repl.Stats
+
+type t = {
+  engine : Engine.t;
+  transport : Group.transport_kind;
+  mutable current : Group.t;
+  mutable epoch : int;
+  mutable switching : bool;
+  mutable dropped : int;
+  mutable completed_past_epochs : int;
+}
+
+let create engine transport spec =
+  { engine;
+    transport;
+    current = Group.build engine transport spec;
+    epoch = 0;
+    switching = false;
+    dropped = 0;
+    completed_past_epochs = 0;
+  }
+
+let group t = t.current
+
+let epoch t = t.epoch
+
+let switching t = t.switching
+
+let submit t ~client ~payload =
+  if t.switching then t.dropped <- t.dropped + 1
+  else t.current.Group.submit ~client ~payload
+
+let dropped_during_switch t = t.dropped
+
+(* Majority application state of the old epoch: the value most replicas
+   agree on (ties broken towards the largest state, i.e. most progress). *)
+let majority_state group =
+  let counts = Hashtbl.create 8 in
+  for replica = 0 to group.Group.n_replicas - 1 do
+    let state = group.Group.replica_state ~replica in
+    Hashtbl.replace counts state
+      (1 + (match Hashtbl.find_opt counts state with Some c -> c | None -> 0))
+  done;
+  Hashtbl.fold
+    (fun state count (best_state, best_count) ->
+      if count > best_count || (count = best_count && Int64.compare state best_state > 0) then
+        (state, count)
+      else (best_state, best_count))
+    counts (0L, 0)
+  |> fst
+
+let switch t spec ~downtime =
+  if t.switching then invalid_arg "Protocol_switch.switch: already switching";
+  if downtime < 0 then invalid_arg "Protocol_switch.switch: negative downtime";
+  t.switching <- true;
+  let carried_state = majority_state t.current in
+  t.completed_past_epochs <-
+    t.completed_past_epochs + (t.current.Group.stats ()).Stats.completed;
+  ignore
+    (Engine.schedule t.engine ~delay:downtime (fun () ->
+         let next = Group.build t.engine t.transport spec in
+         for replica = 0 to next.Group.n_replicas - 1 do
+           next.Group.set_replica_state ~replica carried_state
+         done;
+         t.current <- next;
+         t.epoch <- t.epoch + 1;
+         t.switching <- false))
+
+let total_completed t =
+  t.completed_past_epochs + (t.current.Group.stats ()).Stats.completed

@@ -1,0 +1,39 @@
+(** Epoch-based protocol switching (§II.D: "switching to a backup protocol
+    that is more adequate to the current conditions").
+
+    The switcher runs one {!Group} at a time. A switch stops feeding the old
+    group, waits out a reconfiguration downtime (softcore reloading, state
+    transfer), then starts the new group with every replica's application
+    state installed from the old epoch's majority. Requests submitted during
+    the downtime are rejected and counted — the honest cost of adaptation
+    the paper alludes to.
+
+    Typical use (exercised in ablation A5): run MinBFT while its USIG
+    hybrids are healthy; when hybrid faults accumulate, fall back to PBFT,
+    which needs no hybrids at the price of 3f+1 replicas. *)
+
+module Engine = Resoc_des.Engine
+
+type t
+
+val create : Engine.t -> Group.transport_kind -> Group.spec -> t
+
+val group : t -> Group.t
+(** The group of the current epoch. *)
+
+val epoch : t -> int
+(** 0 initially; +1 per completed switch. *)
+
+val switching : t -> bool
+
+val submit : t -> client:int -> payload:int64 -> unit
+(** Routed to the current group; dropped (and counted) while switching. *)
+
+val dropped_during_switch : t -> int
+
+val switch : t -> Group.spec -> downtime:int -> unit
+(** Begin a switch; the new group serves after [downtime] cycles. Raises
+    [Invalid_argument] if a switch is already in progress. *)
+
+val total_completed : t -> int
+(** Completed requests summed over every epoch so far. *)

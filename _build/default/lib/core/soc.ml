@@ -1,0 +1,96 @@
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Mesh = Resoc_noc.Mesh
+module Network = Resoc_noc.Network
+module Grid = Resoc_fabric.Grid
+module Icap = Resoc_fabric.Icap
+module Transport = Resoc_repl.Transport
+
+type config = {
+  mesh_width : int;
+  mesh_height : int;
+  grid_width : int;
+  grid_height : int;
+  noc : Network.config;
+  seed : int64;
+}
+
+let default_config =
+  {
+    mesh_width = 4;
+    mesh_height = 4;
+    grid_width = 16;
+    grid_height = 16;
+    noc = Network.default_config;
+    seed = 1L;
+  }
+
+(* Per-network statistics are polymorphic in the message type, so the SoC
+   keeps monomorphic aggregate counters fed by closures. *)
+type t = {
+  config : config;
+  engine : Engine.t;
+  mesh : Mesh.t;
+  grid : Grid.t;
+  icap : Icap.t;
+  mutable stat_probes : (unit -> int * int * int) list;
+}
+
+let create config =
+  let engine = Engine.create ~seed:config.seed () in
+  let mesh = Mesh.create ~width:config.mesh_width ~height:config.mesh_height in
+  let grid = Grid.create ~width:config.grid_width ~height:config.grid_height in
+  let icap = Icap.create engine grid () in
+  { config; engine; mesh; grid; icap; stat_probes = [] }
+
+let engine t = t.engine
+let rng t = Rng.split (Engine.rng t.engine)
+let mesh t = t.mesh
+let grid t = t.grid
+let icap t = t.icap
+
+let spread_placement t ~n =
+  let total = Mesh.n_nodes t.mesh in
+  if n > total then invalid_arg "Soc.spread_placement: mesh too small";
+  if n <= 0 then invalid_arg "Soc.spread_placement: need at least one tile";
+  Array.init n (fun i -> i * total / n)
+
+let noc_fabric t ~placement ~size_of =
+  let n = Array.length placement in
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun tile ->
+      if Hashtbl.mem seen tile then invalid_arg "Soc.noc_fabric: placement must be injective";
+      Hashtbl.replace seen tile ())
+    placement;
+  let network = Network.create t.engine t.mesh t.config.noc in
+  let logical_of_tile = Hashtbl.create n in
+  Array.iteri (fun logical tile -> Hashtbl.replace logical_of_tile tile logical) placement;
+  let send ~src ~dst msg =
+    Network.send network ~src:placement.(src) ~dst:placement.(dst) ~bytes_:(size_of msg) msg
+  in
+  let set_handler logical handler =
+    Network.attach network ~node:placement.(logical) (fun ~src msg ->
+        match Hashtbl.find_opt logical_of_tile src with
+        | Some logical_src -> handler ~src:logical_src msg
+        | None -> ())
+  in
+  let detach logical = Network.detach network ~node:placement.(logical) in
+  t.stat_probes <-
+    (fun () -> (Network.sent network, Network.bytes_sent network, Network.dropped network))
+    :: t.stat_probes;
+  {
+    Transport.n_endpoints = n;
+    send;
+    set_handler;
+    detach;
+    messages_sent = (fun () -> Network.sent network);
+    bytes_sent = (fun () -> Network.bytes_sent network);
+  }
+
+let aggregate t pick =
+  List.fold_left (fun acc probe -> acc + pick (probe ())) 0 t.stat_probes
+
+let noc_messages t = aggregate t (fun (m, _, _) -> m)
+let noc_bytes t = aggregate t (fun (_, b, _) -> b)
+let noc_dropped t = aggregate t (fun (_, _, d) -> d)

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Bytes Char Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/crypto/mac.ml: Format Hash Int64 Resoc_des

@@ -1,0 +1,41 @@
+type t = int64
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let avalanche z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let feed_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) fnv_prime
+
+let of_bytes b =
+  let h = ref fnv_offset in
+  for i = 0 to Bytes.length b - 1 do
+    h := feed_byte !h (Char.code (Bytes.unsafe_get b i))
+  done;
+  avalanche !h
+
+let of_string s = of_bytes (Bytes.unsafe_of_string s)
+
+let feed_int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := feed_byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let combine a b = avalanche (feed_int64 (feed_int64 fnv_offset a) b)
+
+let combine_int a i = combine a (Int64.of_int i)
+
+let chain prev d = combine prev d
+
+let zero = 0L
+
+let equal = Int64.equal
+
+let to_hex t = Printf.sprintf "%016Lx" t
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

@@ -1,0 +1,22 @@
+type t = { master : int64; n : int }
+
+let create ~master ~n =
+  if n <= 0 then invalid_arg "Keychain.create: n must be positive";
+  { master; n }
+
+let size t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Keychain: principal out of range"
+
+let pairwise t i j =
+  check t i;
+  check t j;
+  let lo = min i j and hi = max i j in
+  Mac.key_of_int64 (Hash.combine_int (Hash.combine_int t.master lo) hi)
+
+let component t i =
+  check t i;
+  Mac.key_of_int64 (Hash.combine_int (Hash.combine t.master 0x55534947L) i)
+
+let group t = Mac.key_of_int64 (Hash.combine t.master 0x47525055L)

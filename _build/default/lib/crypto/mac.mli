@@ -1,0 +1,28 @@
+(** Keyed message authentication codes over {!Hash} digests.
+
+    A MAC binds a digest to a secret key. As with {!Hash}, security is
+    simulation-grade: adversaries in resoc tamper with state and messages but
+    are not given key-recovery or forgery oracles, mirroring how BFT
+    simulators treat authenticators. *)
+
+type key
+
+type t
+(** An authenticator. *)
+
+val key_of_int64 : int64 -> key
+(** Deterministic key derivation (tests, reproducible deployments). *)
+
+val fresh_key : Resoc_des.Rng.t -> key
+
+val sign : key -> Hash.t -> t
+(** Authenticate a digest. *)
+
+val verify : key -> Hash.t -> t -> bool
+
+val corrupt : t -> t
+(** Flip a bit of the authenticator (for fault injection in tests). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/des/metrics.ml: Array Float List

@@ -1,0 +1,92 @@
+type event = {
+  time : int;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable now : int;
+  mutable next_seq : int;
+  mutable processed : int;
+  mutable stopped : bool;
+  queue : event Heap.t;
+  rng : Rng.t;
+}
+
+let leq_event a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create ?(seed = 1L) () =
+  {
+    now = 0;
+    next_seq = 0;
+    processed = 0;
+    stopped = false;
+    queue = Heap.create ~leq:leq_event;
+    rng = Rng.create seed;
+  }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let at t ~time action =
+  if time < t.now then invalid_arg "Engine.at: time is in the past";
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue ev;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(t.now + delay) action
+
+let rec every t ~period ?start action =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let time = match start with Some s -> s | None -> t.now + period in
+  let tick () =
+    action ();
+    every t ~period ~start:(time + period) action
+  in
+  ignore (at t ~time tick)
+
+let cancel ev = ev.cancelled <- true
+
+let pending t = Heap.size t.queue
+
+let events_processed t = t.processed
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if not ev.cancelled then begin
+      t.now <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.action ()
+    end;
+    true
+
+let stop t = t.stopped <- true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = match max_events with Some m -> ref m | None -> ref max_int in
+  let horizon = match until with Some u -> u | None -> max_int in
+  let rec loop () =
+    if t.stopped || !budget <= 0 then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.time > horizon -> ()
+      | Some _ ->
+        decr budget;
+        ignore (step t);
+        loop ()
+  in
+  loop ();
+  (match until with
+   | Some u when t.now < u && not t.stopped -> t.now <- u
+   | Some _ | None -> ())

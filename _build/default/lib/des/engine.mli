@@ -1,0 +1,51 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is a count of SoC clock cycles (an [int]). Events scheduled for the
+    same cycle fire in scheduling order (FIFO per cycle), which — together
+    with the seeded RNG tree — makes every simulation run a pure function of
+    its master seed and configuration. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation (e.g. protocol timers). *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine at time 0. Default seed is 1. *)
+
+val now : t -> int
+(** Current simulated time in cycles. *)
+
+val rng : t -> Rng.t
+(** The engine's master generator. Components should [Rng.split] it once at
+    construction rather than drawing from it during the run. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative; [delay = 0] fires later in the current cycle. *)
+
+val at : t -> time:int -> (unit -> unit) -> handle
+(** [at t ~time f] runs [f] at absolute cycle [time] (>= [now t]). *)
+
+val every : t -> period:int -> ?start:int -> (unit -> unit) -> unit
+(** [every t ~period f] runs [f] at [start], [start+period], ... until the
+    simulation ends. [start] defaults to [now t + period]. *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet popped). *)
+
+val events_processed : t -> int
+
+val step : t -> bool
+(** Execute the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the queue. [until] stops the clock at that cycle (events beyond it
+    stay queued and [now] is clamped to [until]); [max_events] guards
+    against runaway simulations. *)
+
+val stop : t -> unit
+(** Makes the current [run] return after the event in progress. *)

@@ -1,0 +1,71 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~leq = { leq; data = [||]; len = 0 }
+
+let size t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (t.leq t.data.(parent) t.data.(i)) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(i);
+      t.data.(i) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let add t x =
+  grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && not (t.leq t.data.(!smallest) t.data.(l)) then smallest := l;
+  if r < t.len && not (t.leq t.data.(!smallest) t.data.(r)) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in
+  build (t.len - 1) []

@@ -1,0 +1,26 @@
+(** Growable array-backed binary min-heap.
+
+    The event queue of the simulation engine. Elements are ordered by a
+    user-supplied [leq]; ties must be broken by the caller (the engine uses a
+    sequence number) to keep simulations deterministic. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Unordered snapshot of the heap contents (for inspection in tests). *)

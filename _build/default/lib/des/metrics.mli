@@ -1,0 +1,49 @@
+(** Measurement primitives shared by all experiments.
+
+    Counters count discrete events, histograms summarise value
+    distributions (latencies, hop counts), and series record time-stamped
+    samples for plotting sweeps. All are cheap enough to leave enabled. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] with [p] in [0,100], nearest-rank on sorted samples;
+      0 when empty. *)
+
+  val reset : t -> unit
+end
+
+module Series : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> time:int -> float -> unit
+  val length : t -> int
+  val to_list : t -> (int * float) list
+  (** In insertion (time) order. *)
+
+  val last : t -> (int * float) option
+end

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation for simulations.
+
+    SplitMix64 generator: fast, statistically sound for simulation purposes,
+    and splittable, so every simulated component can own an independent
+    stream derived from the experiment's master seed. All stochastic
+    behaviour in resoc flows from one of these generators, which makes every
+    run exactly reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. Use one
+    split per simulated component so that adding draws in one component does
+    not perturb the stream seen by another. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponential variate with the given mean. *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; 0-based. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson variate (Knuth's method; suitable for small-to-moderate means). *)
+
+val weibull : t -> shape:float -> scale:float -> float
+(** Weibull variate; [shape] > 1 models aging (increasing hazard). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian variate (Box-Muller). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

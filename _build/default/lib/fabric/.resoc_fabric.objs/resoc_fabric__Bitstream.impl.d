@@ -1,0 +1,1 @@
+lib/fabric/bitstream.ml: Format Region Resoc_crypto

@@ -1,0 +1,1 @@
+lib/fabric/grid.ml: Array Hashtbl List Region

@@ -1,0 +1,1 @@
+lib/fabric/icap.ml: Bitstream Grid Hashtbl List Region Resoc_des

@@ -1,0 +1,1 @@
+lib/fabric/icap.mli: Bitstream Grid Region Resoc_des

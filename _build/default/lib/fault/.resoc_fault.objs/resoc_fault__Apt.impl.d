@@ -1,0 +1,1 @@
+lib/fault/apt.ml: Array Float List Resoc_des

@@ -1,0 +1,1 @@
+lib/fault/apt.mli: Resoc_des

@@ -1,0 +1,1 @@
+lib/fault/behavior.ml: Format

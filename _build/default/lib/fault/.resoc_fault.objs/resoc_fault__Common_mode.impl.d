@@ -1,0 +1,1 @@
+lib/fault/common_mode.ml: Array Resoc_des

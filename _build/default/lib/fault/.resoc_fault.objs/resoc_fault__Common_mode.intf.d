@@ -1,0 +1,1 @@
+lib/fault/common_mode.mli: Resoc_des

@@ -1,0 +1,1 @@
+lib/fault/seu.ml: Array Float Resoc_des Resoc_hw

@@ -1,0 +1,1 @@
+lib/fault/seu.mli: Resoc_des Resoc_hw

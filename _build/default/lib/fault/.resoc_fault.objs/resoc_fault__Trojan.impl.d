@@ -1,0 +1,1 @@
+lib/fault/trojan.ml: Format Int64 Resoc_des

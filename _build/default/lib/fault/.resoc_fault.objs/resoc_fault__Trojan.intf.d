@@ -1,0 +1,1 @@
+lib/fault/trojan.mli: Format Resoc_des

@@ -1,0 +1,35 @@
+type byzantine_strategy = Silent | Equivocate | Corrupt_execution | Delay of int
+
+type t =
+  | Honest
+  | Crash of int
+  | Byzantine of { from_cycle : int; strategy : byzantine_strategy }
+
+let honest = Honest
+
+let crash_at cycle =
+  if cycle < 0 then invalid_arg "Behavior.crash_at: negative cycle";
+  Crash cycle
+
+let byzantine ?(from_cycle = 0) strategy = Byzantine { from_cycle; strategy }
+
+let is_crashed t ~now = match t with Crash c -> now >= c | Honest | Byzantine _ -> false
+
+let active_strategy t ~now =
+  match t with
+  | Byzantine { from_cycle; strategy } when now >= from_cycle -> Some strategy
+  | Byzantine _ | Honest | Crash _ -> None
+
+let is_faulty = function Honest -> false | Crash _ | Byzantine _ -> true
+
+let pp_strategy ppf = function
+  | Silent -> Format.pp_print_string ppf "silent"
+  | Equivocate -> Format.pp_print_string ppf "equivocate"
+  | Corrupt_execution -> Format.pp_print_string ppf "corrupt-execution"
+  | Delay d -> Format.fprintf ppf "delay(%d)" d
+
+let pp ppf = function
+  | Honest -> Format.pp_print_string ppf "honest"
+  | Crash c -> Format.fprintf ppf "crash@%d" c
+  | Byzantine { from_cycle; strategy } ->
+    Format.fprintf ppf "byzantine(%a)@%d" pp_strategy strategy from_cycle

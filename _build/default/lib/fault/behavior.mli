@@ -1,0 +1,32 @@
+(** Per-replica failure behaviour specifications.
+
+    Protocols consult the behaviour of a replica to decide whether (and how)
+    it deviates. Centralizing the vocabulary keeps fault schedules uniform
+    across PBFT, MinBFT, Paxos and primary-backup experiments. *)
+
+type byzantine_strategy =
+  | Silent  (** Sends nothing (crash-like, but from a malicious replica that
+                may resume later in adaptive scenarios). *)
+  | Equivocate  (** A primary assigns conflicting orders to different
+                    backups; the attack USIG-based protocols neutralize. *)
+  | Corrupt_execution  (** Executes wrongly and replies with bad digests. *)
+  | Delay of int  (** Withholds every message for the given cycles. *)
+
+type t =
+  | Honest
+  | Crash of int  (** Fail-stop at the given cycle. *)
+  | Byzantine of { from_cycle : int; strategy : byzantine_strategy }
+
+val honest : t
+val crash_at : int -> t
+val byzantine : ?from_cycle:int -> byzantine_strategy -> t
+
+val is_crashed : t -> now:int -> bool
+
+val active_strategy : t -> now:int -> byzantine_strategy option
+(** The Byzantine strategy in force at [now], if any. *)
+
+val is_faulty : t -> bool
+(** Statically declared faulty (crash or Byzantine at any time). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+module Rng = Resoc_des.Rng
+
+type t = { n : int; shared : float array array }
+
+let create ~n_variants ~shared_prob =
+  if n_variants <= 0 then invalid_arg "Common_mode.create: need at least one variant";
+  if shared_prob < 0.0 || shared_prob > 1.0 then
+    invalid_arg "Common_mode.create: probability out of range";
+  let shared =
+    Array.init n_variants (fun i ->
+        Array.init n_variants (fun j -> if i = j then 1.0 else shared_prob))
+  in
+  { n = n_variants; shared }
+
+let n_variants t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Common_mode: variant out of range"
+
+let set_shared t i j p =
+  check t i;
+  check t j;
+  if p < 0.0 || p > 1.0 then invalid_arg "Common_mode.set_shared: probability out of range";
+  if i = j then invalid_arg "Common_mode.set_shared: diagonal is fixed at 1";
+  t.shared.(i).(j) <- p;
+  t.shared.(j).(i) <- p
+
+let shared_prob t i j =
+  check t i;
+  check t j;
+  t.shared.(i).(j)
+
+let sample_affected t rng ~trigger =
+  check t trigger;
+  Array.init t.n (fun v -> v = trigger || Rng.bernoulli rng t.shared.(trigger).(v))
+
+let p_group_compromise t rng ~assignment ~f ~trials =
+  if trials <= 0 then invalid_arg "Common_mode.p_group_compromise: trials must be positive";
+  if Array.length assignment = 0 then invalid_arg "Common_mode.p_group_compromise: empty group";
+  Array.iter (check t) assignment;
+  let defeats = ref 0 in
+  for _ = 1 to trials do
+    let trigger = assignment.(Rng.int rng (Array.length assignment)) in
+    let affected = sample_affected t rng ~trigger in
+    let hit = Array.fold_left (fun acc v -> if affected.(v) then acc + 1 else acc) 0 assignment in
+    if hit > f then incr defeats
+  done;
+  float_of_int !defeats /. float_of_int trials
+
+let max_diversity_assignment t ~n_replicas =
+  if n_replicas <= 0 then invalid_arg "Common_mode.max_diversity_assignment: empty group";
+  (* Greedy: repeatedly pick the variant with the least total sharing against
+     already-chosen variants (count-weighted so reuse is a last resort). *)
+  let counts = Array.make t.n 0 in
+  let cost v =
+    let acc = ref (float_of_int counts.(v) *. 10.0) in
+    for u = 0 to t.n - 1 do
+      if counts.(u) > 0 && u <> v then acc := !acc +. (t.shared.(v).(u) *. float_of_int counts.(u))
+    done;
+    !acc
+  in
+  Array.init n_replicas (fun _ ->
+      let best = ref 0 and best_cost = ref infinity in
+      for v = 0 to t.n - 1 do
+        let c = cost v in
+        if c < !best_cost then begin
+          best := v;
+          best_cost := c
+        end
+      done;
+      counts.(!best) <- counts.(!best) + 1;
+      !best)

@@ -1,0 +1,37 @@
+(** Common-mode vulnerability model across design variants.
+
+    Active replication only masks faults that hit fewer than a quorum of
+    replicas simultaneously (§II.B). When replicas share an implementation,
+    one vulnerability hits them all. This module captures how likely a
+    vulnerability discovered in one variant also applies to another
+    (0 = fully independent implementations, 1 = identical), and estimates
+    the probability that a single vulnerability event defeats a whole
+    replica group under a given variant assignment. *)
+
+type t
+
+val create : n_variants:int -> shared_prob:float -> t
+(** Uniform off-diagonal sharing probability; diagonal is 1. *)
+
+val n_variants : t -> int
+
+val set_shared : t -> int -> int -> float -> unit
+(** Symmetric update. Raises [Invalid_argument] on bad indices or
+    probabilities outside [0,1]. *)
+
+val shared_prob : t -> int -> int -> float
+
+val sample_affected : t -> Resoc_des.Rng.t -> trigger:int -> bool array
+(** A vulnerability surfaces in [trigger]; element [v] tells whether variant
+    [v] is affected (the trigger always is). *)
+
+val p_group_compromise :
+  t -> Resoc_des.Rng.t -> assignment:int array -> f:int -> trials:int -> float
+(** Monte-Carlo probability that a single vulnerability event (surfacing in
+    a uniformly random variant of the assignment) affects more than [f]
+    replicas — i.e. defeats a BFT group sized to tolerate [f]. *)
+
+val max_diversity_assignment : t -> n_replicas:int -> int array
+(** Greedy assignment of variants to replicas minimizing pairwise sharing:
+    spreads replicas over the least-correlated variants, round-robin when
+    [n_replicas] exceeds the variant pool. *)

@@ -1,0 +1,58 @@
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Register = Resoc_hw.Register
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  rate : float;
+  registers : Register.t array;
+  total_bits : int;
+  mutable injected : int;
+  mutable halted : bool;
+}
+
+let pick_register t =
+  (* Weighted by stored bits so bigger words attract more upsets. *)
+  let target = Rng.int t.rng t.total_bits in
+  let rec find i acc =
+    let bits = Register.stored_bits t.registers.(i) in
+    if target < acc + bits then t.registers.(i) else find (i + 1) (acc + bits)
+  in
+  find 0 0
+
+let rec schedule_next t =
+  if (not t.halted) && t.rate > 0.0 then begin
+    let mean = 1.0 /. (t.rate *. float_of_int t.total_bits) in
+    let delay = max 1 (int_of_float (Float.round (Rng.exponential t.rng ~mean))) in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           if not t.halted then begin
+             Register.inject_upset (pick_register t) t.rng;
+             t.injected <- t.injected + 1;
+             schedule_next t
+           end))
+  end
+
+let start engine rng ~rate_per_bit_cycle registers =
+  if rate_per_bit_cycle < 0.0 then invalid_arg "Seu.start: negative rate";
+  if Array.length registers = 0 && rate_per_bit_cycle > 0.0 then
+    invalid_arg "Seu.start: no registers to upset";
+  let total_bits = Array.fold_left (fun acc r -> acc + Register.stored_bits r) 0 registers in
+  let t =
+    {
+      engine;
+      rng;
+      rate = rate_per_bit_cycle;
+      registers;
+      total_bits;
+      injected = 0;
+      halted = false;
+    }
+  in
+  schedule_next t;
+  t
+
+let halt t = t.halted <- true
+
+let injected t = t.injected

@@ -1,0 +1,22 @@
+(** Single-event-upset injection over a population of registers.
+
+    Models radiation- or aging-induced bitflips as a Poisson process with a
+    given rate per stored bit per cycle. Registers with more stored bits
+    (e.g. SECDED's 72 vs plain's 64) absorb proportionally more upsets,
+    which is the honest accounting the ECC-overhead comparison needs. *)
+
+type t
+
+val start :
+  Resoc_des.Engine.t ->
+  Resoc_des.Rng.t ->
+  rate_per_bit_cycle:float ->
+  Resoc_hw.Register.t array ->
+  t
+(** Begins scheduling upsets immediately; runs until the engine stops or
+    [halt] is called. A rate of 0 injects nothing. *)
+
+val halt : t -> unit
+
+val injected : t -> int
+(** Total upsets injected so far. *)

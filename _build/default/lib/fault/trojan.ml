@@ -1,0 +1,52 @@
+module Engine = Resoc_des.Engine
+
+type effect = Kill_switch | Corrupt_output | Leak_secret
+
+type trigger = Time_bomb of int | Cheat_code of int64
+
+type t = {
+  trigger : trigger;
+  effect : effect;
+  on_trigger : effect -> unit;
+  mutable triggered : bool;
+  mutable armed : bool;
+  mutable pending : Engine.handle option;
+}
+
+let fire t =
+  if t.armed && not t.triggered then begin
+    t.triggered <- true;
+    t.on_trigger t.effect
+  end
+
+let plant engine trigger effect ~on_trigger =
+  let t = { trigger; effect; on_trigger; triggered = false; armed = true; pending = None } in
+  (match trigger with
+   | Time_bomb at ->
+     let now = Engine.now engine in
+     let time = max now at in
+     t.pending <- Some (Engine.at engine ~time (fun () -> fire t))
+   | Cheat_code _ -> ());
+  t
+
+let observe t input =
+  match t.trigger with
+  | Cheat_code code when Int64.equal code input -> fire t
+  | Cheat_code _ | Time_bomb _ -> ()
+
+let triggered t = t.triggered
+
+let effect t = t.effect
+
+let disarm t =
+  t.armed <- false;
+  match t.pending with
+  | Some h ->
+    Engine.cancel h;
+    t.pending <- None
+  | None -> ()
+
+let pp_effect ppf = function
+  | Kill_switch -> Format.pp_print_string ppf "kill-switch"
+  | Corrupt_output -> Format.pp_print_string ppf "corrupt-output"
+  | Leak_secret -> Format.pp_print_string ppf "leak-secret"

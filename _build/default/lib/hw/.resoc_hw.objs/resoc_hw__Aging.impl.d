@@ -1,0 +1,1 @@
+lib/hw/aging.ml: Array Float Resoc_des

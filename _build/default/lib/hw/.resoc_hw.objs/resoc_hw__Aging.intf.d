@@ -1,0 +1,1 @@
+lib/hw/aging.mli: Resoc_des

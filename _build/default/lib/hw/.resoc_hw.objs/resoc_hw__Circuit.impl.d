@@ -1,0 +1,1 @@
+lib/hw/circuit.ml: Array Float List Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/circuit.mli: Resoc_des

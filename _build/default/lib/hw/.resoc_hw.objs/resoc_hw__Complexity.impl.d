@@ -1,0 +1,1 @@
+lib/hw/complexity.ml: Float List

@@ -1,0 +1,1 @@
+lib/hw/ecc.ml: Array Format Int64 List

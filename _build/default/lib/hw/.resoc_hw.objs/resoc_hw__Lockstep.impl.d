@@ -1,0 +1,1 @@
+lib/hw/lockstep.ml: Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/lockstep.mli: Resoc_des

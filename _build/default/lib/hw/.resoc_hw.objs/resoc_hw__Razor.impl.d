@@ -1,0 +1,1 @@
+lib/hw/razor.ml: Float Resoc_des

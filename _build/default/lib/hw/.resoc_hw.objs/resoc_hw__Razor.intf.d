@@ -1,0 +1,1 @@
+lib/hw/razor.mli: Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/redundancy.ml: Array Circuit Resoc_des

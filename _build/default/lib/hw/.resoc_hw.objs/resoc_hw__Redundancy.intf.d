@@ -1,0 +1,1 @@
+lib/hw/redundancy.mli: Circuit Resoc_des

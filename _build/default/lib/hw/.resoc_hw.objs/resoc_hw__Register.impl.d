@@ -1,0 +1,1 @@
+lib/hw/register.ml: Ecc Int64 Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/register.mli: Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/sinw.ml: Array Float Redundancy Resoc_des

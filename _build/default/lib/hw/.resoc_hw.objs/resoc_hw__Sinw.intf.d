@@ -1,0 +1,1 @@
+lib/hw/sinw.mli: Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/stack3d.ml: Redundancy Resoc_des

@@ -1,0 +1,1 @@
+lib/hw/stack3d.mli: Resoc_des

@@ -1,0 +1,69 @@
+type weibull = { shape : float; scale : float }
+
+let check w =
+  if w.shape <= 0.0 || w.scale <= 0.0 then invalid_arg "Aging: Weibull parameters must be positive"
+
+let hazard w t =
+  check w;
+  if t < 0.0 then invalid_arg "Aging.hazard: negative time";
+  if t = 0.0 && w.shape < 1.0 then infinity
+  else (w.shape /. w.scale) *. ((t /. w.scale) ** (w.shape -. 1.0))
+
+let reliability w t =
+  check w;
+  if t < 0.0 then invalid_arg "Aging.reliability: negative time";
+  exp (-.((t /. w.scale) ** w.shape))
+
+(* Lanczos approximation of the Gamma function, g = 7. *)
+let gamma_fn =
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  let rec gamma x =
+    if x < 0.5 then Float.pi /. (sin (Float.pi *. x) *. gamma (1.0 -. x))
+    else begin
+      let x = x -. 1.0 in
+      let acc = ref coefficients.(0) in
+      for i = 1 to 8 do
+        acc := !acc +. (coefficients.(i) /. (x +. float_of_int i))
+      done;
+      let t = x +. 7.5 in
+      sqrt (2.0 *. Float.pi) *. (t ** (x +. 0.5)) *. exp (-.t) *. !acc
+    end
+  in
+  gamma
+
+let mttf w =
+  check w;
+  w.scale *. gamma_fn (1.0 +. (1.0 /. w.shape))
+
+let sample_lifetime rng w =
+  check w;
+  Resoc_des.Rng.weibull rng ~shape:w.shape ~scale:w.scale
+
+type bathtub = { infant : weibull; random_rate : float; wearout : weibull }
+
+let default_bathtub =
+  {
+    infant = { shape = 0.5; scale = 5.0e9 };
+    random_rate = 1.0e-10;
+    wearout = { shape = 3.0; scale = 2.0e10 };
+  }
+
+let bathtub_hazard b t = hazard b.infant t +. b.random_rate +. hazard b.wearout t
+
+let stress_factor ~temperature_c = 2.0 ** ((temperature_c -. 25.0) /. 10.0)
+
+let sample_bathtub_lifetime rng ?(stress = 1.0) b =
+  if stress <= 0.0 then invalid_arg "Aging.sample_bathtub_lifetime: stress must be positive";
+  let infant = sample_lifetime rng b.infant in
+  let random =
+    if b.random_rate <= 0.0 then infinity
+    else Resoc_des.Rng.exponential rng ~mean:(1.0 /. b.random_rate)
+  in
+  let wearout = sample_lifetime rng b.wearout in
+  Float.min infant (Float.min random wearout) /. stress

@@ -1,0 +1,37 @@
+(** Hardware aging and wear-out models.
+
+    The paper (§I, §II.C) stresses that hardware ages — material
+    deterioration under overuse and overheating — so a fixed fault budget f
+    erodes over time. We model component lifetimes with Weibull
+    distributions and the classic bathtub hazard (infant mortality +
+    constant random failures + wear-out). *)
+
+type weibull = { shape : float; scale : float }
+
+val hazard : weibull -> float -> float
+(** Instantaneous failure rate h(t) = (k/λ)·(t/λ)^(k-1); [t >= 0]. *)
+
+val reliability : weibull -> float -> float
+(** Survival function R(t) = exp(-(t/λ)^k). *)
+
+val mttf : weibull -> float
+(** Mean time to failure: λ·Γ(1 + 1/k). *)
+
+val sample_lifetime : Resoc_des.Rng.t -> weibull -> float
+
+type bathtub = {
+  infant : weibull;  (** shape < 1: decreasing hazard. *)
+  random_rate : float;  (** constant hazard floor. *)
+  wearout : weibull;  (** shape > 1: increasing hazard. *)
+}
+
+val default_bathtub : bathtub
+(** A plausible silicon profile for experiments (cycles as time unit). *)
+
+val bathtub_hazard : bathtub -> float -> float
+
+val stress_factor : temperature_c:float -> float
+(** Arrhenius-style acceleration relative to 25°C (doubles every ~10°C). *)
+
+val sample_bathtub_lifetime : Resoc_des.Rng.t -> ?stress:float -> bathtub -> float
+(** Lifetime = min of the three competing processes, divided by [stress]. *)

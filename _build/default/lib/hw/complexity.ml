@@ -1,0 +1,53 @@
+type params = {
+  p_gate : float;
+  circuit_gates_per_unit : int;
+  circuit_base_gates : int;
+  core_gates : int;
+  sw_defect_per_unit : float;
+  sw_base_defect : float;
+}
+
+(* Defaults sized so that a USIG-like functionality (counter + MAC, a few
+   complexity units) clearly favours the circuit, while a multi-operation
+   service crosses over to the software hybrid. *)
+let default =
+  {
+    p_gate = 1.0e-7;
+    circuit_gates_per_unit = 2000;
+    circuit_base_gates = 1500;
+    core_gates = 25000;
+    sw_defect_per_unit = 2.0e-5;
+    sw_base_defect = 1.0e-4;
+  }
+
+let circuit_gates p ~complexity =
+  if complexity < 0 then invalid_arg "Complexity.circuit_gates: negative complexity";
+  p.circuit_base_gates + (p.circuit_gates_per_unit * complexity)
+
+let p_fail_gates p n = 1.0 -. ((1.0 -. p.p_gate) ** float_of_int n)
+
+let p_fail_circuit p ~complexity = p_fail_gates p (circuit_gates p ~complexity)
+
+let p_fail_software_hybrid p ~complexity =
+  let hw = p_fail_gates p p.core_gates in
+  let sw = p.sw_base_defect +. (p.sw_defect_per_unit *. float_of_int complexity) in
+  let sw = Float.min 1.0 sw in
+  1.0 -. ((1.0 -. hw) *. (1.0 -. sw))
+
+let crossover p ~max_complexity =
+  let rec search c =
+    if c > max_complexity then None
+    else if p_fail_software_hybrid p ~complexity:c <= p_fail_circuit p ~complexity:c then Some c
+    else search (c + 1)
+  in
+  search 0
+
+let sweep p ~max_complexity ~step =
+  if step <= 0 then invalid_arg "Complexity.sweep: step must be positive";
+  let rec build c acc =
+    if c > max_complexity then List.rev acc
+    else
+      build (c + step)
+        ((c, p_fail_circuit p ~complexity:c, p_fail_software_hybrid p ~complexity:c) :: acc)
+  in
+  build 0 []

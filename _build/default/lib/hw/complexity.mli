@@ -1,0 +1,39 @@
+(** The hybridization "middle ground" model of §III.
+
+    The paper argues that a special-purpose trusted circuit is preferable to
+    a minimal software-running core only while the functionality's inherent
+    complexity is small: circuit gate count grows with functionality, and
+    once P(circuit fails) exceeds P(core fails) + P(software defect), the
+    software hybrid wins. This module makes that argument quantitative and
+    finds the crossover (experiment E9). *)
+
+type params = {
+  p_gate : float;  (** per-gate failure probability over the mission. *)
+  circuit_gates_per_unit : int;
+      (** HDL gates needed per unit of functionality complexity. *)
+  circuit_base_gates : int;  (** fixed sequential-logic overhead. *)
+  core_gates : int;  (** gates of a minimal fetch/decode/execute core. *)
+  sw_defect_per_unit : float;
+      (** residual software defect probability per complexity unit (after
+          verification; small because software hybrids are verifiable). *)
+  sw_base_defect : float;
+}
+
+val default : params
+
+val circuit_gates : params -> complexity:int -> int
+(** Gate count of a special-purpose circuit for the given functionality. *)
+
+val p_fail_circuit : params -> complexity:int -> float
+(** 1 - (1 - p_gate)^gates for the special-purpose circuit. *)
+
+val p_fail_software_hybrid : params -> complexity:int -> float
+(** Core hardware failure combined with residual software defects; the core
+    gate count does not grow with functionality. *)
+
+val crossover : params -> max_complexity:int -> int option
+(** Smallest complexity at which the software hybrid is at least as reliable
+    as the special-purpose circuit, if any within the bound. *)
+
+val sweep : params -> max_complexity:int -> step:int -> (int * float * float) list
+(** [(complexity, p_fail_circuit, p_fail_software)] series for E9. *)

@@ -1,0 +1,114 @@
+(* Layout: logical code positions 0..71.
+   Position 0 holds the overall parity bit.
+   Positions 1..71 form a Hamming(71,64) code: positions that are powers of
+   two (1,2,4,8,16,32,64) hold check bits; the remaining 64 positions hold
+   data bits in increasing-position order. *)
+
+type codeword = { lo : int64; hi : int }
+(* [lo] holds code positions 0..63, [hi] positions 64..71 (8 bits). *)
+
+type status = Clean | Corrected | Uncorrectable
+
+let width = 72
+let data_width = 64
+
+let is_power_of_two i = i land (i - 1) = 0
+
+let data_positions =
+  let rec collect pos acc =
+    if pos > 71 then List.rev acc
+    else if is_power_of_two pos then collect (pos + 1) acc
+    else collect (pos + 1) (pos :: acc)
+  in
+  Array.of_list (collect 1 [])
+
+let () = assert (Array.length data_positions = 64)
+
+let get w i =
+  if i < 64 then Int64.logand (Int64.shift_right_logical w.lo i) 1L = 1L
+  else (w.hi lsr (i - 64)) land 1 = 1
+
+let set w i b =
+  if i < 64 then
+    let mask = Int64.shift_left 1L i in
+    if b then { w with lo = Int64.logor w.lo mask }
+    else { w with lo = Int64.logand w.lo (Int64.lognot mask) }
+  else
+    let mask = 1 lsl (i - 64) in
+    if b then { w with hi = w.hi lor mask } else { w with hi = w.hi land lnot mask }
+
+let empty = { lo = 0L; hi = 0 }
+
+(* XOR of the indices of all set positions in 1..71; zero for a valid
+   Hamming codeword. *)
+let syndrome w =
+  let s = ref 0 in
+  for i = 1 to 71 do
+    if get w i then s := !s lxor i
+  done;
+  !s
+
+let parity_over_all w =
+  let p = ref false in
+  for i = 0 to 71 do
+    if get w i then p := not !p
+  done;
+  !p
+
+let encode data =
+  let w = ref empty in
+  (* Scatter data bits. *)
+  Array.iteri
+    (fun k pos ->
+      let bit = Int64.logand (Int64.shift_right_logical data k) 1L = 1L in
+      w := set !w pos bit)
+    data_positions;
+  (* Check bit at position 2^j makes the syndrome's bit j vanish. *)
+  let s = syndrome !w in
+  let j = ref 1 in
+  while !j <= 64 do
+    if s land !j <> 0 then w := set !w !j true;
+    j := !j lsl 1
+  done;
+  assert (syndrome !w = 0);
+  (* Overall parity (position 0) makes total parity even. *)
+  if parity_over_all !w then w := set !w 0 true;
+  !w
+
+let extract w =
+  let d = ref 0L in
+  Array.iteri
+    (fun k pos -> if get w pos then d := Int64.logor !d (Int64.shift_left 1L k))
+    data_positions;
+  !d
+
+let decode w =
+  let s = syndrome w in
+  let parity_odd = parity_over_all w in
+  if s = 0 && not parity_odd then (extract w, Clean)
+  else if s = 0 && parity_odd then
+    (* The overall parity bit itself flipped; data is intact. *)
+    (extract w, Corrected)
+  else if parity_odd then
+    (* Odd number of flips with a non-zero syndrome: treat as the single-bit
+       error at position [s] and repair it. *)
+    let repaired = set w s (not (get w s)) in
+    (extract repaired, Corrected)
+  else
+    (* Non-zero syndrome, even parity: double-bit error, not correctable. *)
+    (extract w, Uncorrectable)
+
+let flip w i =
+  if i < 0 || i >= width then invalid_arg "Ecc.flip: bit out of range";
+  set w i (not (get w i))
+
+let bits_set w =
+  let n = ref 0 in
+  for i = 0 to 71 do
+    if get w i then incr n
+  done;
+  !n
+
+let equal a b = Int64.equal a.lo b.lo && a.hi = b.hi
+
+let pp ppf w = Format.fprintf ppf "%02x%016Lx" w.hi w.lo

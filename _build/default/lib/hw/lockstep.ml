@@ -1,0 +1,68 @@
+module Rng = Resoc_des.Rng
+
+type mode = Simplex | Dmr of { max_retries : int } | Tmr
+
+type stats = {
+  steps : int;
+  cycles : int;
+  silent_errors : int;
+  detected_uncorrected : int;
+  retries : int;
+}
+
+let cores = function Simplex -> 1 | Dmr _ -> 2 | Tmr -> 3
+
+(* One attempt at a step: how many of the replicated cores fault, and
+   whether simultaneous faults happen to agree on the same wrong value. *)
+let attempt rng ~n_cores ~p_fault ~p_identical =
+  let faulty = ref 0 in
+  for _ = 1 to n_cores do
+    if Rng.bernoulli rng p_fault then incr faulty
+  done;
+  let identical = !faulty >= 2 && Rng.bernoulli rng p_identical in
+  (!faulty, identical)
+
+let run rng mode ~p_fault ?(p_identical = 1.0e-3) ~steps () =
+  if p_fault < 0.0 || p_fault > 1.0 then invalid_arg "Lockstep.run: p_fault out of range";
+  if steps <= 0 then invalid_arg "Lockstep.run: steps must be positive";
+  let cycles = ref 0 and silent = ref 0 and detected = ref 0 and retries = ref 0 in
+  for _ = 1 to steps do
+    (match mode with
+     | Simplex ->
+       incr cycles;
+       let faulty, _ = attempt rng ~n_cores:1 ~p_fault ~p_identical in
+       if faulty > 0 then incr silent
+     | Dmr { max_retries } ->
+       (* Retry until the two cores agree or patience runs out. *)
+       let rec try_once attempts_left =
+         incr cycles;
+         let faulty, identical = attempt rng ~n_cores:2 ~p_fault ~p_identical in
+         if faulty = 0 then ()
+         else if faulty = 2 && identical then incr silent  (* agreement on garbage *)
+         else if attempts_left > 0 then begin
+           incr retries;
+           try_once (attempts_left - 1)
+         end
+         else incr detected
+       in
+       try_once max_retries
+     | Tmr ->
+       incr cycles;
+       let faulty, identical = attempt rng ~n_cores:3 ~p_fault ~p_identical in
+       if faulty = 0 || faulty = 1 then ()  (* majority of correct cores *)
+       else if faulty >= 2 && identical then incr silent  (* wrong majority *)
+       else begin
+         (* 2-3 disagreeing faults: no majority; stall one re-execution. *)
+         incr retries;
+         incr cycles;
+         let faulty', identical' = attempt rng ~n_cores:3 ~p_fault ~p_identical in
+         if faulty' <= 1 then ()
+         else if identical' then incr silent
+         else incr detected
+       end)
+  done;
+  { steps; cycles = !cycles; silent_errors = !silent; detected_uncorrected = !detected; retries = !retries }
+
+let silent_error_rate s = float_of_int s.silent_errors /. float_of_int s.steps
+
+let throughput s = float_of_int s.steps /. float_of_int (max 1 s.cycles)

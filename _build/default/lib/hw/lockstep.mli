@@ -1,0 +1,44 @@
+(** Lockstep-coupled cores (§I: "lockstep coupling of cores").
+
+    Cycle-level redundant execution on adjacent cores: DMR lockstep compares
+    two cores' outputs and re-executes on mismatch (detection, not masking);
+    TMR lockstep votes three and masks single faults outright. The model
+    tracks the two costs the designer trades: silent errors let through and
+    cycles spent (including re-execution and stalls). *)
+
+type mode =
+  | Simplex
+  | Dmr of { max_retries : int }
+      (** Compare-and-re-execute; gives up (detected, uncorrected) after
+          [max_retries] mismatching attempts. *)
+  | Tmr
+      (** Majority vote; a double fault with disagreeing outputs is detected
+          and stalls one re-execution round; an (unlikely) identical double
+          corruption escapes silently. *)
+
+type stats = {
+  steps : int;  (** Work items executed. *)
+  cycles : int;  (** Total cycles consumed (includes retries/stalls). *)
+  silent_errors : int;  (** Wrong results delivered as if correct. *)
+  detected_uncorrected : int;  (** Errors flagged to the system (fail-stop). *)
+  retries : int;
+}
+
+val run :
+  Resoc_des.Rng.t ->
+  mode ->
+  p_fault:float ->
+  ?p_identical:float ->
+  steps:int ->
+  unit ->
+  stats
+(** [p_fault] is the per-core per-step probability of computing a wrong
+    value; [p_identical] (default 1e-3) is the conditional probability that
+    two simultaneously faulty cores produce the *same* wrong value (common-
+    mode corruption that comparison cannot see). *)
+
+val cores : mode -> int
+
+val silent_error_rate : stats -> float
+val throughput : stats -> float
+(** Steps per cycle. *)

@@ -1,0 +1,37 @@
+module Rng = Resoc_des.Rng
+
+type config = { stages : int; penalty : int; v_safe : float; sensitivity : float }
+
+let default_config = { stages = 5; penalty = 1; v_safe = 1.0; sensitivity = 80.0 }
+
+let violation_rate config ~vdd =
+  if vdd >= config.v_safe then 0.0
+  else Float.min 1.0 (1.0e-4 *. exp (config.sensitivity *. (config.v_safe -. vdd)))
+
+type result = { ops : int; cycles : int; detected : int; silent_errors : int; energy : float }
+
+let run rng config ~vdd ~razor ~ops =
+  if ops <= 0 then invalid_arg "Razor.run: ops must be positive";
+  if vdd <= 0.0 then invalid_arg "Razor.run: voltage must be positive";
+  let rate = violation_rate config ~vdd in
+  let cycles = ref 0 and detected = ref 0 and silent = ref 0 in
+  for _ = 1 to ops do
+    (* One op flows through every stage; any stage may miss timing. *)
+    let faulted = ref false in
+    for _ = 1 to config.stages do
+      if Rng.bernoulli rng rate then faulted := true
+    done;
+    incr cycles;  (* steady-state pipeline: one op retires per cycle *)
+    if !faulted then
+      if razor then begin
+        incr detected;
+        cycles := !cycles + config.penalty
+      end
+      else incr silent
+  done;
+  let energy = float_of_int !cycles *. vdd *. vdd in
+  { ops; cycles = !cycles; detected = !detected; silent_errors = !silent; energy }
+
+let energy_per_op r = r.energy /. float_of_int r.ops
+
+let throughput r = float_of_int r.ops /. float_of_int (max 1 r.cycles)

@@ -1,0 +1,38 @@
+(** Razor-style timing-speculation pipeline (§II.A, ref [35]).
+
+    Razor runs a pipeline below the worst-case-safe voltage and catches
+    timing violations with shadow latches, re-injecting the failed stage at
+    a fixed cycle penalty. Without Razor, running below the safe voltage
+    lets the same violations through silently. The model exposes the
+    trade-off the paper uses Razor to illustrate: detection converts silent
+    corruption into a small, observable throughput/energy cost. *)
+
+type config = {
+  stages : int;  (** Pipeline depth. *)
+  penalty : int;  (** Re-execution cycles per detected violation. *)
+  v_safe : float;  (** Worst-case-safe supply voltage (no violations at or
+                       above it). *)
+  sensitivity : float;  (** How fast violations rise below [v_safe]. *)
+}
+
+val default_config : config
+(** 5 stages, 1-cycle penalty, v_safe 1.0, sensitivity 80. *)
+
+val violation_rate : config -> vdd:float -> float
+(** Per-stage-cycle timing-violation probability at supply [vdd]:
+    0 at/above [v_safe], rising exponentially below it, capped at 1. *)
+
+type result = {
+  ops : int;
+  cycles : int;
+  detected : int;  (** Violations caught by shadow latches (razor on). *)
+  silent_errors : int;  (** Violations that corrupted results (razor off). *)
+  energy : float;  (** Arbitrary units; dynamic energy ~ vdd^2 per cycle. *)
+}
+
+val run : Resoc_des.Rng.t -> config -> vdd:float -> razor:bool -> ops:int -> result
+
+val energy_per_op : result -> float
+
+val throughput : result -> float
+(** Ops per cycle. *)

@@ -1,0 +1,53 @@
+(** Storage registers with selectable upset protection.
+
+    Models the design trade-off discussed in §III of the paper for hardware
+    hybrids: a plain register is the smallest circuit but a single-event
+    upset (SEU) silently corrupts it; a parity register detects odd flips;
+    a SECDED register corrects single flips at the cost of 8 extra storage
+    bits and check logic. The stored-bit count is exposed because a larger
+    footprint collects proportionally more upsets. *)
+
+type protection = Plain | Parity | Secded
+
+type read_status =
+  | Ok  (** Value read without detected anomaly (may still be silently wrong
+            for [Plain], or after miscorrection). *)
+  | Corrected  (** SECDED repaired a single-bit upset. *)
+  | Fault_detected  (** Parity or SECDED flagged an uncorrectable error. *)
+
+type t
+
+val create : protection -> int64 -> t
+
+val protection : t -> protection
+
+val stored_bits : t -> int
+(** 64 for [Plain], 65 for [Parity], 72 for [Secded]. *)
+
+val gate_cost : protection -> int
+(** Approximate check/correct logic cost in gate equivalents, used by the
+    hybridization complexity model (E9). *)
+
+val write : t -> int64 -> unit
+
+val read : t -> int64 * read_status
+(** SECDED repair also scrubs the stored word. *)
+
+val scrub : t -> unit
+(** Background scrubbing pass: read and write back, correcting any
+    correctable upset. Real SECDED deployments scrub periodically so
+    single-bit upsets cannot accumulate into uncorrectable pairs; harnesses
+    should do the same (e.g. every few hundred cycles). No effect beyond a
+    read for [Plain]/[Parity]. *)
+
+val inject_upset : t -> Resoc_des.Rng.t -> unit
+(** Flip one uniformly chosen stored bit. *)
+
+val inject_upset_at : t -> int -> unit
+(** Flip stored bit [i] (deterministic tests). *)
+
+val upsets_injected : t -> int
+
+val silently_corrupt : t -> bool
+(** Oracle for experiments: would a read return wrong data with status [Ok]
+    or [Corrected]? Not available to the simulated hardware itself. *)

@@ -1,0 +1,45 @@
+module Rng = Resoc_des.Rng
+
+type t = { wires : int; threshold : int }
+
+let make ~wires ~threshold =
+  if threshold < 1 || threshold > wires then
+    invalid_arg "Sinw.make: need 1 <= threshold <= wires";
+  { wires; threshold }
+
+let p_functional t ~p_wire_defect =
+  if p_wire_defect < 0.0 || p_wire_defect > 1.0 then
+    invalid_arg "Sinw.p_functional: probability out of range";
+  (* At least [threshold] of [wires] survive. *)
+  let p_ok = 1.0 -. p_wire_defect in
+  let acc = ref 0.0 in
+  for k = t.threshold to t.wires do
+    acc :=
+      !acc
+      +. (Redundancy.binomial t.wires k *. (p_ok ** float_of_int k)
+          *. (p_wire_defect ** float_of_int (t.wires - k)))
+  done;
+  !acc
+
+let mttf_factor t =
+  (* With i.i.d. exponential wire lifetimes, the time until only
+     threshold-1 wires remain is a sum of exponential spacings with rates
+     wires, wires-1, ..., threshold. *)
+  let acc = ref 0.0 in
+  for k = t.threshold to t.wires do
+    acc := !acc +. (1.0 /. float_of_int k)
+  done;
+  !acc
+
+let sample_lifetime rng t ~wire_mean =
+  if wire_mean <= 0.0 then invalid_arg "Sinw.sample_lifetime: mean must be positive";
+  let deaths = Array.init t.wires (fun _ -> Rng.exponential rng ~mean:wire_mean) in
+  Array.sort Float.compare deaths;
+  (* Fails at the (wires - threshold + 1)-th death. *)
+  deaths.(t.wires - t.threshold)
+
+let gate_reliability_uplift t ~p_wire_defect ~transistors_per_gate =
+  if transistors_per_gate <= 0 then invalid_arg "Sinw.gate_reliability_uplift";
+  let single = (1.0 -. p_wire_defect) ** float_of_int transistors_per_gate in
+  let array = p_functional t ~p_wire_defect ** float_of_int transistors_per_gate in
+  (single, array)

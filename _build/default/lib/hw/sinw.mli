@@ -1,0 +1,36 @@
+(** Silicon-nanowire transistor redundancy (§I, ref [19]).
+
+    The paper cites reconfigurable SiNW transistors that bridge source to
+    drain with a *parallel array of nanowires* to compensate manufacturing
+    defects and aging: the device keeps conducting while at least
+    [threshold] of its [wires] survive. This is redundancy one level below
+    the gate: it multiplies the transistor's lifetime before the gate-level
+    techniques of E1 even engage. *)
+
+type t = {
+  wires : int;  (** Parallel nanowires bridging source to drain. *)
+  threshold : int;  (** Minimum conducting wires for the transistor to work. *)
+}
+
+val make : wires:int -> threshold:int -> t
+(** Raises [Invalid_argument] unless 1 <= threshold <= wires. *)
+
+val p_functional : t -> p_wire_defect:float -> float
+(** Probability the transistor works when each wire is independently
+    defective with the given probability (manufacturing yield view). *)
+
+val mttf_factor : t -> float
+(** Lifetime multiplier relative to a single wire under exponential wire
+    aging: the transistor fails when wires drop below [threshold], i.e.
+    after the (wires - threshold + 1)-th wire death. For exponential
+    lifetimes this is sum_{k=threshold}^{wires} 1/k (order statistics). *)
+
+val sample_lifetime :
+  Resoc_des.Rng.t -> t -> wire_mean:float -> float
+(** Monte-Carlo lifetime draw: each wire dies after Exp(wire_mean); the
+    transistor dies when fewer than [threshold] wires remain. *)
+
+val gate_reliability_uplift :
+  t -> p_wire_defect:float -> transistors_per_gate:int -> float * float
+(** (simplex gate yield, SiNW gate yield): probability that every
+    transistor of a gate is functional, single-wire vs nanowire-array. *)

@@ -1,0 +1,44 @@
+module Rng = Resoc_des.Rng
+
+let check_p p = if p < 0.0 || p > 1.0 then invalid_arg "Stack3d: probability out of range"
+
+let p_single_vendor ~p_mal =
+  check_p p_mal;
+  p_mal
+
+let p_chain ~p_mal ~layers =
+  check_p p_mal;
+  if layers <= 0 then invalid_arg "Stack3d.p_chain: layers must be positive";
+  1.0 -. ((1.0 -. p_mal) ** float_of_int layers)
+
+let p_redundant_vote ~p_mal ~m =
+  check_p p_mal;
+  if m <= 0 || m mod 2 = 0 then invalid_arg "Stack3d.p_redundant_vote: m must be odd and positive";
+  let majority = (m / 2) + 1 in
+  let acc = ref 0.0 in
+  for k = majority to m do
+    acc :=
+      !acc
+      +. (Redundancy.binomial m k *. (p_mal ** float_of_int k)
+          *. ((1.0 -. p_mal) ** float_of_int (m - k)))
+  done;
+  !acc
+
+let mc_redundant_vote rng ~p_mal ~m ~trials =
+  check_p p_mal;
+  if trials <= 0 then invalid_arg "Stack3d.mc_redundant_vote: trials must be positive";
+  let majority = (m / 2) + 1 in
+  let defeats = ref 0 in
+  for _ = 1 to trials do
+    let bad = ref 0 in
+    for _ = 1 to m do
+      if Rng.bernoulli rng p_mal then incr bad
+    done;
+    if !bad >= majority then incr defeats
+  done;
+  float_of_int !defeats /. float_of_int trials
+
+let p_chain_voted ~p_mal ~layers ~m =
+  if layers <= 0 then invalid_arg "Stack3d.p_chain_voted: layers must be positive";
+  let per_layer = p_redundant_vote ~p_mal ~m in
+  1.0 -. ((1.0 -. per_layer) ** float_of_int layers)

@@ -1,0 +1,34 @@
+(** 3D-stacked multi-vendor chips and the supply-chain "distribution attack"
+    (§I: multi-vendor layers "avoid vendor lock-in or potential aging
+    issues, backdoors, and kill switches").
+
+    Each die layer is fabricated by some vendor; a compromised vendor plants
+    a backdoor in every layer it fabricates. The analysis quantifies three
+    procurement strategies:
+
+    - single vendor: one trust decision for the whole stack;
+    - multi-vendor *chain* (each layer a different function from a
+      different vendor): every vendor is critical, so exposure GROWS with
+      layer count — diversity without redundancy backfires;
+    - multi-vendor *redundant* layers (same function replicated across m
+      vendors, cross-checked/voted): a backdoor only wins if a majority of
+      the redundant set colludes. *)
+
+val p_single_vendor : p_mal:float -> float
+
+val p_chain : p_mal:float -> layers:int -> float
+(** 1 - (1-p)^layers: any compromised vendor compromises the chip. *)
+
+val p_redundant_vote : p_mal:float -> m:int -> float
+(** Probability that at least a majority of [m] (odd) independently
+    procured redundant layers are compromised (colluding majority defeats
+    the cross-check). *)
+
+val mc_redundant_vote : Resoc_des.Rng.t -> p_mal:float -> m:int -> trials:int -> float
+(** Monte-Carlo check of {!p_redundant_vote}. *)
+
+val p_chain_voted : p_mal:float -> layers:int -> m:int -> float
+(** A full stack of [layers] functions where each function is fabricated as
+    [m] redundant voted layers from independent vendors:
+    1 - (1 - p_redundant_vote)^layers. The procurement strategy the paper's
+    SI points towards: multi-vendor *and* redundant. *)

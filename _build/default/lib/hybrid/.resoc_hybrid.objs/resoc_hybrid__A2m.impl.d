@@ -1,0 +1,1 @@
+lib/hybrid/a2m.ml: Int64 List Resoc_crypto

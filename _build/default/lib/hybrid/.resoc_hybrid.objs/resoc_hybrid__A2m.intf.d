@@ -1,0 +1,1 @@
+lib/hybrid/a2m.mli: Resoc_crypto

@@ -1,0 +1,1 @@
+lib/hybrid/trinc.ml: Int64 Resoc_crypto Resoc_hw

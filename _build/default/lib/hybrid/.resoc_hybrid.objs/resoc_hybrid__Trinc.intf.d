@@ -1,0 +1,1 @@
+lib/hybrid/trinc.mli: Resoc_crypto Resoc_hw

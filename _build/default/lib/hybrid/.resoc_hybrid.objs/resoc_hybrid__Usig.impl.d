@@ -1,0 +1,1 @@
+lib/hybrid/usig.ml: Hashtbl Int64 Resoc_crypto Resoc_hw

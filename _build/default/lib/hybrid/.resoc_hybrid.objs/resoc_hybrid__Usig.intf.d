@@ -1,0 +1,1 @@
+lib/hybrid/usig.mli: Resoc_crypto Resoc_hw

@@ -1,0 +1,41 @@
+(** A2M — Attested Append-Only Memory (Chun et al.).
+
+    A trusted log: entries can only be appended, each attestation covers the
+    entry's sequence number and the cumulative hash chain, so a Byzantine
+    host cannot show different histories to different verifiers, nor
+    truncate the log undetectably. The largest of the three hybrids on the
+    §III complexity spectrum. *)
+
+module Mac = Resoc_crypto.Mac
+module Hash = Resoc_crypto.Hash
+
+type t
+
+type attestation = {
+  signer : int;
+  seq : int64;  (** 1-based position of the attested entry. *)
+  entry : Hash.t;
+  chain : Hash.t;  (** Cumulative hash of the log up to [seq]. *)
+  tag : Mac.t;
+}
+
+val create : id:int -> key:Mac.key -> t
+
+val id : t -> int
+
+val append : t -> Hash.t -> attestation
+
+val lookup : t -> seq:int64 -> attestation option
+(** Re-attests the historical entry at [seq] (None when out of range). *)
+
+val latest : t -> attestation option
+(** None when the log is empty. *)
+
+val size : t -> int
+
+val verify : key:Mac.key -> attestation -> bool
+
+val consistent : earlier:attestation -> later:attestation -> prefix:Hash.t list -> bool
+(** Checks that [earlier] is on the chain leading to [later], given the
+    entries appended in between (exclusive of earlier, inclusive of later).
+    Detects forked histories. *)

@@ -1,0 +1,36 @@
+(** TrInc-style trusted non-decreasing counter (Levin et al.).
+
+    Smaller than USIG: attests a binding between a counter interval and a
+    digest. The counter can advance by any amount but never decrease, which
+    suffices to prevent equivocation in many protocols. Included as a second
+    point on the paper's hybrid-complexity spectrum (§III). *)
+
+module Mac = Resoc_crypto.Mac
+module Hash = Resoc_crypto.Hash
+
+type t
+
+type attestation = {
+  signer : int;
+  previous : int64;
+  current : int64;
+  digest : Hash.t;
+  tag : Mac.t;
+}
+
+val create : id:int -> key:Mac.key -> protection:Resoc_hw.Register.protection -> t
+
+val id : t -> int
+
+val counter_register : t -> Resoc_hw.Register.t
+
+val attest : t -> new_counter:int64 -> digest:Hash.t -> (attestation, string) result
+(** Fails (without state change) when [new_counter] is below the stored
+    counter or the register detects a fault. [new_counter] equal to the
+    stored value produces a zero-advance attestation — useful as a "status"
+    certificate. *)
+
+val verify : key:Mac.key -> attestation -> bool
+
+val attestations_issued : t -> int
+val faults_detected : t -> int

@@ -1,0 +1,86 @@
+module Mac = Resoc_crypto.Mac
+module Hash = Resoc_crypto.Hash
+module Register = Resoc_hw.Register
+
+type t = {
+  id : int;
+  key : Mac.key;
+  reg : Register.t;
+  mutable issued : int;
+  mutable faults_detected : int;
+  mutable corrections : int;
+  mutable failed : bool;
+}
+
+type ui = { signer : int; counter : int64; tag : Mac.t }
+
+let create ~id ~key ~protection =
+  {
+    id;
+    key;
+    reg = Register.create protection 0L;
+    issued = 0;
+    faults_detected = 0;
+    corrections = 0;
+    failed = false;
+  }
+
+let id t = t.id
+
+let counter_register t = t.reg
+
+let counter_value t = fst (Register.read t.reg)
+
+let ui_digest ~signer ~counter digest =
+  Hash.combine (Hash.combine_int (Hash.combine_int (Hash.of_string "usig-ui") signer) 0)
+    (Hash.combine counter digest)
+
+let failed t = t.failed
+
+let create_ui t digest =
+  if t.failed then Error "usig: latched failed (uncorrectable counter fault)"
+  else
+  match Register.read t.reg with
+  | _, Register.Fault_detected ->
+    (* An uncorrectable error on the monotonic counter is unrecoverable
+       without re-provisioning: latch fail-stop rather than keep operating
+       on (and further degrading) a suspect counter. *)
+    t.faults_detected <- t.faults_detected + 1;
+    t.failed <- true;
+    Error "usig: counter register fault detected"
+  | current, status ->
+    if status = Register.Corrected then t.corrections <- t.corrections + 1;
+    let next = Int64.add current 1L in
+    Register.write t.reg next;
+    t.issued <- t.issued + 1;
+    let tag = Mac.sign t.key (ui_digest ~signer:t.id ~counter:next digest) in
+    Ok { signer = t.id; counter = next; tag }
+
+let verify_ui ~key ~digest ui =
+  Mac.verify key (ui_digest ~signer:ui.signer ~counter:ui.counter digest) ui.tag
+
+let uis_issued t = t.issued
+let faults_detected t = t.faults_detected
+let corrections t = t.corrections
+
+module Monotonic = struct
+  type checker = (int, int64) Hashtbl.t
+
+  type verdict = Accept | Replay | Gap of int64
+
+  let create () : checker = Hashtbl.create 8
+
+  let last_accepted t ~signer =
+    match Hashtbl.find_opt t signer with Some c -> c | None -> 0L
+
+  let force t ~signer ~counter = Hashtbl.replace t signer counter
+
+  let check t ~signer ~counter =
+    let last = last_accepted t ~signer in
+    if Int64.compare counter last <= 0 then Replay
+    else if Int64.equal counter (Int64.add last 1L) then begin
+      Hashtbl.replace t signer counter;
+      Accept
+    end
+    else Gap (Int64.sub counter (Int64.add last 1L))
+end

@@ -1,0 +1,73 @@
+(** USIG — Unique Sequential Identifier Generator (Veronese et al., MinBFT).
+
+    The canonical hardware hybrid of the paper's §III: a tamper-proof
+    monotonic counter plus an HMAC unit. Each [create_ui] binds the next
+    counter value to a message digest, so a Byzantine host can neither
+    assign the same identifier to two different messages (no equivocation)
+    nor skip identifiers undetectably.
+
+    The counter lives in a {!Resoc_hw.Register} with selectable protection:
+    with [Plain] registers a single SEU silently desynchronizes the counter
+    — the "catastrophic for the consensus problem" scenario the paper
+    describes — while [Secded] corrects it. Experiment E2 measures exactly
+    this difference. *)
+
+module Mac = Resoc_crypto.Mac
+module Hash = Resoc_crypto.Hash
+
+type t
+
+type ui = { signer : int; counter : int64; tag : Mac.t }
+(** A unique identifier certificate. *)
+
+val create : id:int -> key:Mac.key -> protection:Resoc_hw.Register.protection -> t
+
+val id : t -> int
+
+val counter_register : t -> Resoc_hw.Register.t
+(** Exposed so fault campaigns can aim SEUs at the hybrid's state. *)
+
+val counter_value : t -> int64
+(** Current counter as stored (reads through the protection layer). *)
+
+val create_ui : t -> Hash.t -> (ui, string) result
+(** Assigns the next identifier to [digest]. Returns [Error] when the
+    protected register *detects* an unrecoverable fault (fail-stop of the
+    hybrid); silent corruption of a [Plain] register instead yields a UI
+    with a wrong counter — verifiers will see a gap. *)
+
+val verify_ui : key:Mac.key -> digest:Hash.t -> ui -> bool
+(** Checks the authenticator binds (signer, counter, digest). *)
+
+val uis_issued : t -> int
+
+val failed : t -> bool
+(** Latched fail-stop: an uncorrectable counter fault was detected; the
+    hybrid refuses to issue further UIs until re-provisioned (replaced). *)
+
+val faults_detected : t -> int
+val corrections : t -> int
+(** SECDED repairs performed during [create_ui]. *)
+
+(** Verifier-side continuity tracking: MinBFT accepts UIs from a signer only
+    in exact counter order. *)
+module Monotonic : sig
+  type checker
+
+  type verdict =
+    | Accept  (** counter = last + 1. *)
+    | Replay  (** counter <= last: duplicate or rollback. *)
+    | Gap of int64  (** counter jumped ahead; the missing span signals a
+                        desynchronized (or malicious) hybrid. *)
+
+  val create : unit -> checker
+
+  val check : checker -> signer:int -> counter:int64 -> verdict
+  (** [Accept] advances the tracked counter; [Replay]/[Gap] do not. *)
+
+  val last_accepted : checker -> signer:int -> int64
+  (** 0 when nothing was accepted yet. *)
+
+  val force : checker -> signer:int -> counter:int64 -> unit
+  (** Reset the tracked counter (baseline resync after state transfer). *)
+end

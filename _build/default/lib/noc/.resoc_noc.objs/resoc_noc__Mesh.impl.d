@@ -1,0 +1,1 @@
+lib/noc/mesh.ml: Int List Set

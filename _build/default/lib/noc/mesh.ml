@@ -1,0 +1,119 @@
+type link = { src : int; dst : int }
+
+module Link_set = Set.Make (struct
+  type t = link
+
+  let compare (a : link) b = compare (a.src, a.dst) (b.src, b.dst)
+end)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  width : int;
+  height : int;
+  mutable down_links : Link_set.t;
+  mutable down_routers : Int_set.t;
+}
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Mesh.create: dimensions must be positive";
+  { width; height; down_links = Link_set.empty; down_routers = Int_set.empty }
+
+let width t = t.width
+let height t = t.height
+let n_nodes t = t.width * t.height
+
+let check_id t id =
+  if id < 0 || id >= n_nodes t then invalid_arg "Mesh: tile id out of range"
+
+let coord_of_id t id =
+  check_id t id;
+  (id mod t.width, id / t.width)
+
+let id_of_coord t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg "Mesh.id_of_coord: coordinate out of range";
+  (y * t.width) + x
+
+let manhattan t a b =
+  let ax, ay = coord_of_id t a and bx, by = coord_of_id t b in
+  abs (ax - bx) + abs (ay - by)
+
+let neighbors t id =
+  let x, y = coord_of_id t id in
+  let candidates = [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ] in
+  List.filter_map
+    (fun (nx, ny) ->
+      if nx >= 0 && nx < t.width && ny >= 0 && ny < t.height then Some (id_of_coord t ~x:nx ~y:ny)
+      else None)
+    candidates
+
+let dimension_route t ~src ~dst ~x_first =
+  check_id t src;
+  check_id t dst;
+  let sx, sy = coord_of_id t src and dx, dy = coord_of_id t dst in
+  let step v target = if v < target then v + 1 else v - 1 in
+  let rec go x y acc =
+    if x_first && x <> dx then
+      let x' = step x dx in
+      go x' y (id_of_coord t ~x:x' ~y :: acc)
+    else if y <> dy then
+      let y' = step y dy in
+      go x y' (id_of_coord t ~x ~y:y' :: acc)
+    else if x <> dx then
+      let x' = step x dx in
+      go x' y (id_of_coord t ~x:x' ~y :: acc)
+    else List.rev acc
+  in
+  go sx sy [ src ]
+
+let xy_route t ~src ~dst = dimension_route t ~src ~dst ~x_first:true
+
+let yx_route t ~src ~dst = dimension_route t ~src ~dst ~x_first:false
+
+let links_of_route route =
+  let rec pair = function
+    | a :: (b :: _ as rest) -> { src = a; dst = b } :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair route
+
+let adjacent t a b =
+  check_id t a;
+  check_id t b;
+  manhattan t a b = 1
+
+let check_link t l =
+  if not (adjacent t l.src l.dst) then invalid_arg "Mesh: not a link between adjacent tiles"
+
+let fail_link t l =
+  check_link t l;
+  t.down_links <- Link_set.add l t.down_links
+
+let repair_link t l =
+  check_link t l;
+  t.down_links <- Link_set.remove l t.down_links
+
+let link_up t l =
+  check_link t l;
+  not (Link_set.mem l t.down_links)
+
+let fail_router t id =
+  check_id t id;
+  t.down_routers <- Int_set.add id t.down_routers
+
+let repair_router t id =
+  check_id t id;
+  t.down_routers <- Int_set.remove id t.down_routers
+
+let router_up t id =
+  check_id t id;
+  not (Int_set.mem id t.down_routers)
+
+let route_usable_via t ~route =
+  List.for_all (router_up t) route && List.for_all (link_up t) (links_of_route route)
+
+let route_usable t ~src ~dst = route_usable_via t ~route:(xy_route t ~src ~dst)
+
+let failed_links t = Link_set.elements t.down_links
+let failed_routers t = Int_set.elements t.down_routers

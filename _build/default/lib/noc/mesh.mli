@@ -1,0 +1,55 @@
+(** 2D-mesh network-on-chip topology with fault state.
+
+    Tiles are numbered row-major: id = y*width + x. Links are directed
+    (full-duplex modeled as two directed links). Routing is XY
+    dimension-order — deterministic and deadlock-free, as in most real NoCs;
+    a failed link or router on the unique XY path therefore drops traffic,
+    which is exactly the failure visibility the resilience layers react to. *)
+
+type t
+
+type link = { src : int; dst : int }
+(** A directed link between adjacent tiles. *)
+
+val create : width:int -> height:int -> t
+
+val width : t -> int
+val height : t -> int
+val n_nodes : t -> int
+
+val coord_of_id : t -> int -> int * int
+(** (x, y) of a tile id. Raises [Invalid_argument] if out of range. *)
+
+val id_of_coord : t -> x:int -> y:int -> int
+
+val manhattan : t -> int -> int -> int
+(** Hop distance between two tiles. *)
+
+val neighbors : t -> int -> int list
+
+val xy_route : t -> src:int -> dst:int -> int list
+(** Tiles visited, inclusive of [src] and [dst]; X dimension first. *)
+
+val yx_route : t -> src:int -> dst:int -> int list
+(** Y dimension first — the escape path of simple fault-tolerant routers. *)
+
+val links_of_route : int list -> link list
+
+val fail_link : t -> link -> unit
+val repair_link : t -> link -> unit
+val link_up : t -> link -> bool
+(** Unknown links (non-adjacent endpoints) raise [Invalid_argument]. *)
+
+val fail_router : t -> int -> unit
+val repair_router : t -> int -> unit
+val router_up : t -> int -> bool
+
+val route_usable : t -> src:int -> dst:int -> bool
+(** All routers and links along the XY route are up. The endpoints' own
+    routers must be up too. *)
+
+val route_usable_via : t -> route:int list -> bool
+(** Same check for an arbitrary route. *)
+
+val failed_links : t -> link list
+val failed_routers : t -> int list

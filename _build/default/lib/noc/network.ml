@@ -1,0 +1,127 @@
+module Engine = Resoc_des.Engine
+module Metrics = Resoc_des.Metrics
+
+type routing = Xy | Xy_with_yx_fallback
+
+type config = {
+  router_latency : int;
+  bytes_per_cycle : int;
+  local_latency : int;
+  routing : routing;
+}
+
+let default_config = { router_latency = 2; bytes_per_cycle = 16; local_latency = 1; routing = Xy }
+
+module Link_tbl = Hashtbl.Make (struct
+  type t = Mesh.link
+
+  let equal (a : Mesh.link) b = a.Mesh.src = b.Mesh.src && a.Mesh.dst = b.Mesh.dst
+  let hash (l : Mesh.link) = (l.Mesh.src * 65599) + l.Mesh.dst
+end)
+
+type 'msg t = {
+  engine : Engine.t;
+  mesh : Mesh.t;
+  config : config;
+  handlers : (src:int -> 'msg -> unit) option array;
+  busy_until : int Link_tbl.t;
+  load : int Link_tbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes_sent : int;
+  latency : Metrics.Histogram.t;
+}
+
+let create engine mesh config =
+  if config.router_latency < 0 || config.bytes_per_cycle <= 0 || config.local_latency < 0 then
+    invalid_arg "Network.create: invalid config";
+  {
+    engine;
+    mesh;
+    config;
+    handlers = Array.make (Mesh.n_nodes mesh) None;
+    busy_until = Link_tbl.create 64;
+    load = Link_tbl.create 64;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes_sent = 0;
+    latency = Metrics.Histogram.create "noc.latency";
+  }
+
+let mesh t = t.mesh
+
+let attach t ~node handler =
+  if node < 0 || node >= Array.length t.handlers then invalid_arg "Network.attach: bad node";
+  t.handlers.(node) <- Some handler
+
+let detach t ~node =
+  if node < 0 || node >= Array.length t.handlers then invalid_arg "Network.detach: bad node";
+  t.handlers.(node) <- None
+
+let deliver t ~src ~dst ~start msg =
+  match t.handlers.(dst) with
+  | None -> t.dropped <- t.dropped + 1
+  | Some handler ->
+    t.delivered <- t.delivered + 1;
+    Metrics.Histogram.add t.latency (float_of_int (Engine.now t.engine - start));
+    handler ~src msg
+
+let serialization_cycles t bytes_ =
+  (bytes_ + t.config.bytes_per_cycle - 1) / t.config.bytes_per_cycle
+
+(* Advance the message across [links]; each traversal waits for the link to
+   free, then occupies it for the serialization time plus router latency. *)
+let rec traverse t ~src ~dst ~start ~bytes_ msg = function
+  | [] -> deliver t ~src ~dst ~start msg
+  | link :: rest ->
+    if not (Mesh.router_up t.mesh link.Mesh.src && Mesh.link_up t.mesh link) then
+      t.dropped <- t.dropped + 1
+    else begin
+      let now = Engine.now t.engine in
+      let free_at = match Link_tbl.find_opt t.busy_until link with Some v -> v | None -> now in
+      let begin_tx = max now free_at in
+      let done_at = begin_tx + t.config.router_latency + serialization_cycles t bytes_ in
+      Link_tbl.replace t.busy_until link done_at;
+      Link_tbl.replace t.load link
+        (1 + (match Link_tbl.find_opt t.load link with Some v -> v | None -> 0));
+      ignore
+        (Engine.at t.engine ~time:done_at (fun () ->
+             (* Re-check the far router at arrival time: it may have died
+                while the message was in flight. *)
+             if Mesh.router_up t.mesh link.Mesh.dst then
+               traverse t ~src ~dst ~start ~bytes_ msg rest
+             else t.dropped <- t.dropped + 1))
+    end
+
+let send t ~src ~dst ~bytes_ msg =
+  if bytes_ <= 0 then invalid_arg "Network.send: bytes must be positive";
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + bytes_;
+  let start = Engine.now t.engine in
+  if src = dst then
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.local_latency (fun () ->
+           deliver t ~src ~dst ~start msg))
+  else begin
+    let route =
+      let xy = Mesh.xy_route t.mesh ~src ~dst in
+      match t.config.routing with
+      | Xy -> xy
+      | Xy_with_yx_fallback ->
+        if Mesh.route_usable_via t.mesh ~route:xy then xy else Mesh.yx_route t.mesh ~src ~dst
+    in
+    let links = Mesh.links_of_route route in
+    (* The sender's own router must be alive to inject at all. *)
+    if not (Mesh.router_up t.mesh src) then t.dropped <- t.dropped + 1
+    else traverse t ~src ~dst ~start ~bytes_ msg links
+  end
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+let bytes_sent t = t.bytes_sent
+let latency t = t.latency
+
+let hop_load t = Link_tbl.fold (fun link n acc -> (link, n) :: acc) t.load []

@@ -1,0 +1,52 @@
+(** Message transport over the mesh, simulated hop by hop.
+
+    Each hop costs router latency plus serialization time (message bytes over
+    link bandwidth), and links are FIFO resources: a message arriving at a
+    busy link queues behind earlier traffic, so congestion emerges rather
+    than being parameterized. Failures are evaluated per hop, so a link or
+    router that dies mid-flight kills the messages crossing it. *)
+
+type routing =
+  | Xy  (** Deterministic dimension-order; a fault on the unique path drops. *)
+  | Xy_with_yx_fallback
+      (** Source-side fault awareness: if the XY path is known broken, take
+          the YX path; only when both are broken is the message doomed. *)
+
+type config = {
+  router_latency : int;  (** cycles of switching per hop. *)
+  bytes_per_cycle : int;  (** link bandwidth. *)
+  local_latency : int;  (** delivery cost for dst = src. *)
+  routing : routing;
+}
+
+val default_config : config
+(** 2-cycle routers, 16 bytes/cycle, 1-cycle loopback, XY routing. *)
+
+type 'msg t
+
+val create : Resoc_des.Engine.t -> Mesh.t -> config -> 'msg t
+
+val mesh : 'msg t -> Mesh.t
+
+val attach : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Register the receive handler of a tile. Re-attaching replaces the
+    handler (used when a tile is rejuvenated). *)
+
+val detach : 'msg t -> node:int -> unit
+(** Messages for a detached tile are dropped (tile is off-line). *)
+
+val send : 'msg t -> src:int -> dst:int -> bytes_:int -> 'msg -> unit
+(** Injects a message; it is delivered (or dropped) asynchronously via the
+    engine. [bytes_] must be positive. *)
+
+(** Aggregate statistics. *)
+
+val sent : 'msg t -> int
+val delivered : 'msg t -> int
+val dropped : 'msg t -> int
+val bytes_sent : 'msg t -> int
+val latency : 'msg t -> Resoc_des.Metrics.Histogram.t
+(** Delivery latencies in cycles. *)
+
+val hop_load : 'msg t -> (Mesh.link * int) list
+(** Messages carried per link (congestion map). *)

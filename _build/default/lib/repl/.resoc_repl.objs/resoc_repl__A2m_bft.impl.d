@@ -1,0 +1,1 @@
+lib/repl/a2m_bft.ml: Hybrid_bft Int64 Resoc_crypto Resoc_hybrid

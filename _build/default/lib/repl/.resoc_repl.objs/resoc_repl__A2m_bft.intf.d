@@ -1,0 +1,1 @@
+lib/repl/a2m_bft.mli: Hybrid_bft Resoc_hybrid

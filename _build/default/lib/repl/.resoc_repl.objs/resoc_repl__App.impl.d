@@ -1,0 +1,1 @@
+lib/repl/app.ml: Array Fun Int32 Int64 Resoc_crypto

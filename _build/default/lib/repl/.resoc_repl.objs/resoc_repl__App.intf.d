@@ -1,0 +1,1 @@
+lib/repl/app.mli: Resoc_crypto

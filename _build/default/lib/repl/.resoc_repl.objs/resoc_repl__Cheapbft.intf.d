@@ -1,0 +1,1 @@
+lib/repl/cheapbft.mli: Resoc_crypto Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Stats Transport Types

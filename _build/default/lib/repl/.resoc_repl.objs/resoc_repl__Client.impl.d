@@ -1,0 +1,1 @@
+lib/repl/client.ml: Fun Hashtbl Int64 List Resoc_des Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/client.mli: Resoc_des Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/hybrid_bft.ml: App Array Client Fun Hashtbl Int64 List Resoc_crypto Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/hybrid_bft.mli: Resoc_crypto Resoc_des Resoc_fault Resoc_hw Stats Transport Types

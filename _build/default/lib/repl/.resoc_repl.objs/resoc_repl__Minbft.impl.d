@@ -1,0 +1,1 @@
+lib/repl/minbft.ml: Hybrid_bft Resoc_hybrid

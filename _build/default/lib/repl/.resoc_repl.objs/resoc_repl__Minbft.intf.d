@@ -1,0 +1,1 @@
+lib/repl/minbft.mli: Hybrid_bft Resoc_hybrid

@@ -1,0 +1,1 @@
+lib/repl/paxos.ml: App Array Client Fun Hashtbl Int64 List Resoc_crypto Resoc_des Resoc_fault Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/paxos.mli: Resoc_des Resoc_fault Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/pbft.mli: Resoc_crypto Resoc_des Resoc_fault Stats Transport Types

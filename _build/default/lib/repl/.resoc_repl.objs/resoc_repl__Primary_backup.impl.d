@@ -1,0 +1,1 @@
+lib/repl/primary_backup.ml: App Array Client Fun Hashtbl Int64 List Resoc_des Resoc_fault Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/primary_backup.mli: Resoc_des Resoc_fault Stats Transport Types

@@ -1,0 +1,1 @@
+lib/repl/stats.ml: Format Resoc_des

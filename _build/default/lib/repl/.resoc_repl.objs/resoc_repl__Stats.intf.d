@@ -1,0 +1,1 @@
+lib/repl/stats.mli: Format Resoc_des

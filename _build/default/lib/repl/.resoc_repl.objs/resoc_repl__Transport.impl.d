@@ -1,0 +1,1 @@
+lib/repl/transport.ml: Array List Resoc_des

@@ -1,0 +1,1 @@
+lib/repl/transport.mli: Resoc_des

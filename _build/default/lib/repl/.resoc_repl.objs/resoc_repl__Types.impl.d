@@ -1,0 +1,1 @@
+lib/repl/types.ml: Format Int64 Resoc_crypto

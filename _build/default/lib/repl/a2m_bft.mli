@@ -1,0 +1,19 @@
+(** A2M-anchored BFT-SMR (in the spirit of A2M-PBFT-EA, Chun et al.).
+
+    The second point on the paper's hybrid spectrum (§III): instead of a
+    counter+MAC circuit, each replica owns an attested append-only memory
+    ({!Resoc_hybrid.A2m}). Every protocol statement is appended to the log
+    before being sent, so its certificate is the log position plus the
+    cumulative hash chain — a Byzantine replica cannot show diverging
+    histories because its log admits exactly one. With equivocation gone,
+    2f+1 replicas suffice, exactly as with the USIG.
+
+    Functionally this instance behaves like {!Minbft} with a heavier hybrid
+    (E9's complexity comparison): certificates are larger (chain digest
+    included), the hybrid keeps unbounded state, but it additionally
+    supports retrospective lookups ({!Resoc_hybrid.A2m.lookup}) that a USIG
+    cannot offer. *)
+
+module A2m = Resoc_hybrid.A2m
+
+include Hybrid_bft.S with type hybrid = A2m.t and type cert = A2m.attestation

@@ -1,0 +1,498 @@
+module Engine = Resoc_des.Engine
+module Hash = Resoc_crypto.Hash
+module Keychain = Resoc_crypto.Keychain
+module Behavior = Resoc_fault.Behavior
+module Register = Resoc_hw.Register
+module Trinc = Resoc_hybrid.Trinc
+module Monotonic = Resoc_hybrid.Usig.Monotonic
+
+type msg =
+  | Request of Types.request
+  | Prepare of { view : int; request : Types.request; cert : Trinc.attestation }
+  | Commit of {
+      view : int;
+      request : Types.request;
+      primary_cert : Trinc.attestation;
+      cert : Trinc.attestation;
+    }
+  | Update of { view : int; upto : int64; state : int64; rid_table : (int * (int * int64)) list }
+  | Activate of { new_view : int }
+  | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
+  | Reply of Types.reply
+
+type config = {
+  f : int;
+  n_clients : int;
+  request_timeout : int;
+  vc_timeout : int;
+  update_period : int;
+  trinc_protection : Register.protection;
+  keychain_master : int64;
+}
+
+let default_config =
+  {
+    f = 1;
+    n_clients = 2;
+    request_timeout = 4000;
+    vc_timeout = 2500;
+    update_period = 2_000;
+    trinc_protection = Register.Secded;
+    keychain_master = 0x17E4C0L;
+  }
+
+let n_replicas config = (2 * config.f) + 1
+let n_active_initial config = config.f + 1
+
+type entry = {
+  request : Types.request;
+  commit_votes : (int, unit) Hashtbl.t;
+  mutable executed : bool;
+}
+
+type replica = {
+  id : int;
+  n : int;
+  f : int;
+  engine : Engine.t;
+  fabric : msg Transport.fabric;
+  config : config;
+  behavior : Behavior.t;
+  app : App.t;
+  trinc : Trinc.t;
+  keychain : Keychain.t;
+  stats : Stats.t;
+  mutable view : int;
+  mutable is_active : bool;
+  mutable transitioned : bool;
+  mutable last_exec_counter : int64;
+  log : (int64, entry) Hashtbl.t;
+  ordered : (Hash.t, unit) Hashtbl.t;
+  pending : (Hash.t, Types.request) Hashtbl.t;
+  rid_table : (int, int * int64) Hashtbl.t;
+  timers : (Hash.t, Engine.handle) Hashtbl.t;
+  mono : Monotonic.checker;
+  baseline_pending : (int, unit) Hashtbl.t;  (* counter resync after transition *)
+  vc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable vc_voted : int;
+  mutable gap_drops : int;
+  mutable last_shipped : int64;
+  repeat_counts : (int * int, int) Hashtbl.t;  (* (client, rid) -> cached-reply resends *)
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  replicas : replica array;
+  clients : msg Client.t array;
+  shared_stats : Stats.t;
+  keychain : Keychain.t;
+}
+
+let message_name = function
+  | Request _ -> "request"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Update _ -> "update"
+  | Activate _ -> "activate"
+  | New_view _ -> "new-view"
+  | Reply _ -> "reply"
+
+let primary_of ~view ~n = view mod n
+
+let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
+
+let replica_ids (r : replica) = List.init r.n Fun.id
+
+(* The replicas that participate in agreement right now: the initial f+1
+   active ones, or everyone after a transition. Activeness is tracked per
+   replica, so views during/after the transition stay consistent. *)
+let active_ids (r : replica) =
+  if r.transitioned then replica_ids r else List.init (r.f + 1) Fun.id
+
+let active_others r = List.filter (fun i -> i <> r.id) (active_ids r)
+
+let passive_ids (r : replica) =
+  if r.transitioned then [] else List.filter (fun i -> i > r.f) (replica_ids r)
+
+(* Fault-free quorum: every active replica (f+1 of f+1). After a
+   transition: f+1 of 2f+1. Either way the count is f+1. *)
+let commit_quorum (r : replica) = r.f + 1
+
+let send (r : replica) ~dst msg =
+  let now = Engine.now r.engine in
+  if not (Behavior.is_crashed r.behavior ~now) then
+    match Behavior.active_strategy r.behavior ~now with
+    | Some Behavior.Silent -> ()
+    | Some (Behavior.Delay d) ->
+      ignore
+        (Engine.schedule r.engine ~delay:d (fun () -> r.fabric.Transport.send ~src:r.id ~dst msg))
+    | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+      r.fabric.Transport.send ~src:r.id ~dst msg
+
+let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+
+let cancel_request_timer r digest =
+  match Hashtbl.find_opt r.timers digest with
+  | Some h ->
+    Engine.cancel h;
+    Hashtbl.remove r.timers digest
+  | None -> ()
+
+(* Any replica that sees a request starve votes to transition/rotate. *)
+let start_vc_timer r digest =
+  if not (Hashtbl.mem r.timers digest) then
+    Hashtbl.replace r.timers digest
+      (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
+           Hashtbl.remove r.timers digest;
+           if Hashtbl.mem r.pending digest then begin
+             (* Escalate past views whose primary never answered: repeated
+                timeouts propose ever-higher views until a live primary is
+                reached. *)
+             let new_view = max r.view r.vc_voted + 1 in
+             r.vc_voted <- new_view;
+             broadcast r ~to_:(replica_ids r) (Activate { new_view })
+           end))
+
+let reply_to_client r (request : Types.request) result =
+  let corrupt =
+    match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+    | Some Behavior.Corrupt_execution -> true
+    | Some _ | None -> false
+  in
+  let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+  send r ~dst:request.Types.client
+    (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
+
+let rec try_execute r =
+  let next = Int64.add r.last_exec_counter 1L in
+  match Hashtbl.find_opt r.log next with
+  | Some ({ executed = false; _ } as e) when Hashtbl.length e.commit_votes >= commit_quorum r ->
+    e.executed <- true;
+    r.last_exec_counter <- next;
+    let request = e.request in
+    let client = request.Types.client and rid = request.Types.rid in
+    let result =
+      match Hashtbl.find_opt r.rid_table client with
+      | Some (last_rid, cached) when rid <= last_rid -> cached
+      | Some _ | None ->
+        let result = App.execute r.app request.Types.payload in
+        Hashtbl.replace r.rid_table client (rid, result);
+        result
+    in
+    let digest = Types.request_digest request in
+    Hashtbl.remove r.pending digest;
+    cancel_request_timer r digest;
+    reply_to_client r request result;
+    Hashtbl.remove r.log (Int64.sub next 256L);
+    try_execute r
+  | Some _ | None -> ()
+
+let attestation_digest digest = Hash.combine (Hash.of_string "cheap-stmt") digest
+
+(* TrInc attestation with counter = exactly previous+1 plays the role of a
+   USIG UI; [Trinc.attest] enforces non-decrease in the hybrid, and
+   verifiers check the +1 step, which rules out both reuse and gaps. *)
+let make_cert r digest =
+  let next = Int64.add (fst (Resoc_hw.Register.read (Trinc.counter_register r.trinc))) 1L in
+  Trinc.attest r.trinc ~new_counter:next ~digest:(attestation_digest digest)
+
+let verify_cert (r : replica) ~digest (a : Trinc.attestation) =
+  Trinc.verify ~key:(Keychain.component r.keychain a.Trinc.signer) a
+  && Hash.equal a.Trinc.digest (attestation_digest digest)
+  && Int64.equal a.Trinc.current (Int64.add a.Trinc.previous 1L)
+
+let continuity_ok r ~signer ~counter =
+  if Hashtbl.mem r.baseline_pending signer then begin
+    (* First attestation since the transition: adopt it as the baseline. *)
+    Hashtbl.remove r.baseline_pending signer;
+    Monotonic.force r.mono ~signer ~counter;
+    true
+  end
+  else
+    match Monotonic.check r.mono ~signer ~counter with
+    | Monotonic.Accept -> true
+    | Monotonic.Replay -> false
+    | Monotonic.Gap _ ->
+      r.gap_drops <- r.gap_drops + 1;
+      false
+
+let note_entry r ~counter ~request ~voter =
+  let entry =
+    match Hashtbl.find_opt r.log counter with
+    | Some e -> e
+    | None ->
+      let e = { request; commit_votes = Hashtbl.create 4; executed = false } in
+      Hashtbl.replace r.log counter e;
+      e
+  in
+  Hashtbl.replace entry.commit_votes voter ();
+  entry
+
+let send_own_commit r ~view ~request ~(primary_cert : Trinc.attestation) =
+  let digest = Types.request_digest request in
+  match make_cert r digest with
+  | Error _ -> ()
+  | Ok cert ->
+    ignore (note_entry r ~counter:primary_cert.Trinc.current ~request ~voter:r.id);
+    broadcast r ~to_:(active_others r) (Commit { view; request; primary_cert; cert });
+    try_execute r
+
+let order_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  if not (Hashtbl.mem r.ordered digest) then
+    match make_cert r digest with
+    | Error _ -> ()
+    | Ok cert ->
+      Hashtbl.replace r.ordered digest ();
+      ignore (note_entry r ~counter:cert.Trinc.current ~request ~voter:r.id);
+      broadcast r ~to_:(active_others r) (Prepare { view = r.view; request; cert });
+      try_execute r
+
+(* Actives ship attested state to the passive set periodically; one sender
+   (the primary) suffices in the fault-free case. *)
+let ship_updates r =
+  if is_primary r && (not r.transitioned) && Int64.compare r.last_exec_counter r.last_shipped > 0
+  then begin
+    r.last_shipped <- r.last_exec_counter;
+    let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+    List.iter
+      (fun dst ->
+        send r ~dst
+          (Update
+             { view = r.view; upto = r.last_exec_counter; state = App.state r.app; rid_table }))
+      (passive_ids r)
+  end
+
+let adopt_new_view r ~view ~base ~state ~rid_table =
+  r.view <- view;
+  r.vc_voted <- max r.vc_voted view;
+  r.transitioned <- true;
+  r.is_active <- true;
+  Hashtbl.reset r.log;
+  Hashtbl.reset r.ordered;
+  App.set_state r.app state;
+  r.last_exec_counter <- base;
+  Hashtbl.reset r.rid_table;
+  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.reset r.timers;
+  List.iter (fun signer -> Hashtbl.replace r.baseline_pending signer ()) (replica_ids r);
+  Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
+
+let become_primary r ~view =
+  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let state = App.state r.app in
+  let base = fst (Resoc_hw.Register.read (Trinc.counter_register r.trinc)) in
+  adopt_new_view r ~view ~base ~state ~rid_table;
+  broadcast r ~to_:(List.filter (fun i -> i <> r.id) (replica_ids r))
+    (New_view { view; base; state; rid_table });
+  let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
+  let pending =
+    List.sort
+      (fun (a : Types.request) b ->
+        compare (a.Types.client, a.Types.rid) (b.Types.client, b.Types.rid))
+      pending
+  in
+  List.iter (order_request r) pending
+
+let on_activate r ~src ~new_view =
+  if new_view > r.view then begin
+    let votes =
+      match Hashtbl.find_opt r.vc_votes new_view with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 4 in
+        Hashtbl.replace r.vc_votes new_view v;
+        v
+    in
+    Hashtbl.replace votes src ();
+    if Hashtbl.length votes >= r.f + 1 then begin
+      if r.vc_voted < new_view then begin
+        r.vc_voted <- new_view;
+        broadcast r ~to_:(replica_ids r) (Activate { new_view })
+      end;
+      if primary_of ~view:new_view ~n:r.n = r.id then begin
+        r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+        become_primary r ~view:new_view
+      end
+    end
+  end
+
+(* A client re-asking for an already-executed request means it could not
+   assemble an f+1 reply quorum — with only f+1 executing replicas, that is
+   evidence one of them is lying (CheapBFT's PANIC case). *)
+let note_repeat r ~client ~rid =
+  let key = (client, rid) in
+  let n = 1 + (match Hashtbl.find_opt r.repeat_counts key with Some n -> n | None -> 0) in
+  Hashtbl.replace r.repeat_counts key n;
+  if n >= 3 && not r.transitioned then begin
+    let new_view = r.view + 1 in
+    if new_view > r.vc_voted then begin
+      r.vc_voted <- new_view;
+      broadcast r ~to_:(replica_ids r) (Activate { new_view })
+    end
+  end
+
+let on_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  let client = request.Types.client in
+  match Hashtbl.find_opt r.rid_table client with
+  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+    note_repeat r ~client ~rid:request.Types.rid;
+    reply_to_client r request cached
+  | Some _ | None ->
+    Hashtbl.replace r.pending digest request;
+    (* Every replica — the primary included — watches the request: in the
+       all-active configuration a single silent active denies the quorum,
+       and someone must call for the transition. *)
+    start_vc_timer r digest;
+    if is_primary r && r.is_active then order_request r request
+    else send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request)
+
+let on_prepare r ~src ~view ~request ~(cert : Trinc.attestation) =
+  if view = r.view && r.is_active && src = primary_of ~view ~n:r.n
+     && cert.Trinc.signer = src
+  then begin
+    let digest = Types.request_digest request in
+    if verify_cert r ~digest cert && continuity_ok r ~signer:src ~counter:cert.Trinc.current
+    then begin
+      Hashtbl.replace r.pending digest request;
+      ignore (note_entry r ~counter:cert.Trinc.current ~request ~voter:src);
+      send_own_commit r ~view ~request ~primary_cert:cert
+    end
+    else if Hashtbl.mem r.pending digest then start_vc_timer r digest
+  end
+
+let on_commit r ~src ~view ~request ~(primary_cert : Trinc.attestation)
+    ~(cert : Trinc.attestation) =
+  if view = r.view && r.is_active && cert.Trinc.signer = src
+     && primary_cert.Trinc.signer = primary_of ~view ~n:r.n
+  then begin
+    let digest = Types.request_digest request in
+    if verify_cert r ~digest primary_cert && verify_cert r ~digest cert
+       && continuity_ok r ~signer:src ~counter:cert.Trinc.current
+    then begin
+      ignore
+        (note_entry r ~counter:primary_cert.Trinc.current ~request
+           ~voter:primary_cert.Trinc.signer);
+      ignore (note_entry r ~counter:primary_cert.Trinc.current ~request ~voter:src);
+      try_execute r
+    end
+  end
+
+let on_update r ~view ~upto ~state ~rid_table =
+  if (not r.is_active) && view >= r.view && Int64.compare upto r.last_exec_counter > 0 then begin
+    r.last_exec_counter <- upto;
+    App.set_state r.app state;
+    Hashtbl.reset r.rid_table;
+    List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+    (* Requests the actives already served are no longer pending here. *)
+    let served (req : Types.request) =
+      match Hashtbl.find_opt r.rid_table req.Types.client with
+      | Some (last_rid, _) -> req.Types.rid <= last_rid
+      | None -> false
+    in
+    let stale =
+      Hashtbl.fold (fun digest req acc -> if served req then digest :: acc else acc) r.pending []
+    in
+    List.iter
+      (fun digest ->
+        Hashtbl.remove r.pending digest;
+        cancel_request_timer r digest)
+      stale
+  end
+
+let on_new_view r ~src ~view ~base ~state ~rid_table =
+  if view > r.view && src = primary_of ~view ~n:r.n then
+    adopt_new_view r ~view ~base ~state ~rid_table
+
+let handle (r : replica) ~src msg =
+  let now = Engine.now r.engine in
+  if not (Behavior.is_crashed r.behavior ~now) then
+    match msg with
+    | Request request -> on_request r request
+    | Prepare { view; request; cert } -> on_prepare r ~src ~view ~request ~cert
+    | Commit { view; request; primary_cert; cert } ->
+      on_commit r ~src ~view ~request ~primary_cert ~cert
+    | Update { view; upto; state; rid_table } -> on_update r ~view ~upto ~state ~rid_table
+    | Activate { new_view } -> on_activate r ~src ~new_view
+    | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
+    | Reply _ -> ()
+
+let make_replica engine fabric config keychain stats ~id ~behavior =
+  {
+    id;
+    n = n_replicas config;
+    f = config.f;
+    engine;
+    fabric;
+    config;
+    behavior;
+    app = App.accumulator ();
+    trinc =
+      Trinc.create ~id ~key:(Keychain.component keychain id) ~protection:config.trinc_protection;
+    keychain;
+    stats;
+    view = 0;
+    is_active = id <= config.f;
+    transitioned = false;
+    last_exec_counter = 0L;
+    log = Hashtbl.create 64;
+    ordered = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    rid_table = Hashtbl.create 8;
+    timers = Hashtbl.create 16;
+    mono = Monotonic.create ();
+    baseline_pending = Hashtbl.create 8;
+    vc_votes = Hashtbl.create 4;
+    vc_voted = 0;
+    gap_drops = 0;
+    last_shipped = 0L;
+    repeat_counts = Hashtbl.create 8;
+  }
+
+let start engine fabric config ?behaviors () =
+  let n = n_replicas config in
+  let behaviors =
+    match behaviors with
+    | Some b ->
+      if Array.length b <> n then invalid_arg "Cheapbft.start: behaviors must cover every replica";
+      b
+    | None -> Array.make n Behavior.honest
+  in
+  if fabric.Transport.n_endpoints < n + config.n_clients then
+    invalid_arg "Cheapbft.start: fabric too small";
+  let keychain = Keychain.create ~master:config.keychain_master ~n in
+  let stats = Stats.create () in
+  let replicas =
+    Array.init n (fun id ->
+        make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id))
+  in
+  Array.iter
+    (fun r ->
+      fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg);
+      Engine.every engine ~period:config.update_period (fun () -> ship_updates r))
+    replicas;
+  let clients =
+    Array.init config.n_clients (fun i ->
+        Client.create engine fabric ~id:(n + i) ~n_replicas:n ~quorum:(config.f + 1)
+          ~retry_timeout:config.request_timeout ~stats
+          ~to_msg:(fun request -> Request request)
+          ~of_msg:(function Reply reply -> Some reply | _ -> None)
+          ())
+  in
+  { engine; config; replicas; clients; shared_stats = stats; keychain }
+
+let submit t ~client ~payload =
+  if client < 0 || client >= Array.length t.clients then
+    invalid_arg "Cheapbft.submit: unknown client";
+  Client.submit t.clients.(client) ~payload
+
+let stats t = t.shared_stats
+
+let view t ~replica = t.replicas.(replica).view
+let replica_state t ~replica = App.state t.replicas.(replica).app
+let active t ~replica = t.replicas.(replica).is_active
+let transitioned t = Array.exists (fun r -> r.transitioned) t.replicas
+let trinc t ~replica = t.replicas.(replica).trinc

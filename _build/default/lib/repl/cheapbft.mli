@@ -1,0 +1,70 @@
+(** CheapBFT-style resource-efficient BFT (Kapitza et al., refs [40]/[59]).
+
+    The third hybrid-anchored design point: in the fault-free case only
+    **f+1 active** replicas execute requests (certified by TrInc trusted
+    counters, {!Resoc_hybrid.Trinc}), while **f passive** replicas merely
+    apply attested state updates — saving both execution and agreement
+    cost. Any suspicion (a request timing out) triggers a *transition* that
+    activates the passive replicas and continues as a full 2f+1 group with
+    f+1 quorums (MinBFT-equivalent), evicting the primary if needed.
+
+    Simplifications (documented in DESIGN.md): once transitioned, the group
+    stays in the all-active configuration (no switch-back), and the
+    transition reuses the same simplified state transfer as the other
+    protocols. *)
+
+module Hash = Resoc_crypto.Hash
+module Behavior = Resoc_fault.Behavior
+module Register = Resoc_hw.Register
+module Trinc = Resoc_hybrid.Trinc
+
+type msg =
+  | Request of Types.request
+  | Prepare of { view : int; request : Types.request; cert : Trinc.attestation }
+  | Commit of {
+      view : int;
+      request : Types.request;
+      primary_cert : Trinc.attestation;
+      cert : Trinc.attestation;
+    }
+  | Update of { view : int; upto : int64; state : int64; rid_table : (int * (int * int64)) list }
+      (** Attested state shipping to passive replicas. *)
+  | Activate of { new_view : int }
+      (** Transition vote: activate the passive set / rotate the primary. *)
+  | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
+  | Reply of Types.reply
+
+type config = {
+  f : int;  (** The group has 2f+1 replicas, f+1 of them initially active. *)
+  n_clients : int;
+  request_timeout : int;
+  vc_timeout : int;
+  update_period : int;  (** How often actives ship state to passives. *)
+  trinc_protection : Register.protection;
+  keychain_master : int64;
+}
+
+val default_config : config
+
+val n_replicas : config -> int
+val n_active_initial : config -> int
+
+type t
+
+val start :
+  Resoc_des.Engine.t -> msg Transport.fabric -> config -> ?behaviors:Behavior.t array ->
+  unit -> t
+
+val submit : t -> client:int -> payload:int64 -> unit
+val stats : t -> Stats.t
+
+val view : t -> replica:int -> int
+val replica_state : t -> replica:int -> int64
+
+val active : t -> replica:int -> bool
+val transitioned : t -> bool
+(** Whether the passive set has been activated. *)
+
+val trinc : t -> replica:int -> Trinc.t
+
+val message_name : msg -> string

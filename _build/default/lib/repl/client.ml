@@ -1,0 +1,139 @@
+module Engine = Resoc_des.Engine
+module Histogram = Resoc_des.Metrics.Histogram
+
+type 'msg inflight = {
+  request : Types.request;
+  submitted_at : int;
+  votes : (int, int64) Hashtbl.t;
+  mutable timer : Engine.handle option;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  fabric : 'msg Transport.fabric;
+  id : int;
+  n_replicas : int;
+  quorum : int;
+  retry_timeout : int;
+  stats : Stats.t;
+  to_msg : Types.request -> 'msg;
+  on_complete : (Types.reply -> unit) option;
+  mutable next_rid : int;
+  mutable inflight : 'msg inflight option;
+  mutable queue : int64 list;  (* reversed *)
+  mutable stopped : bool;
+}
+
+let replica_ids t = List.init t.n_replicas Fun.id
+
+let cancel_timer fl =
+  match fl.timer with
+  | Some h ->
+    Engine.cancel h;
+    fl.timer <- None
+  | None -> ()
+
+let rec arm_timer t fl =
+  fl.timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.retry_timeout (fun () ->
+           let still_inflight = match t.inflight with Some cur -> cur == fl | None -> false in
+           if (not t.stopped) && still_inflight then begin
+             t.stats.Stats.retransmissions <- t.stats.Stats.retransmissions + 1;
+             Transport.broadcast t.fabric ~src:t.id ~to_:(replica_ids t) (t.to_msg fl.request);
+             arm_timer t fl
+           end))
+
+let start_request t payload =
+  t.next_rid <- t.next_rid + 1;
+  let request = Types.make_request ~client:t.id ~rid:t.next_rid ~payload in
+  let fl =
+    { request; submitted_at = Engine.now t.engine; votes = Hashtbl.create 8; timer = None }
+  in
+  t.inflight <- Some fl;
+  t.stats.Stats.submitted <- t.stats.Stats.submitted + 1;
+  Transport.broadcast t.fabric ~src:t.id ~to_:(replica_ids t) (t.to_msg request);
+  arm_timer t fl
+
+let complete t fl (reply : Types.reply) =
+  cancel_timer fl;
+  t.inflight <- None;
+  t.stats.Stats.completed <- t.stats.Stats.completed + 1;
+  Histogram.add t.stats.Stats.latency (float_of_int (Engine.now t.engine - fl.submitted_at));
+  let dissent =
+    Hashtbl.fold
+      (fun _ result acc -> if Int64.equal result reply.Types.result then acc else acc + 1)
+      fl.votes 0
+  in
+  t.stats.Stats.wrong_replies <- t.stats.Stats.wrong_replies + dissent;
+  (match t.on_complete with Some k -> k reply | None -> ());
+  match t.queue with
+  | [] -> ()
+  | payload :: rest ->
+    (* queue is reversed; take from the tail for FIFO order *)
+    let rec split acc = function
+      | [ last ] -> (last, List.rev acc)
+      | x :: rest -> split (x :: acc) rest
+      | [] -> assert false
+    in
+    let next, remaining = split [] (payload :: rest) in
+    t.queue <- List.rev remaining;
+    start_request t next
+
+let on_reply t (reply : Types.reply) =
+  match t.inflight with
+  | Some fl when reply.Types.rid = fl.request.Types.rid ->
+    Hashtbl.replace fl.votes reply.Types.replica reply.Types.result;
+    let matching =
+      Hashtbl.fold
+        (fun _ result acc -> if Int64.equal result reply.Types.result then acc + 1 else acc)
+        fl.votes 0
+    in
+    if matching >= t.quorum then complete t fl reply
+  | Some _ | None -> ()
+
+let create engine fabric ~id ~n_replicas ~quorum ~retry_timeout ~stats ~to_msg ~of_msg
+    ?on_complete () =
+  if quorum <= 0 then invalid_arg "Client.create: quorum must be positive";
+  if retry_timeout <= 0 then invalid_arg "Client.create: timeout must be positive";
+  let t =
+    {
+      engine;
+      fabric;
+      id;
+      n_replicas;
+      quorum;
+      retry_timeout;
+      stats;
+      to_msg;
+      on_complete;
+      next_rid = 0;
+      inflight = None;
+      queue = [];
+      stopped = false;
+    }
+  in
+  fabric.Transport.set_handler id (fun ~src:_ msg ->
+      if not t.stopped then
+        match of_msg msg with Some reply -> on_reply t reply | None -> ());
+  t
+
+let submit t ~payload =
+  if not t.stopped then
+    match t.inflight with
+    | None -> start_request t payload
+    | Some _ -> t.queue <- payload :: t.queue
+
+let id t = t.id
+
+let outstanding t = t.inflight <> None
+
+let queued t = List.length t.queue
+
+let shutdown t =
+  t.stopped <- true;
+  match t.inflight with
+  | Some fl ->
+    cancel_timer fl;
+    t.inflight <- None
+  | None -> ()

@@ -1,0 +1,625 @@
+module Engine = Resoc_des.Engine
+module Hash = Resoc_crypto.Hash
+module Mac = Resoc_crypto.Mac
+module Keychain = Resoc_crypto.Keychain
+module Behavior = Resoc_fault.Behavior
+module Usig = Resoc_hybrid.Usig
+module Register = Resoc_hw.Register
+
+module type HYBRID = sig
+  type t
+  type cert
+
+  val protocol_name : string
+  val make : id:int -> key:Mac.key -> protection:Register.protection -> t
+  val create_cert : t -> Hash.t -> (cert, string) result
+  val verify_cert : key:Mac.key -> digest:Hash.t -> cert -> bool
+  val cert_signer : cert -> int
+  val cert_counter : cert -> int64
+  val current_counter : t -> int64
+end
+
+module type S = sig
+  type hybrid
+  type cert
+
+  type msg =
+    | Request of Types.request
+    | Prepare of { view : int; requests : Types.request list; cert : cert }
+    | Commit of { view : int; requests : Types.request list; primary_cert : cert; cert : cert }
+    | Reply of Types.reply
+    | Req_view_change of { new_view : int }
+    | New_view of {
+        view : int;
+        base : int64;
+        state : int64;
+        rid_table : (int * (int * int64)) list;
+      }
+
+  type config = {
+    f : int;
+    n_clients : int;
+    request_timeout : int;
+    vc_timeout : int;
+    usig_protection : Register.protection;
+    keychain_master : int64;
+    batch_window : int;
+    max_batch : int;
+  }
+
+  val default_config : config
+  val n_replicas : config -> int
+
+  type t
+
+  val start :
+    Resoc_des.Engine.t ->
+    msg Transport.fabric ->
+    config ->
+    ?behaviors:Behavior.t array ->
+    unit ->
+    t
+
+  val submit : t -> client:int -> payload:int64 -> unit
+  val stats : t -> Stats.t
+  val view : t -> replica:int -> int
+  val replica_state : t -> replica:int -> int64
+  val set_replica_state : t -> replica:int -> int64 -> unit
+  val hybrid : t -> replica:int -> hybrid
+  val cert_gap_drops : t -> int
+  val replica_online : t -> replica:int -> bool
+  val set_offline : t -> replica:int -> unit
+  val set_online : t -> replica:int -> unit
+  val message_name : msg -> string
+end
+
+module Make (H : HYBRID) = struct
+  type hybrid = H.t
+  type cert = H.cert
+
+  type msg =
+    | Request of Types.request
+    | Prepare of { view : int; requests : Types.request list; cert : cert }
+    | Commit of { view : int; requests : Types.request list; primary_cert : cert; cert : cert }
+    | Reply of Types.reply
+    | Req_view_change of { new_view : int }
+    | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
+
+  type config = {
+    f : int;
+    n_clients : int;
+    request_timeout : int;
+    vc_timeout : int;
+    usig_protection : Register.protection;
+    keychain_master : int64;
+    batch_window : int;  (* 0 = order immediately; >0 = buffer this long *)
+    max_batch : int;  (* flush early when the buffer reaches this size *)
+  }
+
+  let default_config =
+    {
+      f = 1;
+      n_clients = 2;
+      request_timeout = 4000;
+      vc_timeout = 2500;
+      usig_protection = Register.Secded;
+      keychain_master = 0xC0FFEEL;
+      batch_window = 0;
+      max_batch = 16;
+    }
+
+  let n_replicas config = (2 * config.f) + 1
+
+  type entry = {
+    requests : Types.request list;  (* the batch bound to this counter *)
+    commit_votes : (int, unit) Hashtbl.t;  (* replicas vouching for this counter *)
+    mutable executed : bool;
+  }
+
+  type replica = {
+    id : int;
+    n : int;
+    f : int;
+    engine : Engine.t;
+    fabric : msg Transport.fabric;
+    config : config;
+    behavior : Behavior.t;
+    app : App.t;
+    hybrid_instance : H.t;
+    keychain : Keychain.t;
+    stats : Stats.t;
+    mutable online : bool;
+    mutable view : int;
+    mutable last_exec_counter : int64;  (* primary counters up to here executed *)
+    log : (int64, entry) Hashtbl.t;  (* primary counter -> entry (current view) *)
+    ordered : (Hash.t, unit) Hashtbl.t;  (* digests this primary already assigned *)
+    pending : (Hash.t, Types.request) Hashtbl.t;
+    rid_table : (int, int * int64) Hashtbl.t;
+    timers : (Hash.t, Engine.handle) Hashtbl.t;
+    mono : Usig.Monotonic.checker;  (* per-sender UI continuity *)
+    baseline_pending : (int, unit) Hashtbl.t;  (* resync after rejoin *)
+    vc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+    mutable vc_voted : int;
+    mutable own_commits_sent : int;
+    mutable gap_drops : int;
+    mutable batch_buffer : Types.request list;  (* reversed; primary only *)
+    mutable flush_scheduled : bool;
+  }
+
+  type t = {
+    engine : Engine.t;
+    fabric : msg Transport.fabric;
+    config : config;
+    replicas : replica array;
+    clients : msg Client.t array;
+    shared_stats : Stats.t;
+    keychain : Keychain.t;
+  }
+
+  (* Executed entries older than this many slots are pruned: checkpointing
+     reduced to its garbage-collection effect (certificates are not needed
+     retrospectively in this simulation; see DESIGN.md). *)
+  let log_retention = 256L
+
+  let message_name = function
+    | Request _ -> "request"
+    | Prepare _ -> "prepare"
+    | Commit _ -> "commit"
+    | Reply _ -> "reply"
+    | Req_view_change _ -> "req-view-change"
+    | New_view _ -> "new-view"
+
+  let primary_of ~view ~n = view mod n
+
+  let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
+
+  let replica_ids (r : replica) = List.init r.n Fun.id
+
+  let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
+
+  let send (r : replica) ~dst msg =
+    let now = Engine.now r.engine in
+    if r.online && not (Behavior.is_crashed r.behavior ~now) then
+      match Behavior.active_strategy r.behavior ~now with
+      | Some Behavior.Silent -> ()
+      | Some (Behavior.Delay d) ->
+        ignore
+          (Engine.schedule r.engine ~delay:d (fun () -> r.fabric.Transport.send ~src:r.id ~dst msg))
+      | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+        r.fabric.Transport.send ~src:r.id ~dst msg
+
+  let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+
+  let cancel_request_timer r digest =
+    match Hashtbl.find_opt r.timers digest with
+    | Some h ->
+      Engine.cancel h;
+      Hashtbl.remove r.timers digest
+    | None -> ()
+
+  let start_vc_timer r digest =
+    if not (Hashtbl.mem r.timers digest) then
+      Hashtbl.replace r.timers digest
+        (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
+             Hashtbl.remove r.timers digest;
+             if r.online && Hashtbl.mem r.pending digest then begin
+               (* Escalate past views whose primary never answered. *)
+               let new_view = max r.view r.vc_voted + 1 in
+               r.vc_voted <- new_view;
+               broadcast r ~to_:(replica_ids r) (Req_view_change { new_view })
+             end))
+
+  let reply_to_client r (request : Types.request) result =
+    let corrupt =
+      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+      | Some Behavior.Corrupt_execution -> true
+      | Some _ | None -> false
+    in
+    let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+    send r ~dst:request.Types.client
+      (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
+
+  let execute_one r (request : Types.request) =
+    let client = request.Types.client and rid = request.Types.rid in
+    let result =
+      match Hashtbl.find_opt r.rid_table client with
+      | Some (last_rid, cached) when rid <= last_rid -> cached
+      | Some _ | None ->
+        let result = App.execute r.app request.Types.payload in
+        Hashtbl.replace r.rid_table client (rid, result);
+        result
+    in
+    let digest = Types.request_digest request in
+    Hashtbl.remove r.pending digest;
+    cancel_request_timer r digest;
+    reply_to_client r request result
+
+  let rec try_execute r =
+    let next = Int64.add r.last_exec_counter 1L in
+    match Hashtbl.find_opt r.log next with
+    | Some ({ executed = false; _ } as e) when Hashtbl.length e.commit_votes >= r.f + 1 ->
+      e.executed <- true;
+      r.last_exec_counter <- next;
+      List.iter (execute_one r) e.requests;
+      Hashtbl.remove r.log (Int64.sub next log_retention);
+      try_execute r
+    | Some _ | None -> ()
+
+  (* UI continuity: exact next counter per sender, with a one-shot baseline
+     resync after this replica rejoined (it missed intermediate counters). *)
+  let continuity_ok r ~signer ~counter =
+    if Hashtbl.mem r.baseline_pending signer then begin
+      (* First UI from this sender since we (re)joined: adopt its counter as
+         the new baseline — we cannot tell which counters we missed. *)
+      Hashtbl.remove r.baseline_pending signer;
+      Usig.Monotonic.force r.mono ~signer ~counter;
+      true
+    end
+    else
+      match Usig.Monotonic.check r.mono ~signer ~counter with
+      | Usig.Monotonic.Accept -> true
+      | Usig.Monotonic.Replay -> false
+      | Usig.Monotonic.Gap _ ->
+        r.gap_drops <- r.gap_drops + 1;
+        false
+
+  let verify_cert (r : replica) ~digest cert =
+    H.verify_cert ~key:(Keychain.component r.keychain (H.cert_signer cert)) ~digest cert
+
+  (* One certificate covers a whole batch: the digest chains the requests in
+     order, so verifiers agree on both membership and sequence. *)
+  let batch_digest requests =
+    List.fold_left
+      (fun acc req -> Hash.combine acc (Types.request_digest req))
+      (Hash.of_string "batch") requests
+
+  (* Record the authenticated (request, counter) binding from the primary and
+     add [voter]'s commit vote. *)
+  let note_entry r ~counter ~requests ~voter =
+    let entry =
+      match Hashtbl.find_opt r.log counter with
+      | Some e -> e
+      | None ->
+        let e = { requests; commit_votes = Hashtbl.create 4; executed = false } in
+        Hashtbl.replace r.log counter e;
+        e
+    in
+    Hashtbl.replace entry.commit_votes voter ();
+    entry
+
+  let send_own_commit r ~view ~requests ~primary_cert =
+    match H.create_cert r.hybrid_instance (batch_digest requests) with
+    | Error _ -> ()  (* our hybrid fail-stopped; we cannot vouch *)
+    | Ok cert ->
+      r.own_commits_sent <- r.own_commits_sent + 1;
+      ignore (note_entry r ~counter:(H.cert_counter primary_cert) ~requests ~voter:r.id);
+      broadcast r ~to_:(others r) (Commit { view; requests; primary_cert; cert });
+      try_execute r
+
+  (* Order one batch under the next certificate. *)
+  let order_batch (r : replica) requests =
+    let requests =
+      List.filter (fun req -> not (Hashtbl.mem r.ordered (Types.request_digest req))) requests
+    in
+    if requests <> [] then begin
+      match H.create_cert r.hybrid_instance (batch_digest requests) with
+      | Error _ -> ()  (* hybrid fail-stop: the group will time out on us *)
+      | Ok cert ->
+        List.iter (fun req -> Hashtbl.replace r.ordered (Types.request_digest req) ()) requests;
+        ignore (note_entry r ~counter:(H.cert_counter cert) ~requests ~voter:r.id);
+        let equivocating =
+          match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+          | Some Behavior.Equivocate -> true
+          | Some _ | None -> false
+        in
+        if equivocating then begin
+          (* The primary *wants* to equivocate, but the hybrid refuses to
+             reuse a counter: the best it can do is certify a second, fake
+             batch with the *next* counter and send each half a different
+             one. Both are uniquely ordered; verifiers converge on both. *)
+          let sample = List.hd requests in
+          let fake =
+            [ Types.make_request ~client:sample.Types.client
+                ~rid:(sample.Types.rid + 1_000_000) ~payload:0L ]
+          in
+          match H.create_cert r.hybrid_instance (batch_digest fake) with
+          | Error _ -> broadcast r ~to_:(others r) (Prepare { view = r.view; requests; cert })
+          | Ok fake_cert ->
+            ignore (note_entry r ~counter:(H.cert_counter fake_cert) ~requests:fake ~voter:r.id);
+            let backups = others r in
+            let half = List.length backups / 2 in
+            List.iteri
+              (fun i dst ->
+                if i < half then begin
+                  send r ~dst (Prepare { view = r.view; requests = fake; cert = fake_cert });
+                  send r ~dst (Prepare { view = r.view; requests; cert })
+                end
+                else begin
+                  send r ~dst (Prepare { view = r.view; requests; cert });
+                  send r ~dst (Prepare { view = r.view; requests = fake; cert = fake_cert })
+                end)
+              backups
+        end
+        else broadcast r ~to_:(others r) (Prepare { view = r.view; requests; cert });
+        try_execute r
+    end
+
+  let flush_batch (r : replica) =
+    r.flush_scheduled <- false;
+    let batch = List.rev r.batch_buffer in
+    r.batch_buffer <- [];
+    order_batch r batch
+
+  (* The primary's ingress: order immediately (batch_window = 0) or buffer
+     until the window closes / the batch fills. *)
+  let order_request (r : replica) (request : Types.request) =
+    if r.config.batch_window <= 0 then order_batch r [ request ]
+    else begin
+      r.batch_buffer <- request :: r.batch_buffer;
+      if List.length r.batch_buffer >= r.config.max_batch then flush_batch r
+      else if not r.flush_scheduled then begin
+        r.flush_scheduled <- true;
+        ignore
+          (Engine.schedule r.engine ~delay:r.config.batch_window (fun () ->
+               if r.flush_scheduled then flush_batch r))
+      end
+    end
+
+  let adopt_new_view r ~view ~base ~state ~rid_table =
+    r.view <- view;
+    r.vc_voted <- max r.vc_voted view;
+    Hashtbl.reset r.log;
+    Hashtbl.reset r.ordered;
+    App.set_state r.app state;
+    r.last_exec_counter <- base;
+    Hashtbl.reset r.rid_table;
+    List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+    Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+    Hashtbl.reset r.timers;
+    r.batch_buffer <- [];
+    r.flush_scheduled <- false;
+    (* Counter expectations restart from whatever peers send next. *)
+    List.iter (fun peer -> Hashtbl.replace r.baseline_pending peer ()) (replica_ids r);
+    Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
+
+  let become_primary r ~view =
+    let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+    let state = App.state r.app in
+    let base = H.current_counter r.hybrid_instance in
+    adopt_new_view r ~view ~base ~state ~rid_table;
+    broadcast r ~to_:(others r) (New_view { view; base; state; rid_table });
+    let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
+    let pending =
+      List.sort
+        (fun (a : Types.request) b ->
+          compare (a.Types.client, a.Types.rid) (b.Types.client, b.Types.rid))
+        pending
+    in
+    let rec chunks = function
+      | [] -> ()
+      | rest ->
+        let rec take k acc = function
+          | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        let batch, tl = take (max 1 r.config.max_batch) [] rest in
+        order_batch r batch;
+        chunks tl
+    in
+    chunks pending
+
+  let on_req_view_change r ~src ~new_view =
+    if new_view > r.view then begin
+      let votes =
+        match Hashtbl.find_opt r.vc_votes new_view with
+        | Some v -> v
+        | None ->
+          let v = Hashtbl.create 4 in
+          Hashtbl.replace r.vc_votes new_view v;
+          v
+      in
+      Hashtbl.replace votes src ();
+      let voters = Hashtbl.length votes in
+      if voters >= r.f + 1 then begin
+        if r.vc_voted < new_view then begin
+          r.vc_voted <- new_view;
+          broadcast r ~to_:(replica_ids r) (Req_view_change { new_view })
+        end;
+        if primary_of ~view:new_view ~n:r.n = r.id then begin
+          r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+          become_primary r ~view:new_view
+        end
+      end
+    end
+
+  let on_request r (request : Types.request) =
+    let digest = Types.request_digest request in
+    let client = request.Types.client in
+    match Hashtbl.find_opt r.rid_table client with
+    | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+      reply_to_client r request cached
+    | Some _ | None ->
+      Hashtbl.replace r.pending digest request;
+      if is_primary r then order_request r request
+      else begin
+        send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
+        start_vc_timer r digest
+      end
+
+  let on_prepare r ~src ~view ~requests ~cert =
+    if view = r.view && src = primary_of ~view ~n:r.n && H.cert_signer cert = src
+       && requests <> []
+    then begin
+      if verify_cert r ~digest:(batch_digest requests) cert
+         && continuity_ok r ~signer:src ~counter:(H.cert_counter cert)
+      then begin
+        List.iter
+          (fun req -> Hashtbl.replace r.pending (Types.request_digest req) req)
+          requests;
+        ignore (note_entry r ~counter:(H.cert_counter cert) ~requests ~voter:src);
+        send_own_commit r ~view ~requests ~primary_cert:cert
+      end
+      else
+        (* Bad or gapped certificate from the primary: keep pressure on the
+           timers of whichever requests we already know. *)
+        List.iter
+          (fun req ->
+            let digest = Types.request_digest req in
+            if Hashtbl.mem r.pending digest then start_vc_timer r digest)
+          requests
+    end
+
+  let on_commit r ~src ~view ~requests ~primary_cert ~cert =
+    if view = r.view && H.cert_signer cert = src
+       && H.cert_signer primary_cert = primary_of ~view ~n:r.n
+       && requests <> []
+    then begin
+      let digest = batch_digest requests in
+      if verify_cert r ~digest primary_cert && verify_cert r ~digest cert
+         && continuity_ok r ~signer:src ~counter:(H.cert_counter cert)
+      then begin
+        (* The primary's certificate authenticates the (batch, counter)
+           binding even if we never saw the prepare directly. *)
+        ignore
+          (note_entry r
+             ~counter:(H.cert_counter primary_cert)
+             ~requests
+             ~voter:(H.cert_signer primary_cert));
+        ignore (note_entry r ~counter:(H.cert_counter primary_cert) ~requests ~voter:src);
+        try_execute r
+      end
+    end
+
+  let on_new_view r ~src ~view ~base ~state ~rid_table =
+    if view > r.view && src = primary_of ~view ~n:r.n then begin
+      adopt_new_view r ~view ~base ~state ~rid_table
+    end
+
+  let handle (r : replica) ~src msg =
+    let now = Engine.now r.engine in
+    if r.online && not (Behavior.is_crashed r.behavior ~now) then
+      match msg with
+      | Request request -> on_request r request
+      | Prepare { view; requests; cert } -> on_prepare r ~src ~view ~requests ~cert
+      | Commit { view; requests; primary_cert; cert } ->
+        on_commit r ~src ~view ~requests ~primary_cert ~cert
+      | Req_view_change { new_view } -> on_req_view_change r ~src ~new_view
+      | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
+      | Reply _ -> ()
+
+  let make_replica engine fabric config keychain stats ~id ~behavior =
+    let hybrid_instance =
+      H.make ~id ~key:(Keychain.component keychain id) ~protection:config.usig_protection
+    in
+    {
+      id;
+      n = n_replicas config;
+      f = config.f;
+      engine;
+      fabric;
+      config;
+      behavior;
+      app = App.accumulator ();
+      hybrid_instance;
+      keychain;
+      stats;
+      online = true;
+      view = 0;
+      last_exec_counter = 0L;
+      log = Hashtbl.create 64;
+      ordered = Hashtbl.create 64;
+      pending = Hashtbl.create 16;
+      rid_table = Hashtbl.create 8;
+      timers = Hashtbl.create 16;
+      mono = Usig.Monotonic.create ();
+      baseline_pending = Hashtbl.create 8;
+      vc_votes = Hashtbl.create 4;
+      vc_voted = 0;
+      own_commits_sent = 0;
+      gap_drops = 0;
+      batch_buffer = [];
+      flush_scheduled = false;
+    }
+
+  let start engine fabric config ?behaviors () =
+    let n = n_replicas config in
+    let behaviors =
+      match behaviors with
+      | Some b ->
+        if Array.length b <> n then invalid_arg "Minbft.start: behaviors must cover every replica";
+        b
+      | None -> Array.make n Behavior.honest
+    in
+    if fabric.Transport.n_endpoints < n + config.n_clients then
+      invalid_arg "Minbft.start: fabric too small";
+    let keychain = Keychain.create ~master:config.keychain_master ~n in
+    let stats = Stats.create () in
+    let replicas =
+      Array.init n (fun id ->
+          make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id))
+    in
+    Array.iter
+      (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+      replicas;
+    let clients =
+      Array.init config.n_clients (fun i ->
+          Client.create engine fabric ~id:(n + i) ~n_replicas:n ~quorum:(config.f + 1)
+            ~retry_timeout:config.request_timeout ~stats
+            ~to_msg:(fun request -> Request request)
+            ~of_msg:(function Reply reply -> Some reply | _ -> None)
+            ())
+    in
+    { engine; fabric; config; replicas; clients; shared_stats = stats; keychain }
+
+  let submit t ~client ~payload =
+    if client < 0 || client >= Array.length t.clients then invalid_arg "Minbft.submit: unknown client";
+    Client.submit t.clients.(client) ~payload
+
+  let stats t = t.shared_stats
+
+  let view t ~replica = t.replicas.(replica).view
+
+  let replica_state t ~replica = App.state t.replicas.(replica).app
+
+  let set_replica_state t ~replica state = App.set_state t.replicas.(replica).app state
+
+  let hybrid t ~replica = t.replicas.(replica).hybrid_instance
+
+  let cert_gap_drops t = Array.fold_left (fun acc r -> acc + r.gap_drops) 0 t.replicas
+
+  let replica_online t ~replica = t.replicas.(replica).online
+
+  let set_offline t ~replica =
+    let r = t.replicas.(replica) in
+    r.online <- false;
+    Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+    Hashtbl.reset r.timers
+
+  let set_online t ~replica =
+    let r = t.replicas.(replica) in
+    if not r.online then begin
+      r.online <- true;
+      let best = ref None in
+      Array.iter
+        (fun peer ->
+          if peer.id <> r.id && peer.online then
+            match !best with
+            | Some b when Int64.compare b.last_exec_counter peer.last_exec_counter >= 0 -> ()
+            | Some _ | None -> best := Some peer)
+        t.replicas;
+      match !best with
+      | Some peer ->
+        r.view <- peer.view;
+        r.vc_voted <- max r.vc_voted peer.view;
+        r.last_exec_counter <- peer.last_exec_counter;
+        App.set_state r.app (App.state peer.app);
+        Hashtbl.reset r.rid_table;
+        Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
+        Hashtbl.reset r.log;
+        Hashtbl.reset r.ordered;
+        Hashtbl.reset r.pending;
+        List.iter (fun p -> Hashtbl.replace r.baseline_pending p ()) (replica_ids r)
+      | None -> ()
+    end
+
+end

@@ -1,0 +1,367 @@
+module Engine = Resoc_des.Engine
+module Hash = Resoc_crypto.Hash
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Accept of { term : int; seq : int; request : Types.request }
+  | Accepted of { term : int; seq : int }
+  | Commit of { term : int; seq : int }
+  | Reply of Types.reply
+  | Term_change of { new_term : int; last_exec : int }
+  | New_term of { term : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+
+type config = { f : int; n_clients : int; request_timeout : int; election_timeout : int }
+
+let default_config = { f = 1; n_clients = 2; request_timeout = 4000; election_timeout = 2500 }
+
+let n_replicas config = (2 * config.f) + 1
+
+type entry = {
+  request : Types.request;
+  acks : (int, unit) Hashtbl.t;
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+type replica = {
+  id : int;
+  n : int;
+  f : int;
+  engine : Engine.t;
+  fabric : msg Transport.fabric;
+  config : config;
+  behavior : Behavior.t;
+  app : App.t;
+  stats : Stats.t;
+  mutable online : bool;
+  mutable term : int;
+  mutable next_seq : int;
+  mutable last_exec : int;
+  log : (int, entry) Hashtbl.t;
+  ordered : (Hash.t, unit) Hashtbl.t;
+  pending : (Hash.t, Types.request) Hashtbl.t;
+  rid_table : (int, int * int64) Hashtbl.t;
+  timers : (Hash.t, Engine.handle) Hashtbl.t;
+  election_votes : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable voted : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  replicas : replica array;
+  clients : msg Client.t array;
+  shared_stats : Stats.t;
+}
+
+let message_name = function
+  | Request _ -> "request"
+  | Accept _ -> "accept"
+  | Accepted _ -> "accepted"
+  | Commit _ -> "commit"
+  | Reply _ -> "reply"
+  | Term_change _ -> "term-change"
+  | New_term _ -> "new-term"
+
+let leader_of ~term ~n = term mod n
+
+let is_leader (r : replica) = leader_of ~term:r.term ~n:r.n = r.id
+
+let replica_ids (r : replica) = List.init r.n Fun.id
+
+let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
+
+(* Crash faults only: Byzantine strategies other than Silent degrade to
+   honest behaviour here (the protocol has no notion of them), except
+   Corrupt_execution which corrupts replies — unchecked by crash clients,
+   the vulnerability E4 makes visible. *)
+let send (r : replica) ~dst msg =
+  let now = Engine.now r.engine in
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
+    match Behavior.active_strategy r.behavior ~now with
+    | Some Behavior.Silent -> ()
+    | Some (Behavior.Delay d) ->
+      ignore
+        (Engine.schedule r.engine ~delay:d (fun () -> r.fabric.Transport.send ~src:r.id ~dst msg))
+    | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+      r.fabric.Transport.send ~src:r.id ~dst msg
+
+let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+
+let cancel_request_timer r digest =
+  match Hashtbl.find_opt r.timers digest with
+  | Some h ->
+    Engine.cancel h;
+    Hashtbl.remove r.timers digest
+  | None -> ()
+
+let start_election_timer r digest =
+  if not (Hashtbl.mem r.timers digest) then
+    Hashtbl.replace r.timers digest
+      (Engine.schedule r.engine ~delay:r.config.election_timeout (fun () ->
+           Hashtbl.remove r.timers digest;
+           if r.online && Hashtbl.mem r.pending digest then begin
+             (* Escalate past terms whose leader never answered. *)
+             let new_term = max r.term r.voted + 1 in
+             r.voted <- new_term;
+             broadcast r ~to_:(replica_ids r) (Term_change { new_term; last_exec = r.last_exec })
+           end))
+
+let reply_to_client r (request : Types.request) result =
+  let corrupt =
+    match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+    | Some Behavior.Corrupt_execution -> true
+    | Some _ | None -> false
+  in
+  let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+  send r ~dst:request.Types.client
+    (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
+
+let log_retention = 256
+
+let rec try_execute r =
+  match Hashtbl.find_opt r.log (r.last_exec + 1) with
+  | Some ({ committed = true; executed = false; _ } as e) ->
+    e.executed <- true;
+    r.last_exec <- r.last_exec + 1;
+    let request = e.request in
+    let client = request.Types.client and rid = request.Types.rid in
+    let result =
+      match Hashtbl.find_opt r.rid_table client with
+      | Some (last_rid, cached) when rid <= last_rid -> cached
+      | Some _ | None ->
+        let result = App.execute r.app request.Types.payload in
+        Hashtbl.replace r.rid_table client (rid, result);
+        result
+    in
+    let digest = Types.request_digest request in
+    Hashtbl.remove r.pending digest;
+    cancel_request_timer r digest;
+    reply_to_client r request result;
+    Hashtbl.remove r.log (r.last_exec - log_retention);
+    try_execute r
+  | Some _ | None -> ()
+
+let order_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  if not (Hashtbl.mem r.ordered digest) then begin
+    let seq = r.next_seq in
+    r.next_seq <- r.next_seq + 1;
+    Hashtbl.replace r.ordered digest ();
+    let e = { request; acks = Hashtbl.create 4; committed = false; executed = false } in
+    Hashtbl.replace r.log seq e;
+    Hashtbl.replace e.acks r.id ();
+    broadcast r ~to_:(others r) (Accept { term = r.term; seq; request })
+  end
+
+let adopt_new_term r ~term ~start_seq ~state ~rid_table =
+  r.term <- term;
+  r.voted <- max r.voted term;
+  Hashtbl.reset r.log;
+  Hashtbl.reset r.ordered;
+  App.set_state r.app state;
+  r.last_exec <- start_seq - 1;
+  r.next_seq <- start_seq;
+  Hashtbl.reset r.rid_table;
+  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.reset r.timers;
+  Hashtbl.iter (fun digest _ -> start_election_timer r digest) r.pending
+
+let become_leader r ~term ~start_seq =
+  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let state = App.state r.app in
+  adopt_new_term r ~term ~start_seq ~state ~rid_table;
+  broadcast r ~to_:(others r) (New_term { term; start_seq; state; rid_table });
+  let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
+  let pending =
+    List.sort
+      (fun (a : Types.request) b ->
+        compare (a.Types.client, a.Types.rid) (b.Types.client, b.Types.rid))
+      pending
+  in
+  List.iter (order_request r) pending
+
+let on_term_change r ~src ~new_term ~last_exec =
+  if new_term > r.term then begin
+    let votes =
+      match Hashtbl.find_opt r.election_votes new_term with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 4 in
+        Hashtbl.replace r.election_votes new_term v;
+        v
+    in
+    Hashtbl.replace votes src last_exec;
+    let voters = Hashtbl.length votes in
+    if voters >= 1 && r.voted < new_term then begin
+      (* Crash model: one timeout report is credible; join immediately. *)
+      r.voted <- new_term;
+      broadcast r ~to_:(replica_ids r) (Term_change { new_term; last_exec = r.last_exec })
+    end;
+    if voters >= r.f + 1 && leader_of ~term:new_term ~n:r.n = r.id then begin
+      let max_exec = Hashtbl.fold (fun _ le acc -> max le acc) votes r.last_exec in
+      r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+      become_leader r ~term:new_term ~start_seq:(max_exec + 1)
+    end
+  end
+
+let on_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  let client = request.Types.client in
+  match Hashtbl.find_opt r.rid_table client with
+  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+    reply_to_client r request cached
+  | Some _ | None ->
+    Hashtbl.replace r.pending digest request;
+    if is_leader r then order_request r request
+    else begin
+      send r ~dst:(leader_of ~term:r.term ~n:r.n) (Request request);
+      start_election_timer r digest
+    end
+
+let on_accept r ~src ~term ~seq ~request =
+  if term = r.term && src = leader_of ~term ~n:r.n && not (is_leader r) then begin
+    Hashtbl.replace r.pending (Types.request_digest request) request;
+    if not (Hashtbl.mem r.log seq) then
+      Hashtbl.replace r.log seq
+        { request; acks = Hashtbl.create 4; committed = false; executed = false };
+    send r ~dst:src (Accepted { term; seq })
+  end
+
+let on_accepted r ~src ~term ~seq =
+  if term = r.term && is_leader r then
+    match Hashtbl.find_opt r.log seq with
+    | Some e when not e.committed ->
+      Hashtbl.replace e.acks src ();
+      if Hashtbl.length e.acks >= r.f + 1 then begin
+        e.committed <- true;
+        broadcast r ~to_:(others r) (Commit { term; seq });
+        try_execute r
+      end
+    | Some _ | None -> ()
+
+let on_commit r ~src ~term ~seq =
+  if term = r.term && src = leader_of ~term ~n:r.n then
+    match Hashtbl.find_opt r.log seq with
+    | Some e ->
+      e.committed <- true;
+      try_execute r
+    | None -> ()
+
+let on_new_term r ~src ~term ~start_seq ~state ~rid_table =
+  if term > r.term && src = leader_of ~term ~n:r.n then
+    adopt_new_term r ~term ~start_seq ~state ~rid_table
+
+let handle (r : replica) ~src msg =
+  let now = Engine.now r.engine in
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
+    match msg with
+    | Request request -> on_request r request
+    | Accept { term; seq; request } -> on_accept r ~src ~term ~seq ~request
+    | Accepted { term; seq } -> on_accepted r ~src ~term ~seq
+    | Commit { term; seq } -> on_commit r ~src ~term ~seq
+    | Term_change { new_term; last_exec } -> on_term_change r ~src ~new_term ~last_exec
+    | New_term { term; start_seq; state; rid_table } ->
+      on_new_term r ~src ~term ~start_seq ~state ~rid_table
+    | Reply _ -> ()
+
+let make_replica engine fabric config stats ~id ~behavior =
+  {
+    id;
+    n = n_replicas config;
+    f = config.f;
+    engine;
+    fabric;
+    config;
+    behavior;
+    app = App.accumulator ();
+    stats;
+    online = true;
+    term = 0;
+    next_seq = 1;
+    last_exec = 0;
+    log = Hashtbl.create 64;
+    ordered = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    rid_table = Hashtbl.create 8;
+    timers = Hashtbl.create 16;
+    election_votes = Hashtbl.create 4;
+    voted = 0;
+  }
+
+let start engine fabric config ?behaviors () =
+  let n = n_replicas config in
+  let behaviors =
+    match behaviors with
+    | Some b ->
+      if Array.length b <> n then invalid_arg "Paxos.start: behaviors must cover every replica";
+      b
+    | None -> Array.make n Behavior.honest
+  in
+  if fabric.Transport.n_endpoints < n + config.n_clients then
+    invalid_arg "Paxos.start: fabric too small";
+  let stats = Stats.create () in
+  let replicas =
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+  in
+  Array.iter
+    (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+    replicas;
+  let clients =
+    Array.init config.n_clients (fun i ->
+        Client.create engine fabric ~id:(n + i) ~n_replicas:n ~quorum:1
+          ~retry_timeout:config.request_timeout ~stats
+          ~to_msg:(fun request -> Request request)
+          ~of_msg:(function Reply reply -> Some reply | _ -> None)
+          ())
+  in
+  { engine; config; replicas; clients; shared_stats = stats }
+
+let submit t ~client ~payload =
+  if client < 0 || client >= Array.length t.clients then invalid_arg "Paxos.submit: unknown client";
+  Client.submit t.clients.(client) ~payload
+
+let stats t = t.shared_stats
+
+let term t ~replica = t.replicas.(replica).term
+
+let replica_state t ~replica = App.state t.replicas.(replica).app
+
+let set_replica_state t ~replica state = App.set_state t.replicas.(replica).app state
+
+let replica_online t ~replica = t.replicas.(replica).online
+
+let set_offline t ~replica =
+  let r = t.replicas.(replica) in
+  r.online <- false;
+  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.reset r.timers
+
+let set_online t ~replica =
+  let r = t.replicas.(replica) in
+  if not r.online then begin
+    r.online <- true;
+    let best = ref None in
+    Array.iter
+      (fun peer ->
+        if peer.id <> r.id && peer.online then
+          match !best with
+          | Some b when b.last_exec >= peer.last_exec -> ()
+          | Some _ | None -> best := Some peer)
+      t.replicas;
+    match !best with
+    | Some peer ->
+      r.term <- peer.term;
+      r.voted <- max r.voted peer.term;
+      r.last_exec <- peer.last_exec;
+      r.next_seq <- peer.last_exec + 1;
+      App.set_state r.app (App.state peer.app);
+      Hashtbl.reset r.rid_table;
+      Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
+      Hashtbl.reset r.log;
+      Hashtbl.reset r.ordered;
+      Hashtbl.reset r.pending
+    | None -> ()
+  end

@@ -1,0 +1,52 @@
+(** Multi-Paxos-style crash-tolerant state machine replication.
+
+    The benign baseline (2f+1 replicas, f crash faults): a stable leader
+    sequences requests, acceptors acknowledge, the leader commits on a
+    majority and everyone executes in order. Leader failure is detected by
+    per-request timeouts and repaired by a term change (round-robin leader).
+    No Byzantine defence — a corrupt leader order is accepted blindly, which
+    is exactly the contrast with {!Pbft}/{!Minbft} that E4 quantifies. *)
+
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Accept of { term : int; seq : int; request : Types.request }
+  | Accepted of { term : int; seq : int }
+  | Commit of { term : int; seq : int }
+  | Reply of Types.reply
+  | Term_change of { new_term : int; last_exec : int }
+  | New_term of { term : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+
+type config = { f : int; n_clients : int; request_timeout : int; election_timeout : int }
+
+val default_config : config
+
+val n_replicas : config -> int
+
+type t
+
+val start :
+  Resoc_des.Engine.t ->
+  msg Transport.fabric ->
+  config ->
+  ?behaviors:Behavior.t array ->
+  unit ->
+  t
+
+val submit : t -> client:int -> payload:int64 -> unit
+
+val stats : t -> Stats.t
+
+val term : t -> replica:int -> int
+
+val replica_state : t -> replica:int -> int64
+
+val set_replica_state : t -> replica:int -> int64 -> unit
+(** Out-of-band state installation (epoch-based protocol switching). *)
+
+val replica_online : t -> replica:int -> bool
+val set_offline : t -> replica:int -> unit
+val set_online : t -> replica:int -> unit
+
+val message_name : msg -> string

@@ -1,0 +1,450 @@
+module Engine = Resoc_des.Engine
+module Hash = Resoc_crypto.Hash
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Pre_prepare of { view : int; seq : int; digest : Hash.t; request : Types.request }
+  | Prepare of { view : int; seq : int; digest : Hash.t }
+  | Commit of { view : int; seq : int; digest : Hash.t }
+  | Reply of Types.reply
+  | View_change of { new_view : int; last_exec : int }
+  | New_view of { view : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+
+type config = { f : int; n_clients : int; request_timeout : int; vc_timeout : int }
+
+let default_config = { f = 1; n_clients = 2; request_timeout = 4000; vc_timeout = 2500 }
+
+let n_replicas config = (3 * config.f) + 1
+
+type entry = {
+  e_view : int;
+  digest : Hash.t;
+  mutable request : Types.request option;
+  prepares : (int, unit) Hashtbl.t;
+  commits : (int, unit) Hashtbl.t;
+  mutable sent_commit : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+type replica = {
+  id : int;
+  n : int;
+  f : int;
+  engine : Engine.t;
+  fabric : msg Transport.fabric;
+  config : config;
+  behavior : Behavior.t;
+  app : App.t;
+  stats : Stats.t;
+  mutable online : bool;
+  mutable view : int;
+  mutable next_seq : int;  (* next sequence number to assign (when primary) *)
+  mutable last_exec : int;
+  log : (int, entry) Hashtbl.t;  (* seq -> entry (current view only) *)
+  ordered : (Hash.t, int) Hashtbl.t;  (* digest -> seq, current view *)
+  pending : (Hash.t, Types.request) Hashtbl.t;  (* seen, not yet executed *)
+  rid_table : (int, int * int64) Hashtbl.t;  (* client -> last rid, result *)
+  timers : (Hash.t, Engine.handle) Hashtbl.t;
+  vc_votes : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* view -> voter -> last_exec *)
+  mutable vc_voted : int;  (* highest view we voted for *)
+}
+
+type t = {
+  engine : Engine.t;
+  fabric : msg Transport.fabric;
+  config : config;
+  replicas : replica array;
+  clients : msg Client.t array;
+  shared_stats : Stats.t;
+}
+
+let message_name = function
+  | Request _ -> "request"
+  | Pre_prepare _ -> "pre-prepare"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Reply _ -> "reply"
+  | View_change _ -> "view-change"
+  | New_view _ -> "new-view"
+
+let primary_of ~view ~n = view mod n
+
+let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
+
+let replica_ids (r : replica) = List.init r.n Fun.id
+
+let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
+
+(* Sending honours the replica's behaviour: crashed/offline replicas are
+   mute; Silent Byzantine replicas too; Delay holds messages back. *)
+let send (r : replica) ~dst msg =
+  let now = Engine.now r.engine in
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
+    match Behavior.active_strategy r.behavior ~now with
+    | Some Behavior.Silent -> ()
+    | Some (Behavior.Delay d) ->
+      ignore (Engine.schedule r.engine ~delay:d (fun () -> r.fabric.Transport.send ~src:r.id ~dst msg))
+    | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+      r.fabric.Transport.send ~src:r.id ~dst msg
+
+let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+
+let entry_for r ~view ~seq ~digest =
+  match Hashtbl.find_opt r.log seq with
+  | Some e when e.e_view = view -> Some e
+  | Some _ -> None  (* stale view entry at this slot; ignore the message *)
+  | None ->
+    let e =
+      {
+        e_view = view;
+        digest;
+        request = None;
+        prepares = Hashtbl.create 8;
+        commits = Hashtbl.create 8;
+        sent_commit = false;
+        committed = false;
+        executed = false;
+      }
+    in
+    Hashtbl.replace r.log seq e;
+    Some e
+
+let cancel_request_timer r digest =
+  match Hashtbl.find_opt r.timers digest with
+  | Some h ->
+    Engine.cancel h;
+    Hashtbl.remove r.timers digest
+  | None -> ()
+
+let reply_to_client r (request : Types.request) result =
+  let corrupt =
+    match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+    | Some Behavior.Corrupt_execution -> true
+    | Some _ | None -> false
+  in
+  let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+  send r ~dst:request.Types.client
+    (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
+
+(* Executed entries older than this many slots are pruned (checkpointing
+   reduced to its garbage-collection effect). *)
+let log_retention = 256
+
+(* Execute committed entries in sequence order. The rid table provides
+   exactly-once semantics per client and caches the last reply. *)
+let rec try_execute r =
+  match Hashtbl.find_opt r.log (r.last_exec + 1) with
+  | Some ({ committed = true; executed = false; request = Some request; _ } as e) ->
+    e.executed <- true;
+    r.last_exec <- r.last_exec + 1;
+    let client = request.Types.client and rid = request.Types.rid in
+    let result =
+      match Hashtbl.find_opt r.rid_table client with
+      | Some (last_rid, cached) when rid <= last_rid -> cached
+      | Some _ | None ->
+        let result = App.execute r.app request.Types.payload in
+        Hashtbl.replace r.rid_table client (rid, result);
+        result
+    in
+    let digest = Types.request_digest request in
+    Hashtbl.remove r.pending digest;
+    cancel_request_timer r digest;
+    reply_to_client r request result;
+    Hashtbl.remove r.log (r.last_exec - log_retention);
+    try_execute r
+  | Some _ | None -> ()
+
+let try_commit r ~seq (e : entry) =
+  if (not e.committed) && Hashtbl.length e.commits >= (2 * r.f) + 1
+     && Hashtbl.length e.prepares >= (2 * r.f) + 1
+     && e.request <> None
+  then begin
+    e.committed <- true;
+    ignore seq;
+    try_execute r
+  end
+
+let send_commit_if_prepared r ~seq (e : entry) =
+  if (not e.sent_commit) && e.request <> None && Hashtbl.length e.prepares >= (2 * r.f) + 1 then begin
+    e.sent_commit <- true;
+    Hashtbl.replace e.commits r.id ();
+    broadcast r ~to_:(others r) (Commit { view = r.view; seq; digest = e.digest });
+    try_commit r ~seq e
+  end
+
+(* --- view changes --- *)
+
+let start_vc_timer r digest =
+  if not (Hashtbl.mem r.timers digest) then
+    Hashtbl.replace r.timers digest
+      (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
+           Hashtbl.remove r.timers digest;
+           if r.online && Hashtbl.mem r.pending digest then begin
+             (* Escalate past views whose primary never answered. *)
+             let new_view = max r.view r.vc_voted + 1 in
+             r.vc_voted <- new_view;
+             broadcast r ~to_:(replica_ids r) (View_change { new_view; last_exec = r.last_exec })
+           end))
+
+let order_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  if not (Hashtbl.mem r.ordered digest) then begin
+    let seq = r.next_seq in
+    r.next_seq <- r.next_seq + 1;
+    Hashtbl.replace r.ordered digest seq;
+    let equivocating =
+      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+      | Some Behavior.Equivocate -> true
+      | Some _ | None -> false
+    in
+    (match entry_for r ~view:r.view ~seq ~digest with
+     | Some e ->
+       e.request <- Some request;
+       Hashtbl.replace e.prepares r.id ()
+     | None -> ());
+    let backups = others r in
+    let lies = r.f + 1 in
+    List.iteri
+      (fun i dst ->
+        let digest' =
+          (* An equivocating primary tells half the backups a different
+             story. The truthful half is too small to form a 2f+1 quorum,
+             so the slot stalls until a view change evicts the primary. *)
+          if equivocating && i < lies then Hash.combine digest (Hash.of_string "lie") else digest
+        in
+        send r ~dst (Pre_prepare { view = r.view; seq; digest = digest'; request }))
+      backups
+  end
+
+let adopt_new_view r ~view ~start_seq ~state ~rid_table =
+  r.view <- view;
+  r.vc_voted <- max r.vc_voted view;
+  Hashtbl.reset r.log;
+  Hashtbl.reset r.ordered;
+  App.set_state r.app state;
+  r.last_exec <- start_seq - 1;
+  r.next_seq <- start_seq;
+  Hashtbl.reset r.rid_table;
+  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+  (* Forget cached replies consistent with the transferred state only;
+     pending requests restart their patience. *)
+  Hashtbl.iter (fun digest _ -> cancel_request_timer r digest) (Hashtbl.copy r.timers);
+  Hashtbl.reset r.timers;
+  Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
+
+let become_primary r ~view ~start_seq =
+  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let state = App.state r.app in
+  adopt_new_view r ~view ~start_seq ~state ~rid_table;
+  broadcast r ~to_:(others r) (New_view { view; start_seq; state; rid_table });
+  (* Re-propose everything still pending, deterministically ordered. *)
+  let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
+  let pending =
+    List.sort
+      (fun (a : Types.request) b -> compare (a.Types.client, a.Types.rid) (b.Types.client, b.Types.rid))
+      pending
+  in
+  List.iter (order_request r) pending
+
+let on_view_change r ~src ~new_view ~last_exec =
+  if new_view > r.view then begin
+    let votes =
+      match Hashtbl.find_opt r.vc_votes new_view with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.create 8 in
+        Hashtbl.replace r.vc_votes new_view v;
+        v
+    in
+    Hashtbl.replace votes src last_exec;
+    let voters = Hashtbl.length votes in
+    (* Join the view change once f+1 replicas are committed to it: at least
+       one of them is honest, so the timeout was genuine. *)
+    if voters >= r.f + 1 && r.vc_voted < new_view then begin
+      r.vc_voted <- new_view;
+      broadcast r ~to_:(replica_ids r) (View_change { new_view; last_exec = r.last_exec })
+    end;
+    if voters >= (2 * r.f) + 1 && primary_of ~view:new_view ~n:r.n = r.id then begin
+      let max_exec = Hashtbl.fold (fun _ le acc -> max le acc) votes r.last_exec in
+      r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+      become_primary r ~view:new_view ~start_seq:(max_exec + 1)
+    end
+  end
+
+(* --- message handling --- *)
+
+let on_request r (request : Types.request) =
+  let digest = Types.request_digest request in
+  let client = request.Types.client in
+  match Hashtbl.find_opt r.rid_table client with
+  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+    (* Already executed: re-send the cached reply. *)
+    reply_to_client r request cached
+  | Some _ | None ->
+    Hashtbl.replace r.pending digest request;
+    if is_primary r then order_request r request
+    else begin
+      (* Forward to the primary and watch it. *)
+      send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
+      start_vc_timer r digest
+    end
+
+let on_pre_prepare r ~src ~view ~seq ~digest ~request =
+  if view = r.view && src = primary_of ~view ~n:r.n && not (is_primary r) then begin
+    if Hash.equal digest (Types.request_digest request) then begin
+      Hashtbl.replace r.pending (Types.request_digest request) request;
+      match entry_for r ~view ~seq ~digest with
+      | Some e when Hash.equal e.digest digest ->
+        e.request <- Some request;
+        Hashtbl.replace e.prepares src ();
+        (* our own prepare vote *)
+        if not (Hashtbl.mem e.prepares r.id) then begin
+          Hashtbl.replace e.prepares r.id ();
+          broadcast r ~to_:(others r) (Prepare { view; seq; digest })
+        end;
+        send_commit_if_prepared r ~seq e
+      | Some _ | None -> ()
+    end
+    else begin
+      (* Digest mismatch: an equivocating or corrupt primary. Keep the
+         request pending and let the timer push a view change. *)
+      Hashtbl.replace r.pending (Types.request_digest request) request;
+      start_vc_timer r (Types.request_digest request)
+    end
+  end
+
+let on_prepare r ~src ~view ~seq ~digest =
+  if view = r.view then
+    match entry_for r ~view ~seq ~digest with
+    | Some e when Hash.equal e.digest digest ->
+      Hashtbl.replace e.prepares src ();
+      send_commit_if_prepared r ~seq e
+    | Some _ | None -> ()
+
+let on_commit r ~src ~view ~seq ~digest =
+  if view = r.view then
+    match entry_for r ~view ~seq ~digest with
+    | Some e when Hash.equal e.digest digest ->
+      Hashtbl.replace e.commits src ();
+      try_commit r ~seq e
+    | Some _ | None -> ()
+
+let on_new_view r ~src ~view ~start_seq ~state ~rid_table =
+  if view > r.view && src = primary_of ~view ~n:r.n then adopt_new_view r ~view ~start_seq ~state ~rid_table
+
+let handle (r : replica) ~src msg =
+  let now = Engine.now r.engine in
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
+    match msg with
+    | Request request -> on_request r request
+    | Pre_prepare { view; seq; digest; request } -> on_pre_prepare r ~src ~view ~seq ~digest ~request
+    | Prepare { view; seq; digest } -> on_prepare r ~src ~view ~seq ~digest
+    | Commit { view; seq; digest } -> on_commit r ~src ~view ~seq ~digest
+    | View_change { new_view; last_exec } -> on_view_change r ~src ~new_view ~last_exec
+    | New_view { view; start_seq; state; rid_table } ->
+      on_new_view r ~src ~view ~start_seq ~state ~rid_table
+    | Reply _ -> ()
+
+(* --- system assembly --- *)
+
+let make_replica engine fabric config stats ~id ~behavior =
+  {
+    id;
+    n = n_replicas config;
+    f = config.f;
+    engine;
+    fabric;
+    config;
+    behavior;
+    app = App.accumulator ();
+    stats;
+    online = true;
+    view = 0;
+    next_seq = 1;
+    last_exec = 0;
+    log = Hashtbl.create 64;
+    ordered = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    rid_table = Hashtbl.create 8;
+    timers = Hashtbl.create 16;
+    vc_votes = Hashtbl.create 4;
+    vc_voted = 0;
+  }
+
+let start engine fabric config ?behaviors () =
+  let n = n_replicas config in
+  let behaviors =
+    match behaviors with
+    | Some b ->
+      if Array.length b <> n then invalid_arg "Pbft.start: behaviors must cover every replica";
+      b
+    | None -> Array.make n Behavior.honest
+  in
+  if fabric.Transport.n_endpoints < n + config.n_clients then
+    invalid_arg "Pbft.start: fabric too small";
+  let stats = Stats.create () in
+  let replicas =
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+  in
+  Array.iter
+    (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+    replicas;
+  let clients =
+    Array.init config.n_clients (fun i ->
+        Client.create engine fabric ~id:(n + i) ~n_replicas:n ~quorum:(config.f + 1)
+          ~retry_timeout:config.request_timeout ~stats
+          ~to_msg:(fun request -> Request request)
+          ~of_msg:(function Reply reply -> Some reply | _ -> None)
+          ())
+  in
+  { engine; fabric; config; replicas; clients; shared_stats = stats }
+
+let submit t ~client ~payload =
+  if client < 0 || client >= Array.length t.clients then invalid_arg "Pbft.submit: unknown client";
+  Client.submit t.clients.(client) ~payload
+
+let stats t = t.shared_stats
+
+let view t ~replica = t.replicas.(replica).view
+
+let replica_state t ~replica = App.state t.replicas.(replica).app
+
+let set_replica_state t ~replica state = App.set_state t.replicas.(replica).app state
+
+let replica_online t ~replica = t.replicas.(replica).online
+
+let set_offline t ~replica =
+  let r = t.replicas.(replica) in
+  r.online <- false;
+  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.reset r.timers
+
+let set_online t ~replica =
+  let r = t.replicas.(replica) in
+  if not r.online then begin
+    r.online <- true;
+    (* State transfer from the most advanced online peer. *)
+    let best = ref None in
+    Array.iter
+      (fun peer ->
+        if peer.id <> r.id && peer.online then
+          match !best with
+          | Some b when b.last_exec >= peer.last_exec -> ()
+          | Some _ | None -> best := Some peer)
+      t.replicas;
+    match !best with
+    | Some peer ->
+      r.view <- peer.view;
+      r.vc_voted <- max r.vc_voted peer.view;
+      r.last_exec <- peer.last_exec;
+      r.next_seq <- peer.last_exec + 1;
+      App.set_state r.app (App.state peer.app);
+      Hashtbl.reset r.rid_table;
+      Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
+      Hashtbl.reset r.log;
+      Hashtbl.reset r.ordered;
+      Hashtbl.reset r.pending
+    | None -> ()
+  end

@@ -1,0 +1,75 @@
+(** PBFT-style Byzantine fault-tolerant state machine replication.
+
+    The 3f+1 baseline of experiment E3 (Castro & Liskov's message pattern):
+    request → pre-prepare → prepare (2f+1 votes) → commit (2f+1 votes) →
+    execute → reply, with view changes on request timeout. Replicas may be
+    given crash or Byzantine behaviours ({!Resoc_fault.Behavior}); an
+    equivocating primary sends conflicting pre-prepares and is evicted by a
+    view change.
+
+    Simplifications vs. the full protocol, chosen to preserve the metrics
+    this library studies (quorum sizes, message complexity, fault reaction
+    time) — see DESIGN.md: checkpointing is replaced by full-state transfer
+    in NEW-VIEW, and the new primary restarts sequencing above the highest
+    execution reported in its view-change quorum. *)
+
+module Hash = Resoc_crypto.Hash
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Pre_prepare of { view : int; seq : int; digest : Hash.t; request : Types.request }
+  | Prepare of { view : int; seq : int; digest : Hash.t }
+  | Commit of { view : int; seq : int; digest : Hash.t }
+  | Reply of Types.reply
+  | View_change of { new_view : int; last_exec : int }
+  | New_view of { view : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+
+type config = {
+  f : int;  (** Tolerated faults; the group has 3f+1 replicas. *)
+  n_clients : int;
+  request_timeout : int;  (** Client retransmission period. *)
+  vc_timeout : int;  (** Replica view-change trigger. *)
+}
+
+val default_config : config
+(** f=1, 2 clients, timeouts 4000/2500 cycles. *)
+
+val n_replicas : config -> int
+
+type t
+(** A complete group: replicas plus clients on one fabric. *)
+
+val start :
+  Resoc_des.Engine.t ->
+  msg Transport.fabric ->
+  config ->
+  ?behaviors:Behavior.t array ->
+  unit ->
+  t
+(** The fabric must have [n_replicas config + config.n_clients] endpoints.
+    [behaviors] defaults to all-honest. Replicas run the accumulator app. *)
+
+val submit : t -> client:int -> payload:int64 -> unit
+(** [client] is an index in [0 .. n_clients-1]. *)
+
+val stats : t -> Stats.t
+
+val view : t -> replica:int -> int
+
+val replica_state : t -> replica:int -> int64
+
+val set_replica_state : t -> replica:int -> int64 -> unit
+(** Out-of-band state installation (epoch-based protocol switching). *)
+
+val replica_online : t -> replica:int -> bool
+
+val set_offline : t -> replica:int -> unit
+(** Tile powered down (e.g. for rejuvenation): drops all traffic. *)
+
+val set_online : t -> replica:int -> unit
+(** Rejoin with state transferred from the most advanced online replica
+    (models the post-reconfiguration state fetch). *)
+
+val message_name : msg -> string
+(** For byte-accounting and tracing. *)

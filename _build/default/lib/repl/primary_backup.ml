@@ -1,0 +1,217 @@
+module Engine = Resoc_des.Engine
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Update of { epoch : int; seq : int; state : int64; client : int; rid : int; result : int64 }
+  | Heartbeat of { epoch : int }
+  | Promote of { epoch : int }
+  | Reply of Types.reply
+
+type config = {
+  n_backups : int;
+  n_clients : int;
+  request_timeout : int;
+  heartbeat_period : int;
+  detection_timeout : int;
+}
+
+let default_config =
+  { n_backups = 1; n_clients = 2; request_timeout = 4000; heartbeat_period = 500; detection_timeout = 1500 }
+
+let n_replicas config = config.n_backups + 1
+
+type replica = {
+  id : int;
+  n : int;
+  engine : Engine.t;
+  fabric : msg Transport.fabric;
+  config : config;
+  behavior : Behavior.t;
+  app : App.t;
+  stats : Stats.t;
+  mutable epoch : int;
+  mutable seq : int;  (* primary: updates shipped; backup: updates applied *)
+  mutable last_heartbeat : int;
+  rid_table : (int, int * int64) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  replicas : replica array;
+  clients : msg Client.t array;
+  shared_stats : Stats.t;
+}
+
+let message_name = function
+  | Request _ -> "request"
+  | Update _ -> "update"
+  | Heartbeat _ -> "heartbeat"
+  | Promote _ -> "promote"
+  | Reply _ -> "reply"
+
+let primary_of ~epoch ~n = epoch mod n
+
+let is_primary (r : replica) = primary_of ~epoch:r.epoch ~n:r.n = r.id
+
+let alive (r : replica) = not (Behavior.is_crashed r.behavior ~now:(Engine.now r.engine))
+
+let send (r : replica) ~dst msg =
+  if alive r then
+    match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+    | Some Behavior.Silent -> ()
+    | Some (Behavior.Delay d) ->
+      ignore
+        (Engine.schedule r.engine ~delay:d (fun () -> r.fabric.Transport.send ~src:r.id ~dst msg))
+    | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+      r.fabric.Transport.send ~src:r.id ~dst msg
+
+let others (r : replica) = List.filter (fun i -> i <> r.id) (List.init r.n Fun.id)
+
+let on_request r (request : Types.request) =
+  if is_primary r then begin
+    let client = request.Types.client and rid = request.Types.rid in
+    let result =
+      match Hashtbl.find_opt r.rid_table client with
+      | Some (last_rid, cached) when rid <= last_rid -> cached
+      | Some _ | None ->
+        let result = App.execute r.app request.Types.payload in
+        Hashtbl.replace r.rid_table client (rid, result);
+        r.seq <- r.seq + 1;
+        (* Ship the new state to the standbys. *)
+        List.iter
+          (fun dst ->
+            send r ~dst
+              (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result }))
+          (others r);
+        result
+    in
+    let corrupt =
+      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+      | Some Behavior.Corrupt_execution -> true
+      | Some _ | None -> false
+    in
+    let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+    send r ~dst:client (Reply { Types.client; rid; result; replica = r.id })
+  end
+
+let on_update r ~epoch ~seq ~state ~client ~rid ~result =
+  if epoch >= r.epoch && seq > r.seq then begin
+    r.epoch <- max r.epoch epoch;
+    r.seq <- seq;
+    App.set_state r.app state;
+    Hashtbl.replace r.rid_table client (rid, result)
+  end
+
+let on_heartbeat r ~epoch =
+  if epoch >= r.epoch then begin
+    r.epoch <- max r.epoch epoch;
+    r.last_heartbeat <- Engine.now r.engine
+  end
+
+let on_promote r ~epoch =
+  if epoch > r.epoch then begin
+    r.epoch <- epoch;
+    r.last_heartbeat <- Engine.now r.engine;
+    if is_primary r then r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1
+  end
+
+let handle (r : replica) ~src:_ msg =
+  if alive r then
+    match msg with
+    | Request request -> on_request r request
+    | Update { epoch; seq; state; client; rid; result } ->
+      on_update r ~epoch ~seq ~state ~client ~rid ~result
+    | Heartbeat { epoch } -> on_heartbeat r ~epoch
+    | Promote { epoch } -> on_promote r ~epoch
+    | Reply _ -> ()
+
+(* Primary duty: periodic heartbeats. Backup duty: watch for silence; the
+   next-in-line backup promotes itself when the detector fires. Ranks stagger
+   the takeover so two backups don't promote simultaneously. *)
+let start_timers (r : replica) =
+  Engine.every r.engine ~period:r.config.heartbeat_period (fun () ->
+      if alive r then
+        if is_primary r then List.iter (fun dst -> send r ~dst (Heartbeat { epoch = r.epoch })) (others r)
+        else begin
+          let silence = Engine.now r.engine - r.last_heartbeat in
+          (* The smallest future epoch whose primary is this replica; the
+             extra stagger lets closer-ranked backups claim first, so a dead
+             next-in-line does not wedge the failover chain. *)
+          let mine =
+            let offset = ((r.id - (r.epoch + 1)) mod r.n + r.n) mod r.n in
+            r.epoch + 1 + offset
+          in
+          let rank = mine - r.epoch - 1 in
+          if silence > r.config.detection_timeout + (rank * r.config.heartbeat_period) then begin
+            r.epoch <- mine;
+            r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+            r.last_heartbeat <- Engine.now r.engine;
+            List.iter (fun dst -> send r ~dst (Promote { epoch = mine })) (others r)
+          end
+        end)
+
+let make_replica engine fabric config stats ~id ~behavior =
+  {
+    id;
+    n = n_replicas config;
+    engine;
+    fabric;
+    config;
+    behavior;
+    app = App.accumulator ();
+    stats;
+    epoch = 0;
+    seq = 0;
+    last_heartbeat = 0;
+    rid_table = Hashtbl.create 8;
+  }
+
+let start engine fabric config ?behaviors () =
+  let n = n_replicas config in
+  let behaviors =
+    match behaviors with
+    | Some b ->
+      if Array.length b <> n then
+        invalid_arg "Primary_backup.start: behaviors must cover every replica";
+      b
+    | None -> Array.make n Behavior.honest
+  in
+  if fabric.Transport.n_endpoints < n + config.n_clients then
+    invalid_arg "Primary_backup.start: fabric too small";
+  let stats = Stats.create () in
+  let replicas =
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+  in
+  Array.iter
+    (fun r ->
+      fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg);
+      start_timers r)
+    replicas;
+  let clients =
+    Array.init config.n_clients (fun i ->
+        Client.create engine fabric ~id:(n + i) ~n_replicas:n ~quorum:1
+          ~retry_timeout:config.request_timeout ~stats
+          ~to_msg:(fun request -> Request request)
+          ~of_msg:(function Reply reply -> Some reply | _ -> None)
+          ())
+  in
+  { engine; config; replicas; clients; shared_stats = stats }
+
+let submit t ~client ~payload =
+  if client < 0 || client >= Array.length t.clients then
+    invalid_arg "Primary_backup.submit: unknown client";
+  Client.submit t.clients.(client) ~payload
+
+let stats t = t.shared_stats
+
+let epoch t ~replica = t.replicas.(replica).epoch
+
+let current_primary t =
+  let best = Array.fold_left (fun acc r -> if r.epoch > acc.epoch then r else acc) t.replicas.(0) t.replicas in
+  primary_of ~epoch:best.epoch ~n:best.n
+
+let replica_state t ~replica = App.state t.replicas.(replica).app
+
+let set_replica_state t ~replica state = App.set_state t.replicas.(replica).app state

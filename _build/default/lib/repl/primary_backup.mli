@@ -1,0 +1,56 @@
+(** Passive (primary-backup) replication.
+
+    The cheap end of §II.A's replication spectrum: one primary executes and
+    answers immediately, shipping state updates to warm standbys; a
+    heartbeat failure detector promotes the next backup when the primary
+    dies. Recovery is *not* seamless — the detection window plus promotion
+    delay is client-visible downtime, which E4 measures against the active
+    protocols. Tolerates crash faults only. *)
+
+module Behavior = Resoc_fault.Behavior
+
+type msg =
+  | Request of Types.request
+  | Update of { epoch : int; seq : int; state : int64; client : int; rid : int; result : int64 }
+  | Heartbeat of { epoch : int }
+  | Promote of { epoch : int }
+  | Reply of Types.reply
+
+type config = {
+  n_backups : int;  (** Group size is 1 + n_backups. *)
+  n_clients : int;
+  request_timeout : int;
+  heartbeat_period : int;
+  detection_timeout : int;  (** Silence before declaring the primary dead. *)
+}
+
+val default_config : config
+
+val n_replicas : config -> int
+
+type t
+
+val start :
+  Resoc_des.Engine.t ->
+  msg Transport.fabric ->
+  config ->
+  ?behaviors:Behavior.t array ->
+  unit ->
+  t
+
+val submit : t -> client:int -> payload:int64 -> unit
+
+val stats : t -> Stats.t
+
+val epoch : t -> replica:int -> int
+(** Failover count as seen by a replica. *)
+
+val current_primary : t -> int
+(** Highest-epoch active primary (oracle view). *)
+
+val replica_state : t -> replica:int -> int64
+
+val set_replica_state : t -> replica:int -> int64 -> unit
+(** Out-of-band state installation (epoch-based protocol switching). *)
+
+val message_name : msg -> string

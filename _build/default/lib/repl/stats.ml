@@ -1,0 +1,30 @@
+module Histogram = Resoc_des.Metrics.Histogram
+
+type t = {
+  mutable submitted : int;
+  mutable completed : int;
+  mutable wrong_replies : int;
+  mutable retransmissions : int;
+  mutable view_changes : int;
+  latency : Histogram.t;
+}
+
+let create () =
+  {
+    submitted = 0;
+    completed = 0;
+    wrong_replies = 0;
+    retransmissions = 0;
+    view_changes = 0;
+    latency = Histogram.create "latency";
+  }
+
+let throughput t ~horizon =
+  if horizon <= 0 then 0.0 else float_of_int t.completed *. 1000.0 /. float_of_int horizon
+
+let pp ppf t =
+  Format.fprintf ppf
+    "submitted=%d completed=%d wrong=%d retx=%d view_changes=%d lat_mean=%.1f lat_p99=%.1f"
+    t.submitted t.completed t.wrong_replies t.retransmissions t.view_changes
+    (Histogram.mean t.latency)
+    (Histogram.percentile t.latency 99.0)

@@ -1,0 +1,19 @@
+(** Uniform run statistics across protocols. *)
+
+module Histogram = Resoc_des.Metrics.Histogram
+
+type t = {
+  mutable submitted : int;
+  mutable completed : int;  (** Requests whose reply quorum was accepted. *)
+  mutable wrong_replies : int;  (** Replies that disagreed with the quorum. *)
+  mutable retransmissions : int;
+  mutable view_changes : int;
+  latency : Histogram.t;  (** Submission-to-acceptance, cycles. *)
+}
+
+val create : unit -> t
+
+val throughput : t -> horizon:int -> float
+(** Completed requests per 1000 cycles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+module Engine = Resoc_des.Engine
+
+type 'msg fabric = {
+  n_endpoints : int;
+  send : src:int -> dst:int -> 'msg -> unit;
+  set_handler : int -> (src:int -> 'msg -> unit) -> unit;
+  detach : int -> unit;
+  messages_sent : unit -> int;
+  bytes_sent : unit -> int;
+}
+
+let broadcast fabric ~src ~to_ msg = List.iter (fun dst -> fabric.send ~src ~dst msg) to_
+
+let hub engine ~n ?(latency = 5) ?(size_of = fun _ -> 64) () =
+  if n <= 0 then invalid_arg "Transport.hub: need at least one endpoint";
+  if latency < 0 then invalid_arg "Transport.hub: negative latency";
+  let handlers = Array.make n None in
+  let messages = ref 0 in
+  let bytes = ref 0 in
+  let send ~src ~dst msg =
+    if dst < 0 || dst >= n then invalid_arg "Transport.hub: destination out of range";
+    incr messages;
+    bytes := !bytes + size_of msg;
+    let delay = if src = dst then 1 else latency in
+    ignore
+      (Engine.schedule engine ~delay (fun () ->
+           match handlers.(dst) with
+           | Some handler -> handler ~src msg
+           | None -> ()))
+  in
+  {
+    n_endpoints = n;
+    send;
+    set_handler = (fun i h -> handlers.(i) <- Some h);
+    detach = (fun i -> handlers.(i) <- None);
+    messages_sent = (fun () -> !messages);
+    bytes_sent = (fun () -> !bytes);
+  }

@@ -1,0 +1,30 @@
+(** Protocol-facing message transport abstraction.
+
+    Protocols are written against ['msg fabric]: a set of numbered endpoints
+    that exchange typed messages asynchronously. Two implementations exist:
+    the uniform-latency {!hub} below (unit tests, protocol-only
+    experiments), and the NoC-backed adapter in [Resoc_core], which routes
+    the same messages over the simulated mesh. *)
+
+type 'msg fabric = {
+  n_endpoints : int;
+  send : src:int -> dst:int -> 'msg -> unit;
+  set_handler : int -> (src:int -> 'msg -> unit) -> unit;
+  detach : int -> unit;  (** Drop the endpoint's handler (offline tile). *)
+  messages_sent : unit -> int;
+  bytes_sent : unit -> int;
+}
+
+val broadcast : 'msg fabric -> src:int -> to_:int list -> 'msg -> unit
+(** Unicast to each destination (NoCs have no magic bus). *)
+
+val hub :
+  Resoc_des.Engine.t ->
+  n:int ->
+  ?latency:int ->
+  ?size_of:('msg -> int) ->
+  unit ->
+  'msg fabric
+(** Full mesh with fixed [latency] (default 5 cycles) between any pair;
+    loopback costs 1. [size_of] (default constant 64) only feeds the
+    byte counter. Messages to detached endpoints vanish. *)

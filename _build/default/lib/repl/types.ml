@@ -1,0 +1,16 @@
+module Hash = Resoc_crypto.Hash
+
+type request = { client : int; rid : int; payload : int64 }
+
+type reply = { client : int; rid : int; result : int64; replica : int }
+
+let make_request ~client ~rid ~payload = { client; rid; payload }
+
+let request_digest r =
+  Hash.combine_int (Hash.combine (Hash.of_string "request") r.payload) ((r.client * 1_000_003) + r.rid)
+
+let request_equal (a : request) (b : request) = a.client = b.client && a.rid = b.rid && Int64.equal a.payload b.payload
+
+let pp_request ppf (r : request) = Format.fprintf ppf "req(c%d#%d:%Ld)" r.client r.rid r.payload
+
+let pp_reply ppf r = Format.fprintf ppf "reply(c%d#%d=%Ld from r%d)" r.client r.rid r.result r.replica

@@ -1,0 +1,24 @@
+(** Vocabulary shared by all replication protocols.
+
+    Endpoint numbering convention: replicas occupy ids [0 .. n-1] and
+    clients [n .. n+c-1] on the same transport fabric. Channels are
+    authenticated point-to-point (the transport reports true senders), the
+    standard BFT assumption; only hybrid-issued certificates (USIG UIs) are
+    carried explicitly because their verification is the object of study. *)
+
+module Hash = Resoc_crypto.Hash
+
+type request = { client : int; rid : int; payload : int64 }
+(** [rid] is a client-local sequence number; (client, rid) identifies the
+    request globally. *)
+
+type reply = { client : int; rid : int; result : int64; replica : int }
+
+val make_request : client:int -> rid:int -> payload:int64 -> request
+
+val request_digest : request -> Hash.t
+
+val request_equal : request -> request -> bool
+
+val pp_request : Format.formatter -> request -> unit
+val pp_reply : Format.formatter -> reply -> unit

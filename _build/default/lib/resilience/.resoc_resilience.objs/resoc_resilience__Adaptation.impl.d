@@ -1,0 +1,1 @@
+lib/resilience/adaptation.ml: List Resoc_des Threat

@@ -1,0 +1,1 @@
+lib/resilience/adaptation.mli: Resoc_des Threat

@@ -1,0 +1,1 @@
+lib/resilience/diversity.ml: Array Resoc_fault

@@ -1,0 +1,1 @@
+lib/resilience/diversity.mli: Resoc_fault

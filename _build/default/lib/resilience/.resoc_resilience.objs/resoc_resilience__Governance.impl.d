@@ -1,0 +1,1 @@
+lib/resilience/governance.ml: Array Resoc_des Resoc_fabric

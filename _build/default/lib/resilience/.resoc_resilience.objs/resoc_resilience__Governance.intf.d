@@ -1,0 +1,1 @@
+lib/resilience/governance.mli: Resoc_des Resoc_fabric

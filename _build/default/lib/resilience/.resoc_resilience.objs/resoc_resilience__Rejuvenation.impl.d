@@ -1,0 +1,1 @@
+lib/resilience/rejuvenation.ml: Array Resoc_des

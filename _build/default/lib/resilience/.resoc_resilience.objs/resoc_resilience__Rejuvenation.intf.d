@@ -1,0 +1,1 @@
+lib/resilience/rejuvenation.mli: Resoc_des

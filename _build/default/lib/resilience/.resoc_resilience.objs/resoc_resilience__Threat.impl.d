@@ -1,0 +1,1 @@
+lib/resilience/threat.ml: Resoc_des

@@ -1,0 +1,1 @@
+lib/resilience/threat.mli: Resoc_des

@@ -1,0 +1,61 @@
+module Common_mode = Resoc_fault.Common_mode
+
+type strategy = Same | Round_robin | Max_diversity
+
+type t = { pool : Common_mode.t; strategy : strategy }
+
+let create ~pool strategy = { pool; strategy }
+
+let strategy t = t.strategy
+
+let n_variants t = Common_mode.n_variants t.pool
+
+let initial_assignment t ~n_replicas =
+  if n_replicas <= 0 then invalid_arg "Diversity.initial_assignment: empty group";
+  match t.strategy with
+  | Same -> Array.make n_replicas 0
+  | Round_robin -> Array.init n_replicas (fun i -> i mod n_variants t)
+  | Max_diversity -> Common_mode.max_diversity_assignment t.pool ~n_replicas
+
+let expected_group_risk t ~assignment =
+  let n = Array.length assignment in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. Common_mode.shared_prob t.pool assignment.(i) assignment.(j)
+    done
+  done;
+  !acc
+
+let rejuvenation_variant t ~replica ~current =
+  if replica < 0 || replica >= Array.length current then
+    invalid_arg "Diversity.rejuvenation_variant: replica out of range";
+  let v = n_variants t in
+  match t.strategy with
+  | Same -> current.(replica)
+  | Round_robin -> (current.(replica) + 1) mod v
+  | Max_diversity ->
+    (* Score every candidate by correlation against the other replicas'
+       variants; penalize keeping the current variant so the adversary's
+       amortized exploit work is thrown away. *)
+    let score candidate =
+      let acc = ref (if candidate = current.(replica) then 0.5 else 0.0) in
+      Array.iteri
+        (fun j variant_j ->
+          if j <> replica then acc := !acc +. Common_mode.shared_prob t.pool candidate variant_j)
+        current;
+      !acc
+    in
+    (* Scan candidates starting just after the current variant so that ties
+       rotate through the pool instead of always recycling the lowest index
+       — an APT that keeps its exploits must chase a moving set. *)
+    let best = ref current.(replica) and best_score = ref infinity in
+    for offset = 1 to v do
+      let candidate = (current.(replica) + offset) mod v in
+      let s = score candidate in
+      if s < !best_score then begin
+        best := candidate;
+        best_score := s
+      end
+    done;
+    !best

@@ -1,0 +1,32 @@
+(** Variant pool management (§II.B).
+
+    Chooses which design variant each replica runs, initially and at every
+    rejuvenation, using the common-mode vulnerability structure of
+    {!Resoc_fault.Common_mode}. Three strategies bound the design space:
+    [Same] (the monoculture baseline), [Round_robin] (naive rotation), and
+    [Max_diversity] (correlation-aware assignment). *)
+
+module Common_mode = Resoc_fault.Common_mode
+
+type strategy = Same | Round_robin | Max_diversity
+
+type t
+
+val create : pool:Common_mode.t -> strategy -> t
+
+val strategy : t -> strategy
+
+val n_variants : t -> int
+
+val initial_assignment : t -> n_replicas:int -> int array
+
+val rejuvenation_variant : t -> replica:int -> current:int array -> int
+(** Variant for [replica]'s next incarnation given everyone's current
+    variants. [Same] keeps the current variant; [Round_robin] advances to
+    the next; [Max_diversity] picks the variant least correlated with the
+    *other* replicas' variants (preferring one different from the current,
+    so an APT's amortized exploit is invalidated). *)
+
+val expected_group_risk : t -> assignment:int array -> float
+(** Sum of pairwise sharing probabilities (lower is better); a cheap
+    analytic proxy used by tests and the allocator itself. *)

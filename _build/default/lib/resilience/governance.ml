@@ -1,0 +1,96 @@
+module Engine = Resoc_des.Engine
+module Icap = Resoc_fabric.Icap
+module Grid = Resoc_fabric.Grid
+module Bitstream = Resoc_fabric.Bitstream
+
+type op = { slot : Grid.slot_id; bitstream : Bitstream.t; requestor : int }
+
+type decision = Executed of Grid.slot_id | Blocked | Icap_rejected of string
+
+type t = {
+  engine : Engine.t;
+  icap : Icap.t;
+  n_kernels : int;
+  threshold : int;
+  malicious : bool array;
+  vote_latency : int;
+  governance_principal : int;
+  mutable executed_legitimate : int;
+  mutable executed_rogue : int;
+  mutable blocked_rogue : int;
+  mutable blocked_legitimate : int;
+}
+
+let create engine icap ~n_kernels ~threshold ?malicious ?(vote_latency = 50)
+    ~governance_principal () =
+  if n_kernels <= 0 then invalid_arg "Governance.create: need at least one kernel";
+  if threshold <= 0 || threshold > n_kernels then
+    invalid_arg "Governance.create: threshold must be within the kernel group";
+  let malicious =
+    match malicious with
+    | Some m ->
+      if Array.length m <> n_kernels then
+        invalid_arg "Governance.create: malicious flags must cover every kernel";
+      m
+    | None -> Array.make n_kernels false
+  in
+  {
+    engine;
+    icap;
+    n_kernels;
+    threshold;
+    malicious;
+    vote_latency;
+    governance_principal;
+    executed_legitimate = 0;
+    executed_rogue = 0;
+    blocked_rogue = 0;
+    blocked_legitimate = 0;
+  }
+
+let single_kernel engine icap ?(compromised = false) ~governance_principal () =
+  create engine icap ~n_kernels:1 ~threshold:1 ~malicious:[| compromised |]
+    ~governance_principal ()
+
+(* What an honest kernel checks before approving. *)
+let legitimate t op =
+  match Grid.slot (Icap.grid t.icap) op.slot with
+  | None -> false
+  | Some s ->
+    s.Grid.owner = op.requestor
+    && Bitstream.checksum_ok op.bitstream
+    && Bitstream.matches_region op.bitstream s.Grid.region
+
+let vote t ~kernel op = if t.malicious.(kernel) then true else legitimate t op
+
+let propose t ~proposer op k =
+  if proposer < 0 || proposer >= t.n_kernels then invalid_arg "Governance.propose: unknown kernel";
+  let legit = legitimate t op in
+  (* One ballot round-trip; all kernels vote in parallel. *)
+  ignore
+    (Engine.schedule t.engine ~delay:t.vote_latency (fun () ->
+         let approvals = ref 0 in
+         for kernel = 0 to t.n_kernels - 1 do
+           if vote t ~kernel op then incr approvals
+         done;
+         if !approvals >= t.threshold then
+           Icap.reconfigure t.icap ~principal:t.governance_principal ~slot:op.slot
+             ~bitstream:op.bitstream (function
+             | Icap.Configured id ->
+               if legit then t.executed_legitimate <- t.executed_legitimate + 1
+               else t.executed_rogue <- t.executed_rogue + 1;
+               k (Executed id)
+             | Icap.Denied -> k (Icap_rejected "denied")
+             | Icap.Invalid_bitstream -> k (Icap_rejected "invalid bitstream")
+             | Icap.Region_conflict e -> k (Icap_rejected e)
+             | Icap.Shape_mismatch -> k (Icap_rejected "shape mismatch"))
+         else begin
+           if legit then t.blocked_legitimate <- t.blocked_legitimate + 1
+           else t.blocked_rogue <- t.blocked_rogue + 1;
+           k Blocked
+         end))
+
+let executed_legitimate t = t.executed_legitimate
+let executed_rogue t = t.executed_rogue
+let blocked_rogue t = t.blocked_rogue
+let blocked_legitimate t = t.blocked_legitimate

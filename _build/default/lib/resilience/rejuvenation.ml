@@ -1,0 +1,70 @@
+module Engine = Resoc_des.Engine
+
+type policy = { period : int; downtime : int }
+
+type hooks = {
+  n_replicas : int;
+  take_offline : int -> unit;
+  bring_online : int -> unit;
+  choose_variant : int -> int;
+  on_restart : replica:int -> variant:int -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  policy : policy;
+  hooks : hooks;
+  restarting : bool array;
+  mutable next_target : int;
+  mutable count : int;
+  mutable stopped : bool;
+}
+
+let do_rejuvenate t replica =
+  if not t.restarting.(replica) then begin
+    t.restarting.(replica) <- true;
+    t.count <- t.count + 1;
+    t.hooks.take_offline replica;
+    let variant = t.hooks.choose_variant replica in
+    ignore
+      (Engine.schedule t.engine ~delay:t.policy.downtime (fun () ->
+           t.restarting.(replica) <- false;
+           t.hooks.bring_online replica;
+           t.hooks.on_restart ~replica ~variant))
+  end
+
+let start engine policy hooks =
+  if policy.period <= 0 then invalid_arg "Rejuvenation.start: period must be positive";
+  if policy.downtime < 0 then invalid_arg "Rejuvenation.start: negative downtime";
+  if policy.downtime >= policy.period then
+    invalid_arg "Rejuvenation.start: downtime must be shorter than the stagger period";
+  if hooks.n_replicas <= 0 then invalid_arg "Rejuvenation.start: empty group";
+  let t =
+    {
+      engine;
+      policy;
+      hooks;
+      restarting = Array.make hooks.n_replicas false;
+      next_target = 0;
+      count = 0;
+      stopped = false;
+    }
+  in
+  Engine.every engine ~period:policy.period (fun () ->
+      if not t.stopped then begin
+        let target = t.next_target in
+        t.next_target <- (t.next_target + 1) mod hooks.n_replicas;
+        do_rejuvenate t target
+      end);
+  t
+
+let rejuvenate_now t ~replica =
+  if replica < 0 || replica >= t.hooks.n_replicas then
+    invalid_arg "Rejuvenation.rejuvenate_now: replica out of range";
+  if not t.stopped then do_rejuvenate t replica
+
+let rejuvenations t = t.count
+
+let in_progress t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.restarting
+
+let stop t = t.stopped <- true

@@ -1,0 +1,40 @@
+(** Proactive rejuvenation scheduling (§II.C).
+
+    Restarts replicas one at a time on a staggered schedule so at most one
+    group member is down at any moment (preserving the quorum), optionally
+    switching variants (diverse rejuvenation) and relocating fabric regions
+    (spatial rejuvenation) via the supplied hooks. Reactive mode lets a
+    detector trigger an immediate out-of-band rejuvenation. *)
+
+type policy = {
+  period : int;  (** Cycles between consecutive rejuvenations (stagger). *)
+  downtime : int;  (** How long a replica is offline while reconfiguring. *)
+}
+
+type hooks = {
+  n_replicas : int;
+  take_offline : int -> unit;
+  bring_online : int -> unit;
+  choose_variant : int -> int;
+      (** Called while the replica is down; returns its next variant. *)
+  on_restart : replica:int -> variant:int -> unit;
+      (** Fires at the moment the replica completes its restart (APT resets,
+          fabric relocation, etc. hang off this). *)
+}
+
+type t
+
+val start : Resoc_des.Engine.t -> policy -> hooks -> t
+(** First rejuvenation happens one [period] from now, targeting replica 0,
+    then 1, ... round-robin. *)
+
+val rejuvenate_now : t -> replica:int -> unit
+(** Reactive path: immediate rejuvenation (unless that replica is already
+    restarting). The proactive rotation continues unchanged. *)
+
+val rejuvenations : t -> int
+
+val in_progress : t -> int
+(** Replicas currently offline for rejuvenation. *)
+
+val stop : t -> unit

@@ -1,0 +1,37 @@
+module Engine = Resoc_des.Engine
+
+type t = {
+  engine : Engine.t;
+  half_life : float;
+  mutable level : float;
+  mutable last_update : int;
+  mutable events : int;
+}
+
+let create engine ~half_life =
+  if half_life <= 0 then invalid_arg "Threat.create: half-life must be positive";
+  { engine; half_life = float_of_int half_life; level = 0.0; last_update = 0; events = 0 }
+
+let decay t =
+  let now = Engine.now t.engine in
+  let dt = float_of_int (now - t.last_update) in
+  if dt > 0.0 then begin
+    t.level <- t.level *. (0.5 ** (dt /. t.half_life));
+    t.last_update <- now
+  end
+
+let report t ?(weight = 1.0) () =
+  if weight < 0.0 then invalid_arg "Threat.report: negative weight";
+  decay t;
+  t.level <- t.level +. weight;
+  t.events <- t.events + 1
+
+let level t =
+  decay t;
+  t.level
+
+let events_total t = t.events
+
+let reset t =
+  t.level <- 0.0;
+  t.last_update <- Engine.now t.engine

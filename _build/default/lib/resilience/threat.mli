@@ -1,0 +1,21 @@
+(** Severity detector feeding the adaptation controller (§II.D).
+
+    Aggregates suspicious events — failed MAC verifications, USIG counter
+    gaps, request timeouts, equivocation evidence — into an exponentially
+    decaying threat level. The paper calls for research on exactly such
+    "severity detectors that can trigger adaptation actions". *)
+
+type t
+
+val create : Resoc_des.Engine.t -> half_life:int -> t
+(** [half_life] is the decay half-life in cycles. *)
+
+val report : t -> ?weight:float -> unit -> unit
+(** Record one suspicious event (default weight 1.0). *)
+
+val level : t -> float
+(** Current decayed threat level. *)
+
+val events_total : t -> int
+
+val reset : t -> unit

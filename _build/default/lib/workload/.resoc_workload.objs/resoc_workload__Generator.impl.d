@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Float Int64 Resoc_des

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Resoc_core Resoc_fault Resoc_hw Resoc_resilience

@@ -1,0 +1,56 @@
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+
+type submit = client:int -> payload:int64 -> unit
+
+let burst ~n_per_client ~n_clients ~submit =
+  if n_per_client < 0 || n_clients <= 0 then invalid_arg "Generator.burst";
+  for client = 0 to n_clients - 1 do
+    for _ = 1 to n_per_client do
+      submit ~client ~payload:1L
+    done
+  done
+
+let periodic engine ~period ?(until = max_int) ~n_clients ~submit () =
+  if period <= 0 || n_clients <= 0 then invalid_arg "Generator.periodic";
+  Engine.every engine ~period (fun () ->
+      if Engine.now engine < until then
+        for client = 0 to n_clients - 1 do
+          submit ~client ~payload:1L
+        done)
+
+let poisson engine rng ~mean_interarrival ?(until = max_int) ~n_clients ~submit () =
+  if mean_interarrival <= 0.0 || n_clients <= 0 then invalid_arg "Generator.poisson";
+  let index = ref 0 in
+  let rec arrival () =
+    let delay = max 1 (int_of_float (Float.round (Rng.exponential rng ~mean:mean_interarrival))) in
+    ignore
+      (Engine.schedule engine ~delay (fun () ->
+           if Engine.now engine < until then begin
+             incr index;
+             submit ~client:(Rng.int rng n_clients) ~payload:(Int64.of_int !index);
+             arrival ()
+           end))
+  in
+  arrival ()
+
+let ramp engine ~start_period ~end_period ~steps ~step_length ~n_clients ~submit =
+  if steps <= 0 || step_length <= 0 || start_period <= 0 || end_period <= 0 then
+    invalid_arg "Generator.ramp";
+  for step = 0 to steps - 1 do
+    let period =
+      start_period + ((end_period - start_period) * step / max 1 (steps - 1))
+    in
+    let step_start = step * step_length in
+    let rec plateau offset =
+      if offset < step_length then begin
+        ignore
+          (Engine.at engine ~time:(step_start + offset) (fun () ->
+               for client = 0 to n_clients - 1 do
+                 submit ~client ~payload:1L
+               done));
+        plateau (offset + period)
+      end
+    in
+    plateau period
+  done

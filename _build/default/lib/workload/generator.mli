@@ -1,0 +1,39 @@
+(** Request generators driving a group's [submit] closure. *)
+
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+
+type submit = client:int -> payload:int64 -> unit
+
+val burst : n_per_client:int -> n_clients:int -> submit:submit -> unit
+(** Queue [n_per_client] unit-payload requests on every client up front
+    (closed-loop: the client pipeline drains them one at a time). *)
+
+val periodic :
+  Engine.t -> period:int -> ?until:int -> n_clients:int -> submit:submit -> unit -> unit
+(** One request per client every [period] cycles while the clock is below
+    [until] (default: forever). *)
+
+val poisson :
+  Engine.t ->
+  Rng.t ->
+  mean_interarrival:float ->
+  ?until:int ->
+  n_clients:int ->
+  submit:submit ->
+  unit ->
+  unit
+(** Open-loop Poisson arrivals, each assigned to a uniformly random client;
+    payloads are the arrival index (distinct, so ordering bugs surface). *)
+
+val ramp :
+  Engine.t ->
+  start_period:int ->
+  end_period:int ->
+  steps:int ->
+  step_length:int ->
+  n_clients:int ->
+  submit:submit ->
+  unit
+(** Load ramp: the submission period interpolates from [start_period] to
+    [end_period] over [steps] plateaus of [step_length] cycles each. *)

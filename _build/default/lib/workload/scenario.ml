@@ -1,0 +1,103 @@
+module Resilient_system = Resoc_core.Resilient_system
+module Group = Resoc_core.Group
+module Soc = Resoc_core.Soc
+module Behavior = Resoc_fault.Behavior
+module Register = Resoc_hw.Register
+module Diversity = Resoc_resilience.Diversity
+module Rejuvenation = Resoc_resilience.Rejuvenation
+
+type t = {
+  name : string;
+  description : string;
+  config : Resilient_system.config;
+  workload_period : int;
+  horizon : int;
+}
+
+let automotive_brake_by_wire () =
+  let group =
+    {
+      Group.default_spec with
+      kind = `Minbft;
+      f = 1;
+      n_clients = 2;  (* brake pedal unit + stability controller *)
+      request_timeout = 2_000;
+      vc_timeout = 1_200;
+    }
+  in
+  let behaviors =
+    (* One ECU tile fails mid-drive. *)
+    let b = Array.make (Group.n_replicas_of group) Behavior.honest in
+    b.(2) <- Behavior.crash_at 120_000;
+    { group with behaviors = Some b }
+  in
+  {
+    name = "automotive";
+    description = "brake-by-wire ECU consolidation on an MPSoC; one ECU dies mid-drive";
+    config =
+      {
+        Resilient_system.default_config with
+        group = behaviors;
+        apt = None;
+        rejuvenation = None;
+        n_variants = 2;
+        diversity = Diversity.Round_robin;
+      };
+    workload_period = 1_000;  (* 1 request/kcycle ~ control-loop cadence *)
+    horizon = 300_000;
+  }
+
+let space_radiation () =
+  let group =
+    { Group.default_spec with kind = `Minbft; f = 1; n_clients = 1; usig_protection = Register.Secded }
+  in
+  {
+    name = "space";
+    description = "orbital compute module: SECDED hybrids + staggered rejuvenation under radiation";
+    config =
+      {
+        Resilient_system.default_config with
+        group;
+        apt = None;
+        rejuvenation = Some { Rejuvenation.period = 40_000; downtime = 1_500 };
+        diversity = Diversity.Same;  (* space heritage parts: one qualified design *)
+        n_variants = 1;
+      };
+    workload_period = 2_000;
+    horizon = 400_000;
+  }
+
+let smart_grid_substation () =
+  let group =
+    { Group.default_spec with kind = `Minbft; f = 1; n_clients = 2; usig_protection = Register.Secded }
+  in
+  {
+    name = "smart-grid";
+    description = "internet-exposed substation controller under an APT campaign with fabric trojans";
+    config =
+      {
+        Resilient_system.default_config with
+        group;
+        apt =
+          Some
+            {
+              Resilient_system.mean_exploit_cycles = 150_000.0;
+              exposure = 8_000;
+              backdoor_delay = 60_000;
+              detection_prob = 0.5;
+              detection_delay = 4_000;
+            };
+        (* Per-replica cadence (3 x 2.5k) beats the APT's 8k exposure
+           window, so even a ready exploit never dwells long enough. *)
+        rejuvenation = Some { Rejuvenation.period = 2_500; downtime = 250 };
+        relocate_on_rejuvenation = true;
+        reactive_rejuvenation = true;
+        diversity = Diversity.Max_diversity;
+        n_variants = 6;
+        trojaned_frames = [ (1, 1); (9, 4) ];
+      };
+    workload_period = 2_500;
+    horizon = 600_000;
+  }
+
+let all () = [ automotive_brake_by_wire (); space_radiation (); smart_grid_substation () ]

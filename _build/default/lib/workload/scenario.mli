@@ -1,0 +1,31 @@
+(** Domain scenario presets, sized after the application classes the paper's
+    introduction motivates (cyber-physical systems, automotive, space). Each
+    returns a ready {!Resoc_core.Resilient_system.config} plus the workload
+    cadence and horizon an example/bench should drive it with. *)
+
+module Resilient_system = Resoc_core.Resilient_system
+
+type t = {
+  name : string;
+  description : string;
+  config : Resilient_system.config;
+  workload_period : int;
+  horizon : int;
+}
+
+val automotive_brake_by_wire : unit -> t
+(** Software-defined vehicle ECU consolidation: MinBFT f=1 on a small mesh,
+    tight 1 kHz-equivalent control loop, one crash-faulty tile, no APT —
+    safety-availability focus. *)
+
+val space_radiation : unit -> t
+(** Orbital payload: SECDED hybrids, staggered rejuvenation, radiation
+    pressure modelled by the E2-style SEU campaign driven in the example;
+    APT disabled (the environment is the adversary). *)
+
+val smart_grid_substation : unit -> t
+(** Internet-exposed substation controller: aggressive APT, diverse +
+    relocating rejuvenation, fabric trojans planted — intrusion-resilience
+    focus. *)
+
+val all : unit -> t list

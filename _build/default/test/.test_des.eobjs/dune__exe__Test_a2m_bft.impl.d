@@ -1,0 +1,1 @@
+test/test_a2m_bft.ml: A2m_bft Alcotest Int64 Minbft Printf Resoc_core Resoc_crypto Resoc_des Resoc_fault Resoc_hybrid Resoc_repl Resoc_workload Stats Transport

@@ -1,0 +1,1 @@
+test/test_a2m_bft.mli:

@@ -1,0 +1,1 @@
+test/test_cheapbft.ml: Alcotest Array Cheapbft Int64 Minbft Printf Resoc_des Resoc_fault Resoc_hybrid Resoc_repl Stats Transport

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Group Int64 List Printf Protocol_switch Resilient_system Resoc_core Resoc_des Resoc_fault Resoc_repl Resoc_resilience Resoc_workload Soc

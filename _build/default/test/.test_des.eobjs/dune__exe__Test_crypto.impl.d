@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Hash Keychain List Mac QCheck QCheck_alcotest Resoc_crypto Resoc_des String

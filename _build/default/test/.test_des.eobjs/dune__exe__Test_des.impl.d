@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Engine Float Fun Heap Int64 List Metrics QCheck QCheck_alcotest Resoc_des Rng Trace

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Bitstream Grid Icap List Region Resoc_des Resoc_fabric

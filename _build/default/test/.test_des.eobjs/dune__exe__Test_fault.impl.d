@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Apt Array Behavior Common_mode List Printf Resoc_des Resoc_fault Resoc_hw Seu Trojan

@@ -1,0 +1,1 @@
+test/test_hw.ml: Aging Alcotest Array Circuit Complexity Ecc Float Int64 List Printf QCheck QCheck_alcotest Redundancy Register Resoc_des Resoc_hw

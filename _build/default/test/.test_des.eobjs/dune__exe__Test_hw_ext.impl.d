@@ -1,0 +1,1 @@
+test/test_hw_ext.ml: Alcotest Float List Lockstep Printf QCheck QCheck_alcotest Razor Resoc_des Resoc_hw Resoc_noc Sinw Stack3d

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: A2m Alcotest Int64 List Resoc_crypto Resoc_des Resoc_hw Resoc_hybrid Trinc Usig

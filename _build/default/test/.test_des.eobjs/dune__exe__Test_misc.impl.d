@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Client Format Int64 List Resoc_core Resoc_crypto Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Resoc_repl Resoc_resilience Stats String Transport Types

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest List Mesh Network Printf QCheck QCheck_alcotest Resoc_des Resoc_noc

@@ -1,0 +1,1 @@
+test/test_protocol_props.ml: Alcotest Array Fun Gen Int64 List Minbft Printf QCheck QCheck_alcotest Resoc_core Resoc_des Resoc_fault Resoc_repl Resoc_workload Stats String Transport

@@ -1,0 +1,1 @@
+test/test_repl.ml: Alcotest App Array Int64 List Minbft Paxos Pbft Primary_backup Printf Resoc_des Resoc_fault Resoc_hw Resoc_hybrid Resoc_repl Stats Transport

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Adaptation Alcotest Array Diversity Governance List Printf Rejuvenation Resoc_des Resoc_fabric Resoc_fault Resoc_resilience Threat

@@ -1,0 +1,173 @@
+(* A2M-anchored BFT: the second Hybrid_bft instance. Mirrors the key MinBFT
+   behaviours and adds A2M-specific checks (log growth, retrospective
+   attestations). *)
+
+open Resoc_repl
+module Engine = Resoc_des.Engine
+module Behavior = Resoc_fault.Behavior
+module A2m = Resoc_hybrid.A2m
+module Hash = Resoc_crypto.Hash
+module Keychain = Resoc_crypto.Keychain
+module Generator = Resoc_workload.Generator
+module Group = Resoc_core.Group
+
+let horizon = 300_000
+
+let setup ?(f = 1) ?(n_clients = 1) ?behaviors () =
+  let engine = Engine.create () in
+  let config = { A2m_bft.default_config with f; n_clients } in
+  let n = A2m_bft.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + n_clients) () in
+  let sys = A2m_bft.start engine fabric config ?behaviors () in
+  (engine, sys, n)
+
+let submit_series sys ~count =
+  for i = 1 to count do
+    A2m_bft.submit sys ~client:0 ~payload:(Int64.of_int i)
+  done
+
+let sum_1_to n = Int64.of_int (n * (n + 1) / 2)
+
+let test_happy_path () =
+  let engine, sys, n = setup () in
+  Alcotest.(check int) "2f+1 replicas" 3 n;
+  submit_series sys ~count:5;
+  Engine.run ~until:horizon engine;
+  let s = A2m_bft.stats sys in
+  Alcotest.(check int) "completed" 5 s.Stats.completed;
+  Alcotest.(check int) "no view changes" 0 s.Stats.view_changes;
+  for r = 0 to n - 1 do
+    Alcotest.(check int64) (Printf.sprintf "replica %d" r) (sum_1_to 5)
+      (A2m_bft.replica_state sys ~replica:r)
+  done
+
+let test_logs_grow_with_commits () =
+  let engine, sys, n = setup () in
+  submit_series sys ~count:4;
+  Engine.run ~until:horizon engine;
+  (* Every replica appended one attestation per statement it certified:
+     the primary one per request, backups one commit each. *)
+  for r = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d log non-empty" r)
+      true
+      (A2m.size (A2m_bft.hybrid sys ~replica:r) >= 4)
+  done
+
+let test_retrospective_attestation () =
+  (* The A2M's extra power over a USIG: after the run, historical entries
+     can be re-attested and verified against the component key. *)
+  let engine, sys, _ = setup () in
+  submit_series sys ~count:3;
+  Engine.run ~until:horizon engine;
+  let log = A2m_bft.hybrid sys ~replica:0 in
+  let kc = Keychain.create ~master:A2m_bft.default_config.A2m_bft.keychain_master ~n:3 in
+  match A2m.lookup log ~seq:1L with
+  | None -> Alcotest.fail "expected a first log entry"
+  | Some att ->
+    Alcotest.(check bool) "historical attestation verifies" true
+      (A2m.verify ~key:(Keychain.component kc 0) att)
+
+let test_crash_backup_tolerated () =
+  let behaviors = [| Behavior.honest; Behavior.crash_at 0; Behavior.honest |] in
+  let engine, sys, _ = setup ~behaviors () in
+  submit_series sys ~count:5;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "completed" 5 (A2m_bft.stats sys).Stats.completed
+
+let test_crash_primary_view_change () =
+  let behaviors = [| Behavior.crash_at 10; Behavior.honest; Behavior.honest |] in
+  let engine, sys, _ = setup ~behaviors () in
+  submit_series sys ~count:5;
+  Engine.run ~until:horizon engine;
+  let s = A2m_bft.stats sys in
+  Alcotest.(check int) "completed" 5 s.Stats.completed;
+  Alcotest.(check bool) "view changed" true (s.Stats.view_changes >= 1);
+  Alcotest.(check int64) "survivors agree" (A2m_bft.replica_state sys ~replica:1)
+    (A2m_bft.replica_state sys ~replica:2)
+
+let test_equivocation_harmless () =
+  (* The log forces distinct positions for distinct statements, exactly like
+     the USIG counter. *)
+  let behaviors = [| Behavior.byzantine Behavior.Equivocate; Behavior.honest; Behavior.honest |] in
+  let engine, sys, _ = setup ~behaviors () in
+  submit_series sys ~count:5;
+  Engine.run ~until:horizon engine;
+  let s = A2m_bft.stats sys in
+  Alcotest.(check int) "no stall" 5 s.Stats.completed;
+  Alcotest.(check int) "no view change" 0 s.Stats.view_changes;
+  Alcotest.(check int64) "agreement" (A2m_bft.replica_state sys ~replica:1)
+    (A2m_bft.replica_state sys ~replica:2)
+
+let test_corrupt_replies_filtered () =
+  let behaviors =
+    [| Behavior.honest; Behavior.byzantine Behavior.Corrupt_execution; Behavior.honest |]
+  in
+  let engine, sys, _ = setup ~behaviors () in
+  submit_series sys ~count:4;
+  Engine.run ~until:horizon engine;
+  let s = A2m_bft.stats sys in
+  Alcotest.(check int) "completed" 4 s.Stats.completed;
+  Alcotest.(check bool) "dissent observed" true (s.Stats.wrong_replies >= 1)
+
+let test_offline_online () =
+  let engine, sys, _ = setup () in
+  ignore (Engine.schedule engine ~delay:1_000 (fun () -> A2m_bft.set_offline sys ~replica:2));
+  ignore (Engine.schedule engine ~delay:40_000 (fun () -> A2m_bft.set_online sys ~replica:2));
+  Engine.every engine ~period:10_000 (fun () ->
+      if Engine.now engine <= 80_000 then A2m_bft.submit sys ~client:0 ~payload:1L);
+  Engine.run ~until:horizon engine;
+  let s = A2m_bft.stats sys in
+  Alcotest.(check int) "completed through the cycle" 8 s.Stats.completed;
+  Alcotest.(check int64) "rejoined replica consistent" (A2m_bft.replica_state sys ~replica:0)
+    (A2m_bft.replica_state sys ~replica:2)
+
+let test_group_integration () =
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with kind = `A2m_bft; n_clients = 1 } in
+  let group = Group.build engine (Group.Hub { latency = 5 }) spec in
+  Alcotest.(check string) "protocol name" "a2m-bft" group.Group.protocol;
+  Alcotest.(check int) "2f+1" 3 group.Group.n_replicas;
+  Generator.burst ~n_per_client:5 ~n_clients:1 ~submit:group.Group.submit;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "completed via group" 5 (group.Group.stats ()).Stats.completed
+
+let test_same_quorums_as_minbft () =
+  (* Both Hybrid_bft instances complete the same workload with the same
+     message count over the same fabric: the agreement core is shared. *)
+  let engine_a = Engine.create () in
+  let fabric_a = Transport.hub engine_a ~n:4 () in
+  let sys_a = A2m_bft.start engine_a fabric_a { A2m_bft.default_config with n_clients = 1 } () in
+  for i = 1 to 6 do
+    A2m_bft.submit sys_a ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:horizon engine_a;
+  let engine_m = Engine.create () in
+  let fabric_m = Transport.hub engine_m ~n:4 () in
+  let sys_m = Minbft.start engine_m fabric_m { Minbft.default_config with n_clients = 1 } () in
+  for i = 1 to 6 do
+    Minbft.submit sys_m ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:horizon engine_m;
+  Alcotest.(check int) "same messages as minbft" (fabric_m.Transport.messages_sent ())
+    (fabric_a.Transport.messages_sent ());
+  Alcotest.(check int64) "same state" (Minbft.replica_state sys_m ~replica:0)
+    (A2m_bft.replica_state sys_a ~replica:0)
+
+let () =
+  Alcotest.run "resoc_a2m_bft"
+    [
+      ( "a2m-bft",
+        [
+          Alcotest.test_case "happy path" `Quick test_happy_path;
+          Alcotest.test_case "logs grow" `Quick test_logs_grow_with_commits;
+          Alcotest.test_case "retrospective attestation" `Quick test_retrospective_attestation;
+          Alcotest.test_case "crash backup tolerated" `Quick test_crash_backup_tolerated;
+          Alcotest.test_case "crash primary view change" `Quick test_crash_primary_view_change;
+          Alcotest.test_case "equivocation harmless" `Quick test_equivocation_harmless;
+          Alcotest.test_case "corrupt replies filtered" `Quick test_corrupt_replies_filtered;
+          Alcotest.test_case "offline/online" `Quick test_offline_online;
+          Alcotest.test_case "group integration" `Quick test_group_integration;
+          Alcotest.test_case "same quorums as minbft" `Quick test_same_quorums_as_minbft;
+        ] );
+    ]

@@ -1,0 +1,390 @@
+open Resoc_core
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Behavior = Resoc_fault.Behavior
+module Rejuvenation = Resoc_resilience.Rejuvenation
+module Diversity = Resoc_resilience.Diversity
+module Stats = Resoc_repl.Stats
+module Generator = Resoc_workload.Generator
+module Scenario = Resoc_workload.Scenario
+
+(* --- Soc --- *)
+
+let test_soc_spread_placement () =
+  let soc = Soc.create Soc.default_config in
+  let placement = Soc.spread_placement soc ~n:5 in
+  Alcotest.(check int) "count" 5 (Array.length placement);
+  let distinct = List.sort_uniq compare (Array.to_list placement) in
+  Alcotest.(check int) "distinct tiles" 5 (List.length distinct);
+  Array.iter (fun tile -> Alcotest.(check bool) "in range" true (tile >= 0 && tile < 16)) placement
+
+let test_soc_placement_too_big () =
+  let soc = Soc.create Soc.default_config in
+  Alcotest.check_raises "too many" (Invalid_argument "Soc.spread_placement: mesh too small")
+    (fun () -> ignore (Soc.spread_placement soc ~n:17))
+
+let test_soc_noc_fabric_roundtrip () =
+  let soc = Soc.create Soc.default_config in
+  let placement = Soc.spread_placement soc ~n:4 in
+  let fabric = Soc.noc_fabric soc ~placement ~size_of:(fun _ -> 32) in
+  let got = ref [] in
+  fabric.Resoc_repl.Transport.set_handler 3 (fun ~src msg -> got := (src, msg) :: !got);
+  fabric.Resoc_repl.Transport.send ~src:0 ~dst:3 "ping";
+  Engine.run (Soc.engine soc);
+  Alcotest.(check (list (pair int string))) "logical ids preserved" [ (0, "ping") ] !got;
+  Alcotest.(check int) "noc counted it" 1 (Soc.noc_messages soc);
+  Alcotest.(check int) "bytes counted" 32 (Soc.noc_bytes soc)
+
+let test_soc_fabric_rejects_duplicate_placement () =
+  let soc = Soc.create Soc.default_config in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Soc.noc_fabric: placement must be injective")
+    (fun () -> ignore (Soc.noc_fabric soc ~placement:[| 1; 1 |] ~size_of:(fun _ -> 1)))
+
+(* --- Group over hub and NoC --- *)
+
+let run_group_burst kind =
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with kind; n_clients = 1 } in
+  let group = Group.build engine (Group.Hub { latency = 5 }) spec in
+  Generator.burst ~n_per_client:5 ~n_clients:1 ~submit:group.Group.submit;
+  Engine.run ~until:300_000 engine;
+  (group.Group.stats ()).Stats.completed
+
+let test_group_all_protocols_on_hub () =
+  List.iter
+    (fun kind -> Alcotest.(check int) "completed" 5 (run_group_burst kind))
+    [ `Pbft; `Minbft; `A2m_bft; `Paxos; `Primary_backup ]
+
+let test_group_replica_counts () =
+  Alcotest.(check int) "pbft 3f+1" 7 (Group.n_replicas_of { Group.default_spec with kind = `Pbft; f = 2 });
+  Alcotest.(check int) "minbft 2f+1" 5 (Group.n_replicas_of { Group.default_spec with kind = `Minbft; f = 2 });
+  Alcotest.(check int) "a2m-bft 2f+1" 5
+    (Group.n_replicas_of { Group.default_spec with kind = `A2m_bft; f = 2 });
+  Alcotest.(check int) "paxos 2f+1" 5 (Group.n_replicas_of { Group.default_spec with kind = `Paxos; f = 2 });
+  Alcotest.(check int) "pb f+1" 3
+    (Group.n_replicas_of { Group.default_spec with kind = `Primary_backup; f = 2 })
+
+let test_group_minbft_on_noc () =
+  let soc = Soc.create Soc.default_config in
+  let spec = { Group.default_spec with kind = `Minbft; n_clients = 2 } in
+  let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
+  Generator.burst ~n_per_client:4 ~n_clients:2 ~submit:group.Group.submit;
+  Engine.run ~until:300_000 (Soc.engine soc);
+  let s = group.Group.stats () in
+  Alcotest.(check int) "completed over the mesh" 8 s.Stats.completed;
+  Alcotest.(check bool) "noc carried traffic" true (Soc.noc_messages soc > 0);
+  (* NoC latency > hub latency: mean above the hub-run baseline. *)
+  Alcotest.(check bool) "latency positive" true
+    (Resoc_des.Metrics.Histogram.mean s.Stats.latency > 0.0)
+
+let test_group_pbft_on_noc_with_primary_crash () =
+  let soc = Soc.create Soc.default_config in
+  let spec = { Group.default_spec with kind = `Pbft; n_clients = 1 } in
+  let behaviors = Array.make 4 Behavior.honest in
+  behaviors.(0) <- Behavior.crash_at 10;
+  let spec = { spec with behaviors = Some behaviors } in
+  let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
+  Generator.burst ~n_per_client:3 ~n_clients:1 ~submit:group.Group.submit;
+  Engine.run ~until:300_000 (Soc.engine soc);
+  let s = group.Group.stats () in
+  Alcotest.(check int) "survives over the mesh" 3 s.Stats.completed;
+  Alcotest.(check bool) "view changed" true (s.Stats.view_changes >= 1)
+
+(* --- Generator --- *)
+
+let collect_submits () =
+  let log = ref [] in
+  let submit ~client ~payload = log := (client, payload) :: !log in
+  (log, submit)
+
+let test_generator_burst () =
+  let log, submit = collect_submits () in
+  Generator.burst ~n_per_client:3 ~n_clients:2 ~submit;
+  Alcotest.(check int) "total" 6 (List.length !log)
+
+let test_generator_periodic () =
+  let engine = Engine.create () in
+  let log, submit = collect_submits () in
+  Generator.periodic engine ~period:100 ~until:450 ~n_clients:2 ~submit ();
+  Engine.run ~until:1_000 engine;
+  Alcotest.(check int) "4 ticks x 2 clients" 8 (List.length !log)
+
+let test_generator_poisson_rate () =
+  let engine = Engine.create () in
+  let log, submit = collect_submits () in
+  Generator.poisson engine (Rng.create 3L) ~mean_interarrival:100.0 ~until:100_000 ~n_clients:3 ~submit ();
+  Engine.run ~until:100_000 engine;
+  let n = List.length !log in
+  Alcotest.(check bool) (Printf.sprintf "~1000 arrivals (%d)" n) true (n > 800 && n < 1200);
+  List.iter (fun (c, _) -> Alcotest.(check bool) "client range" true (c >= 0 && c < 3)) !log
+
+let test_generator_ramp_increases_load () =
+  let engine = Engine.create () in
+  let log, submit = collect_submits () in
+  (* period 1000 -> 100 over 2 plateaus of 10k cycles *)
+  Generator.ramp engine ~start_period:1_000 ~end_period:100 ~steps:2 ~step_length:10_000
+    ~n_clients:1 ~submit;
+  Engine.run engine;
+  (* plateau 1: ~10 submissions; plateau 2: ~100 *)
+  let n = List.length !log in
+  Alcotest.(check bool) (Printf.sprintf "ramp total (%d)" n) true (n > 90 && n < 130)
+
+(* --- Resilient_system --- *)
+
+let quiet_config () =
+  {
+    Resilient_system.default_config with
+    group = { Group.default_spec with n_clients = 1 };
+    apt = None;
+    rejuvenation = None;
+  }
+
+let test_rs_baseline_run () =
+  let sys = Resilient_system.create (quiet_config ()) in
+  let report = Resilient_system.run sys ~horizon:100_000 ~workload_period:2_000 in
+  Alcotest.(check bool) "requests flowed" true (report.Resilient_system.completed > 30);
+  Alcotest.(check (float 0.01)) "fully available" 1.0 report.Resilient_system.availability;
+  Alcotest.(check int) "no compromises" 0 report.Resilient_system.compromises;
+  Alcotest.(check bool) "safety held" true (report.Resilient_system.failed_at = None)
+
+let test_rs_run_once_only () =
+  let sys = Resilient_system.create (quiet_config ()) in
+  ignore (Resilient_system.run sys ~horizon:10_000 ~workload_period:2_000);
+  Alcotest.check_raises "second run rejected" (Invalid_argument "Resilient_system.run: already ran")
+    (fun () -> ignore (Resilient_system.run sys ~horizon:10_000 ~workload_period:2_000))
+
+let aggressive_apt =
+  {
+    Resilient_system.mean_exploit_cycles = 30_000.0;
+    exposure = 5_000;
+    backdoor_delay = 50_000;
+    detection_prob = 0.0;
+    detection_delay = 1_000;
+  }
+
+let test_rs_apt_without_rejuvenation_falls () =
+  let config =
+    {
+      (quiet_config ()) with
+      Resilient_system.apt = Some aggressive_apt;
+      n_variants = 2;
+      shared_vuln_prob = 0.0;
+      diversity = Diversity.Round_robin;
+    }
+  in
+  let sys = Resilient_system.create config in
+  let report = Resilient_system.run sys ~horizon:1_000_000 ~workload_period:5_000 in
+  Alcotest.(check bool) "eventually more than f compromised" true
+    (report.Resilient_system.failed_at <> None);
+  Alcotest.(check bool) "compromises recorded" true (report.Resilient_system.compromises >= 2)
+
+let test_rs_diverse_rejuvenation_survives_longer () =
+  let base =
+    {
+      (quiet_config ()) with
+      Resilient_system.apt = Some aggressive_apt;
+      n_variants = 8;
+      shared_vuln_prob = 0.0;
+    }
+  in
+  let run ~rejuvenation ~diversity =
+    let sys = Resilient_system.create { base with Resilient_system.rejuvenation; diversity } in
+    let report = Resilient_system.run sys ~horizon:600_000 ~workload_period:5_000 in
+    (match report.Resilient_system.failed_at with Some t -> t | None -> 600_000)
+  in
+  let bare = run ~rejuvenation:None ~diversity:Diversity.Same in
+  let defended =
+    run
+      ~rejuvenation:(Some { Rejuvenation.period = 8_000; downtime = 500 })
+      ~diversity:Diversity.Max_diversity
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "diverse rejuvenation survives longer (%d vs %d)" defended bare)
+    true (defended > bare)
+
+let test_rs_trojan_relocation_escapes () =
+  (* A backdoor sits under the first replica's region. Without relocation it
+     is compromised via the backdoor; with relocating rejuvenation it moves
+     away before the backdoor matures. *)
+  let base =
+    {
+      (quiet_config ()) with
+      Resilient_system.apt =
+        Some
+          {
+            Resilient_system.mean_exploit_cycles = 1.0e12;
+            exposure = 10_000;
+            backdoor_delay = 60_000;
+            detection_prob = 0.0;
+            detection_delay = 1_000;
+          };
+      trojaned_frames = [ (0, 0) ];
+      rejuvenation = Some { Rejuvenation.period = 12_000; downtime = 500 };
+    }
+  in
+  let run relocate =
+    let sys = Resilient_system.create { base with Resilient_system.relocate_on_rejuvenation = relocate } in
+    let report = Resilient_system.run sys ~horizon:300_000 ~workload_period:5_000 in
+    report.Resilient_system.compromises
+  in
+  let without = run false in
+  let with_relocation = run true in
+  Alcotest.(check bool) "backdoor fires without relocation" true (without >= 1);
+  Alcotest.(check int) "relocation escapes the backdoor" 0 with_relocation
+
+let test_rs_determinism () =
+  let run () =
+    let config =
+      { (quiet_config ()) with Resilient_system.apt = Some aggressive_apt; n_variants = 3 }
+    in
+    let sys = Resilient_system.create config in
+    let r = Resilient_system.run sys ~horizon:200_000 ~workload_period:3_000 in
+    (r.Resilient_system.completed, r.Resilient_system.compromises, r.Resilient_system.failed_at)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reports" true (a = b)
+
+let test_rs_variant_tracking () =
+  let config =
+    {
+      (quiet_config ()) with
+      Resilient_system.n_variants = 4;
+      diversity = Diversity.Max_diversity;
+      rejuvenation = Some { Rejuvenation.period = 10_000; downtime = 500 };
+    }
+  in
+  let sys = Resilient_system.create config in
+  let v0_before = Resilient_system.variant_of sys ~replica:0 in
+  ignore (Resilient_system.run sys ~horizon:50_000 ~workload_period:5_000);
+  (* Replica 0 was rejuvenated (period 10k over 50k): max-diversity moves it
+     to a fresh variant. *)
+  Alcotest.(check bool) "variant changed" true
+    (Resilient_system.variant_of sys ~replica:0 <> v0_before)
+
+(* --- Protocol_switch --- *)
+
+let test_switch_basic () =
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with kind = `Minbft; n_clients = 1 } in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) spec in
+  Alcotest.(check int) "epoch 0" 0 (Protocol_switch.epoch sw);
+  Alcotest.(check string) "starts on minbft" "minbft" (Protocol_switch.group sw).Group.protocol;
+  for i = 1 to 5 do
+    Protocol_switch.submit sw ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:100_000 engine;
+  Alcotest.(check int) "first epoch served" 5 (Protocol_switch.total_completed sw)
+
+let test_switch_carries_state_and_counts_drops () =
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with kind = `Minbft; n_clients = 1 } in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) spec in
+  for i = 1 to 4 do
+    Protocol_switch.submit sw ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:50_000 engine;
+  let state_before = (Protocol_switch.group sw).Group.replica_state ~replica:0 in
+  Alcotest.(check int64) "epoch-0 state" 10L state_before;
+  (* Switch to PBFT with 5k downtime; submissions during the hole drop. *)
+  Protocol_switch.switch sw { spec with Group.kind = `Pbft } ~downtime:5_000;
+  Alcotest.(check bool) "switching" true (Protocol_switch.switching sw);
+  Protocol_switch.submit sw ~client:0 ~payload:99L;
+  Engine.run ~until:60_000 engine;
+  Alcotest.(check int) "dropped during hole" 1 (Protocol_switch.dropped_during_switch sw);
+  Alcotest.(check int) "epoch advanced" 1 (Protocol_switch.epoch sw);
+  let group = Protocol_switch.group sw in
+  Alcotest.(check string) "now pbft" "pbft" group.Group.protocol;
+  Alcotest.(check int64) "state carried" 10L (group.Group.replica_state ~replica:0);
+  (* New epoch keeps executing on top of the carried state. *)
+  for _ = 1 to 3 do
+    Protocol_switch.submit sw ~client:0 ~payload:5L
+  done;
+  Engine.run ~until:200_000 engine;
+  Alcotest.(check int64) "continues from carried state" 25L (group.Group.replica_state ~replica:0);
+  Alcotest.(check int) "total across epochs" 7 (Protocol_switch.total_completed sw)
+
+let test_switch_rejects_concurrent () =
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with n_clients = 1 } in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) spec in
+  Protocol_switch.switch sw spec ~downtime:1_000;
+  Alcotest.check_raises "no concurrent switch"
+    (Invalid_argument "Protocol_switch.switch: already switching") (fun () ->
+      Protocol_switch.switch sw spec ~downtime:1_000)
+
+(* --- Scenarios --- *)
+
+let test_scenarios_build_and_run () =
+  List.iter
+    (fun scenario ->
+      let sys = Resilient_system.create scenario.Scenario.config in
+      let horizon = min scenario.Scenario.horizon 150_000 in
+      let report =
+        Resilient_system.run sys ~horizon ~workload_period:scenario.Scenario.workload_period
+      in
+      Alcotest.(check bool)
+        (scenario.Scenario.name ^ " makes progress")
+        true
+        (report.Resilient_system.completed > 0))
+    (Scenario.all ())
+
+let test_scenario_automotive_rides_through_crash () =
+  let scenario = Scenario.automotive_brake_by_wire () in
+  let sys = Resilient_system.create scenario.Scenario.config in
+  let report =
+    Resilient_system.run sys ~horizon:scenario.Scenario.horizon
+      ~workload_period:scenario.Scenario.workload_period
+  in
+  Alcotest.(check bool) "high availability despite ECU loss" true
+    (report.Resilient_system.availability > 0.95);
+  Alcotest.(check bool) "safety held" true (report.Resilient_system.failed_at = None)
+
+let () =
+  Alcotest.run "resoc_core"
+    [
+      ( "soc",
+        [
+          Alcotest.test_case "spread placement" `Quick test_soc_spread_placement;
+          Alcotest.test_case "placement too big" `Quick test_soc_placement_too_big;
+          Alcotest.test_case "noc fabric roundtrip" `Quick test_soc_noc_fabric_roundtrip;
+          Alcotest.test_case "rejects duplicate placement" `Quick test_soc_fabric_rejects_duplicate_placement;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "all protocols on hub" `Quick test_group_all_protocols_on_hub;
+          Alcotest.test_case "replica counts" `Quick test_group_replica_counts;
+          Alcotest.test_case "minbft on noc" `Quick test_group_minbft_on_noc;
+          Alcotest.test_case "pbft on noc, primary crash" `Quick test_group_pbft_on_noc_with_primary_crash;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "burst" `Quick test_generator_burst;
+          Alcotest.test_case "periodic" `Quick test_generator_periodic;
+          Alcotest.test_case "poisson rate" `Slow test_generator_poisson_rate;
+          Alcotest.test_case "ramp" `Quick test_generator_ramp_increases_load;
+        ] );
+      ( "resilient-system",
+        [
+          Alcotest.test_case "baseline run" `Quick test_rs_baseline_run;
+          Alcotest.test_case "run once only" `Quick test_rs_run_once_only;
+          Alcotest.test_case "apt without rejuvenation falls" `Quick test_rs_apt_without_rejuvenation_falls;
+          Alcotest.test_case "diverse rejuvenation survives longer" `Quick
+            test_rs_diverse_rejuvenation_survives_longer;
+          Alcotest.test_case "trojan relocation escapes" `Quick test_rs_trojan_relocation_escapes;
+          Alcotest.test_case "determinism" `Quick test_rs_determinism;
+          Alcotest.test_case "variant tracking" `Quick test_rs_variant_tracking;
+        ] );
+      ( "protocol-switch",
+        [
+          Alcotest.test_case "basic" `Quick test_switch_basic;
+          Alcotest.test_case "carries state, counts drops" `Quick
+            test_switch_carries_state_and_counts_drops;
+          Alcotest.test_case "rejects concurrent" `Quick test_switch_rejects_concurrent;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "all build and run" `Slow test_scenarios_build_and_run;
+          Alcotest.test_case "automotive rides through crash" `Quick
+            test_scenario_automotive_rides_through_crash;
+        ] );
+    ]

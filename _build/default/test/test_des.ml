@@ -1,0 +1,378 @@
+open Resoc_des
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h)
+
+let test_heap_peek_stable () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.add h) [ 4; 2; 9 ];
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "size unchanged" 3 (Heap.size h)
+
+let test_heap_interleaved () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  Heap.add h 5;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Heap.add h 0;
+  Heap.add h 7;
+  Alcotest.(check (option int)) "pop 0" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 7" (Some 7) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.add h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different streams" false (Int64.equal (Rng.int64 a) (Rng.int64 b))
+
+let test_rng_split_independent () =
+  (* The child's stream is fixed at split time: later parent draws must not
+     perturb it. *)
+  let p1 = Rng.create 7L in
+  let c1 = Rng.split p1 in
+  let v1 = Rng.int64 c1 in
+  let p2 = Rng.create 7L in
+  let c2 = Rng.split p2 in
+  ignore (Rng.int64 p2);
+  Alcotest.(check int64) "child stream stable" v1 (Rng.int64 c2)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_exponential_mean () =
+  let r = Rng.create 5L in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:10.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (mean -. 10.0) < 0.5)
+
+let test_bernoulli_rate () =
+  let r = Rng.create 6L in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_bernoulli_extremes () =
+  let r = Rng.create 6L in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli r 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli r 1.0)
+
+let test_poisson_mean () =
+  let r = Rng.create 7L in
+  let n = 10000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.poisson r ~mean:4.0
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.0) < 0.2)
+
+let test_weibull_positive () =
+  let r = Rng.create 8L in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Rng.weibull r ~shape:2.0 ~scale:5.0 > 0.0)
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.create 9L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_geometric_mean () =
+  let r = Rng.create 10L in
+  let n = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric r ~p:0.25
+  done;
+  (* mean of failures before success = (1-p)/p = 3 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.2)
+
+(* --- Engine --- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule e ~delay:5 (fun () -> log := 5 :: !log));
+  ignore (Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 5; 10; 20 ] (List.rev !log)
+
+let test_engine_fifo_same_cycle () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:5 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:5 (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule e ~delay:5 (fun () -> log := 3 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo within a cycle" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_now_advances () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:7 (fun () -> Alcotest.(check int) "now inside event" 7 (Engine.now e)));
+  Engine.run e;
+  Alcotest.(check int) "now after run" 7 (Engine.now e)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  ignore
+    (Engine.schedule e ~delay:3 (fun () ->
+         ignore (Engine.schedule e ~delay:4 (fun () -> hits := Engine.now e :: !hits))));
+  Engine.run e;
+  Alcotest.(check (list int)) "nested fires at 7" [ 7 ] !hits
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:5 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled never fires" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:5 (fun () -> fired := 5 :: !fired));
+  ignore (Engine.schedule e ~delay:50 (fun () -> fired := 50 :: !fired));
+  Engine.run ~until:10 e;
+  Alcotest.(check (list int)) "only early event" [ 5 ] !fired;
+  Alcotest.(check int) "clock clamped to horizon" 10 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check (list int)) "late event after resume" [ 50; 5 ] !fired
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let ticks = ref [] in
+  Engine.every e ~period:10 (fun () -> ticks := Engine.now e :: !ticks);
+  Engine.run ~until:35 e;
+  Alcotest.(check (list int)) "periodic ticks" [ 10; 20; 30 ] (List.rev !ticks)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~period:1 (fun () ->
+      incr count;
+      if !count = 5 then Engine.stop e);
+  Engine.run ~until:100 e;
+  Alcotest.(check int) "stopped after 5" 5 !count
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  Engine.every e ~period:1 (fun () -> ());
+  Engine.run ~max_events:10 e;
+  Alcotest.(check bool) "bounded" true (Engine.events_processed e <= 11)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: time is in the past") (fun () ->
+          ignore (Engine.at e ~time:2 (fun () -> ())))));
+  Engine.run e
+
+let test_engine_determinism () =
+  let run_once () =
+    let e = Engine.create ~seed:99L () in
+    let rng = Rng.split (Engine.rng e) in
+    let acc = ref [] in
+    Engine.every e ~period:3 (fun () -> acc := Rng.int rng 1000 :: !acc);
+    Engine.run ~until:60 e;
+    !acc
+  in
+  Alcotest.(check (list int)) "same seed same trace" (run_once ()) (run_once ())
+
+(* --- Metrics --- *)
+
+let test_counter () =
+  let c = Metrics.Counter.create "c" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Metrics.Counter.value c);
+  Metrics.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Metrics.Counter.value c)
+
+let test_histogram_stats () =
+  let h = Metrics.Histogram.create "h" in
+  List.iter (Metrics.Histogram.add h) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Metrics.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Metrics.Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Metrics.Histogram.max h);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) (Metrics.Histogram.stddev h)
+
+let test_histogram_percentile () =
+  let h = Metrics.Histogram.create "h" in
+  for i = 1 to 100 do
+    Metrics.Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check (float 1.0)) "p50" 50.0 (Metrics.Histogram.percentile h 50.0);
+  Alcotest.(check (float 1.0)) "p99" 99.0 (Metrics.Histogram.percentile h 99.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Metrics.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Metrics.Histogram.percentile h 100.0)
+
+let test_histogram_empty () =
+  let h = Metrics.Histogram.create "h" in
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (Metrics.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "percentile empty" 0.0 (Metrics.Histogram.percentile h 50.0)
+
+let test_series () =
+  let s = Metrics.Series.create "s" in
+  Metrics.Series.add s ~time:1 1.5;
+  Metrics.Series.add s ~time:2 2.5;
+  Alcotest.(check int) "length" 2 (Metrics.Series.length s);
+  Alcotest.(check (list (pair int (float 1e-9)))) "order" [ (1, 1.5); (2, 2.5) ] (Metrics.Series.to_list s);
+  (match Metrics.Series.last s with
+   | Some (t, v) ->
+     Alcotest.(check int) "last time" 2 t;
+     Alcotest.(check (float 1e-9)) "last value" 2.5 v
+   | None -> Alcotest.fail "expected last")
+
+(* --- Trace --- *)
+
+let test_trace_levels () =
+  let t = Trace.create ~min_level:Trace.Warn () in
+  Trace.emit t ~time:1 Trace.Info ~component:"x" (fun () -> "dropped");
+  Trace.emit t ~time:2 Trace.Error ~component:"x" (fun () -> "kept");
+  Alcotest.(check int) "only warn+" 1 (List.length (Trace.entries t))
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 ~min_level:Trace.Debug () in
+  for i = 1 to 10 do
+    Trace.emit t ~time:i Trace.Info ~component:"c" (fun () -> string_of_int i)
+  done;
+  let kept = Trace.entries t in
+  Alcotest.(check int) "capacity respected" 4 (List.length kept);
+  Alcotest.(check (list string)) "last four kept" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.message) kept);
+  Alcotest.(check int) "total counted" 10 (Trace.count t)
+
+let test_trace_lazy () =
+  let t = Trace.create ~min_level:Trace.Error () in
+  let evaluated = ref false in
+  Trace.emit t ~time:0 Trace.Debug ~component:"c" (fun () ->
+      evaluated := true;
+      "x");
+  Alcotest.(check bool) "message not built when filtered" false !evaluated
+
+let test_trace_find () =
+  let t = Trace.create () in
+  Trace.emit t ~time:3 Trace.Info ~component:"noc" (fun () -> "hop");
+  Trace.emit t ~time:4 Trace.Warn ~component:"pbft" (fun () -> "view change");
+  match Trace.find t (fun e -> e.Trace.component = "pbft") with
+  | Some e -> Alcotest.(check int) "found" 4 e.Trace.time
+  | None -> Alcotest.fail "expected entry"
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "resoc_des"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+        ] );
+      qsuite "heap-prop" [ prop_heap_sorts ];
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+          Alcotest.test_case "weibull positive" `Quick test_weibull_positive;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo same cycle" `Quick test_engine_fifo_same_cycle;
+          Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until + resume" `Quick test_engine_until;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "levels" `Quick test_trace_levels;
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+          Alcotest.test_case "lazy formatting" `Quick test_trace_lazy;
+          Alcotest.test_case "find" `Quick test_trace_find;
+        ] );
+    ]

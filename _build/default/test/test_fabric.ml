@@ -1,0 +1,334 @@
+open Resoc_fabric
+module Engine = Resoc_des.Engine
+
+(* --- Region --- *)
+
+let test_region_make_validates () =
+  Alcotest.check_raises "zero width" (Invalid_argument "Region.make: non-positive dimensions")
+    (fun () -> ignore (Region.make ~x:0 ~y:0 ~w:0 ~h:1));
+  Alcotest.check_raises "negative origin" (Invalid_argument "Region.make: negative origin")
+    (fun () -> ignore (Region.make ~x:(-1) ~y:0 ~w:1 ~h:1))
+
+let test_region_area_frames () =
+  let r = Region.make ~x:1 ~y:2 ~w:3 ~h:2 in
+  Alcotest.(check int) "area" 6 (Region.area r);
+  Alcotest.(check int) "frames count" 6 (List.length (Region.frames r));
+  Alcotest.(check bool) "contains" true (Region.contains r ~x:3 ~y:3);
+  Alcotest.(check bool) "not contains" false (Region.contains r ~x:4 ~y:3)
+
+let test_region_overlap () =
+  let a = Region.make ~x:0 ~y:0 ~w:2 ~h:2 in
+  let b = Region.make ~x:1 ~y:1 ~w:2 ~h:2 in
+  let c = Region.make ~x:2 ~y:0 ~w:2 ~h:2 in
+  Alcotest.(check bool) "a/b overlap" true (Region.overlaps a b);
+  Alcotest.(check bool) "a/c disjoint" false (Region.overlaps a c);
+  Alcotest.(check bool) "self overlap" true (Region.overlaps a a)
+
+let test_region_relocate_origin () =
+  let r = Region.make ~x:0 ~y:0 ~w:2 ~h:3 in
+  let r' = Region.with_origin r ~x:5 ~y:1 in
+  Alcotest.(check int) "same area" (Region.area r) (Region.area r');
+  Alcotest.(check bool) "moved" false (Region.equal r r')
+
+(* --- Bitstream --- *)
+
+let test_bitstream_valid () =
+  let b = Bitstream.make ~variant:3 ~w:2 ~h:2 in
+  Alcotest.(check bool) "checksum ok" true (Bitstream.checksum_ok b);
+  Alcotest.(check int) "variant" 3 (Bitstream.variant b)
+
+let test_bitstream_corrupt_detected () =
+  let b = Bitstream.corrupt (Bitstream.make ~variant:3 ~w:2 ~h:2) in
+  Alcotest.(check bool) "corruption detected" false (Bitstream.checksum_ok b)
+
+let test_bitstream_forge_detected () =
+  let b = Bitstream.forge (Bitstream.make ~variant:3 ~w:2 ~h:2) ~variant:7 in
+  Alcotest.(check bool) "forgery detected" false (Bitstream.checksum_ok b)
+
+let test_bitstream_matches_region () =
+  let b = Bitstream.make ~variant:0 ~w:2 ~h:3 in
+  Alcotest.(check bool) "matching" true (Bitstream.matches_region b (Region.make ~x:0 ~y:0 ~w:2 ~h:3));
+  Alcotest.(check bool) "mismatched" false (Bitstream.matches_region b (Region.make ~x:0 ~y:0 ~w:3 ~h:2))
+
+let test_bitstream_size_scales () =
+  let small = Bitstream.make ~variant:0 ~w:1 ~h:1 in
+  let big = Bitstream.make ~variant:0 ~w:4 ~h:4 in
+  Alcotest.(check int) "16x area = 16x bytes" (16 * Bitstream.size_bytes small) (Bitstream.size_bytes big)
+
+(* --- Grid --- *)
+
+let test_grid_place_release () =
+  let g = Grid.create ~width:8 ~height:8 in
+  (match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2) ~variant:1 ~owner:0 with
+   | Error e -> Alcotest.failf "place failed: %s" e
+   | Ok id ->
+     Alcotest.(check int) "free area" (64 - 4) (Grid.free_area g);
+     (match Grid.slot g id with
+      | Some s -> Alcotest.(check int) "variant" 1 s.Grid.variant
+      | None -> Alcotest.fail "slot missing");
+     Grid.release g id;
+     Alcotest.(check int) "freed" 64 (Grid.free_area g);
+     Alcotest.(check bool) "slot gone" true (Grid.slot g id = None))
+
+let test_grid_overlap_rejected () =
+  let g = Grid.create ~width:4 ~height:4 in
+  (match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2) ~variant:0 ~owner:0 with
+   | Error e -> Alcotest.failf "first place failed: %s" e
+   | Ok _ -> ());
+  match Grid.place g ~region:(Region.make ~x:1 ~y:1 ~w:2 ~h:2) ~variant:0 ~owner:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overlap should be rejected"
+
+let test_grid_out_of_bounds_rejected () =
+  let g = Grid.create ~width:4 ~height:4 in
+  match Grid.place g ~region:(Region.make ~x:3 ~y:3 ~w:2 ~h:2) ~variant:0 ~owner:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-grid should be rejected"
+
+let test_grid_find_placement () =
+  let g = Grid.create ~width:4 ~height:2 in
+  ignore (Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2) ~variant:0 ~owner:0);
+  (match Grid.find_placement g ~w:2 ~h:2 () with
+   | Some r -> Alcotest.(check bool) "found free spot" true (r.Region.x = 2)
+   | None -> Alcotest.fail "expected placement");
+  ignore (Grid.place g ~region:(Region.make ~x:2 ~y:0 ~w:2 ~h:2) ~variant:0 ~owner:0);
+  Alcotest.(check bool) "full grid" true (Grid.find_placement g ~w:2 ~h:2 () = None)
+
+let test_grid_trojan_avoidance () =
+  let g = Grid.create ~width:4 ~height:1 in
+  Grid.mark_trojaned g ~x:0 ~y:0;
+  (match Grid.find_placement g ~w:2 ~h:1 ~avoid_trojaned:true () with
+   | Some r -> Alcotest.(check int) "skips trojaned frame" 1 r.Region.x
+   | None -> Alcotest.fail "expected placement");
+  match Grid.find_placement g ~w:2 ~h:1 () with
+  | Some r -> Alcotest.(check int) "without avoidance takes origin" 0 r.Region.x
+  | None -> Alcotest.fail "expected placement"
+
+let test_grid_slot_on_trojaned () =
+  let g = Grid.create ~width:4 ~height:1 in
+  Grid.mark_trojaned g ~x:1 ~y:0;
+  match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:1) ~variant:0 ~owner:0 with
+  | Error e -> Alcotest.failf "place failed: %s" e
+  | Ok id -> Alcotest.(check bool) "backdoored slot" true (Grid.slot_on_trojaned_frame g id)
+
+let test_grid_relocate_escapes_trojan () =
+  let g = Grid.create ~width:6 ~height:1 in
+  Grid.mark_trojaned g ~x:1 ~y:0;
+  match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:1) ~variant:0 ~owner:0 with
+  | Error e -> Alcotest.failf "place failed: %s" e
+  | Ok id ->
+    (match Grid.relocate g id ~avoid_trojaned:true () with
+     | Error e -> Alcotest.failf "relocate failed: %s" e
+     | Ok _ ->
+       Alcotest.(check bool) "clean after relocation" false (Grid.slot_on_trojaned_frame g id);
+       Alcotest.(check int) "area conserved" (6 - 2) (Grid.free_area g))
+
+let test_grid_relocate_no_room () =
+  let g = Grid.create ~width:2 ~height:1 in
+  Grid.mark_trojaned g ~x:0 ~y:0;
+  match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:1) ~variant:0 ~owner:0 with
+  | Error e -> Alcotest.failf "place failed: %s" e
+  | Ok id ->
+    (match Grid.relocate g id ~avoid_trojaned:true () with
+     | Error _ ->
+       (* Original placement must be restored intact. *)
+       Alcotest.(check int) "restored" 0 (Grid.free_area g);
+       Alcotest.(check bool) "slot still there" true (Grid.slot g id <> None)
+     | Ok _ -> Alcotest.fail "no clean placement exists")
+
+let test_grid_set_variant () =
+  let g = Grid.create ~width:2 ~height:2 in
+  match Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:1 ~h:1) ~variant:1 ~owner:0 with
+  | Error e -> Alcotest.failf "place failed: %s" e
+  | Ok id ->
+    Grid.set_variant g id 5;
+    (match Grid.slot g id with
+     | Some s -> Alcotest.(check int) "updated" 5 s.Grid.variant
+     | None -> Alcotest.fail "slot missing")
+
+let test_grid_occupancy () =
+  let g = Grid.create ~width:4 ~height:4 in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Grid.occupancy g);
+  ignore (Grid.place g ~region:(Region.make ~x:0 ~y:0 ~w:4 ~h:2) ~variant:0 ~owner:0);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Grid.occupancy g)
+
+(* --- Icap --- *)
+
+let make_icap ?(w = 8) ?(h = 8) () =
+  let engine = Engine.create () in
+  let grid = Grid.create ~width:w ~height:h in
+  let icap = Icap.create engine grid () in
+  (engine, icap)
+
+let whole_grid = Region.make ~x:0 ~y:0 ~w:8 ~h:8
+
+let test_icap_denies_without_grant () =
+  let engine, icap = make_icap () in
+  let result = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:2 ~h:2)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  Alcotest.(check bool) "denied" true (!result = Some Icap.Denied);
+  Alcotest.(check int) "counted" 1 (Icap.rejected icap)
+
+let test_icap_grant_allows () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let result = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:4 ~w:2 ~h:2)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  (match !result with
+   | Some (Icap.Configured id) ->
+     (match Grid.slot (Icap.grid icap) id with
+      | Some s -> Alcotest.(check int) "variant configured" 4 s.Grid.variant
+      | None -> Alcotest.fail "slot missing")
+   | _ -> Alcotest.fail "expected Configured");
+  Alcotest.(check int) "completed" 1 (Icap.completed icap)
+
+let test_icap_scoped_grant () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:4 ~h:4);
+  let inside = ref None and outside = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:2 ~y:2 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:2 ~h:2)
+    (fun r -> inside := Some r);
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:4 ~y:4 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:2 ~h:2)
+    (fun r -> outside := Some r);
+  Engine.run engine;
+  (match !inside with
+   | Some (Icap.Configured _) -> ()
+   | _ -> Alcotest.fail "in-scope should configure");
+  Alcotest.(check bool) "out-of-scope denied" true (!outside = Some Icap.Denied)
+
+let test_icap_rejects_corrupt_bitstream () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let result = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.corrupt (Bitstream.make ~variant:0 ~w:2 ~h:2))
+    (fun r -> result := Some r);
+  Engine.run engine;
+  Alcotest.(check bool) "invalid" true (!result = Some Icap.Invalid_bitstream)
+
+let test_icap_rejects_shape_mismatch () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let result = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:3 ~h:2)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  Alcotest.(check bool) "shape mismatch" true (!result = Some Icap.Shape_mismatch)
+
+let test_icap_timing_proportional () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let t_small = ref 0 and t_big = ref 0 in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:1 ~h:1)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:1 ~h:1)
+    (fun _ -> t_small := Engine.now engine);
+  Engine.run engine;
+  let start_big = Engine.now engine in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:4 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:2 ~h:2)
+    (fun _ -> t_big := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check bool) "4x frames take 4x cycles" true (!t_big - start_big = 4 * !t_small)
+
+let test_icap_serializes_requests () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let done_times = ref [] in
+  for i = 0 to 1 do
+    Icap.configure icap ~principal:1 ~region:(Region.make ~x:(i * 2) ~y:0 ~w:1 ~h:1)
+      ~bitstream:(Bitstream.make ~variant:0 ~w:1 ~h:1)
+      (fun _ -> done_times := Engine.now engine :: !done_times)
+  done;
+  Engine.run engine;
+  match List.sort compare !done_times with
+  | [ t1; t2 ] -> Alcotest.(check int) "second waits for first" (2 * t1) t2
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_icap_reconfigure_in_place () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  let slot = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2)
+    ~bitstream:(Bitstream.make ~variant:1 ~w:2 ~h:2)
+    (function Icap.Configured id -> slot := Some id | _ -> Alcotest.fail "configure failed");
+  Engine.run engine;
+  let id = match !slot with Some id -> id | None -> Alcotest.fail "no slot" in
+  let new_slot = ref None in
+  Icap.reconfigure icap ~principal:1 ~slot:id
+    ~bitstream:(Bitstream.make ~variant:2 ~w:2 ~h:2)
+    (function Icap.Configured id -> new_slot := Some id | _ -> Alcotest.fail "reconfigure failed");
+  Engine.run engine;
+  (match !new_slot with
+   | Some id' ->
+     (match Grid.slot (Icap.grid icap) id' with
+      | Some s ->
+        Alcotest.(check int) "new variant" 2 s.Grid.variant;
+        Alcotest.(check bool) "same region" true
+          (Region.equal s.Grid.region (Region.make ~x:0 ~y:0 ~w:2 ~h:2))
+      | None -> Alcotest.fail "slot missing")
+   | None -> Alcotest.fail "no new slot")
+
+let test_icap_revoke () =
+  let engine, icap = make_icap () in
+  Icap.grant icap ~principal:1 ~region:whole_grid;
+  Icap.revoke icap ~principal:1;
+  let result = ref None in
+  Icap.configure icap ~principal:1 ~region:(Region.make ~x:0 ~y:0 ~w:1 ~h:1)
+    ~bitstream:(Bitstream.make ~variant:0 ~w:1 ~h:1)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  Alcotest.(check bool) "revoked => denied" true (!result = Some Icap.Denied)
+
+let () =
+  Alcotest.run "resoc_fabric"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "validation" `Quick test_region_make_validates;
+          Alcotest.test_case "area and frames" `Quick test_region_area_frames;
+          Alcotest.test_case "overlap" `Quick test_region_overlap;
+          Alcotest.test_case "relocate origin" `Quick test_region_relocate_origin;
+        ] );
+      ( "bitstream",
+        [
+          Alcotest.test_case "valid" `Quick test_bitstream_valid;
+          Alcotest.test_case "corrupt detected" `Quick test_bitstream_corrupt_detected;
+          Alcotest.test_case "forge detected" `Quick test_bitstream_forge_detected;
+          Alcotest.test_case "matches region" `Quick test_bitstream_matches_region;
+          Alcotest.test_case "size scales" `Quick test_bitstream_size_scales;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "place and release" `Quick test_grid_place_release;
+          Alcotest.test_case "overlap rejected" `Quick test_grid_overlap_rejected;
+          Alcotest.test_case "out of bounds rejected" `Quick test_grid_out_of_bounds_rejected;
+          Alcotest.test_case "find placement" `Quick test_grid_find_placement;
+          Alcotest.test_case "trojan avoidance" `Quick test_grid_trojan_avoidance;
+          Alcotest.test_case "slot on trojaned frame" `Quick test_grid_slot_on_trojaned;
+          Alcotest.test_case "relocation escapes trojan" `Quick test_grid_relocate_escapes_trojan;
+          Alcotest.test_case "relocation restores on failure" `Quick test_grid_relocate_no_room;
+          Alcotest.test_case "set variant" `Quick test_grid_set_variant;
+          Alcotest.test_case "occupancy" `Quick test_grid_occupancy;
+        ] );
+      ( "icap",
+        [
+          Alcotest.test_case "denies without grant" `Quick test_icap_denies_without_grant;
+          Alcotest.test_case "grant allows" `Quick test_icap_grant_allows;
+          Alcotest.test_case "scoped grant" `Quick test_icap_scoped_grant;
+          Alcotest.test_case "rejects corrupt bitstream" `Quick test_icap_rejects_corrupt_bitstream;
+          Alcotest.test_case "rejects shape mismatch" `Quick test_icap_rejects_shape_mismatch;
+          Alcotest.test_case "timing proportional" `Quick test_icap_timing_proportional;
+          Alcotest.test_case "serializes requests" `Quick test_icap_serializes_requests;
+          Alcotest.test_case "reconfigure in place" `Quick test_icap_reconfigure_in_place;
+          Alcotest.test_case "revoke" `Quick test_icap_revoke;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+open Resoc_fault
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Register = Resoc_hw.Register
+
+(* --- Behavior --- *)
+
+let test_behavior_honest () =
+  Alcotest.(check bool) "never crashed" false (Behavior.is_crashed Behavior.honest ~now:1000);
+  Alcotest.(check bool) "no strategy" true (Behavior.active_strategy Behavior.honest ~now:0 = None);
+  Alcotest.(check bool) "not faulty" false (Behavior.is_faulty Behavior.honest)
+
+let test_behavior_crash () =
+  let b = Behavior.crash_at 50 in
+  Alcotest.(check bool) "before" false (Behavior.is_crashed b ~now:49);
+  Alcotest.(check bool) "at" true (Behavior.is_crashed b ~now:50);
+  Alcotest.(check bool) "after" true (Behavior.is_crashed b ~now:51);
+  Alcotest.(check bool) "faulty" true (Behavior.is_faulty b)
+
+let test_behavior_byzantine_window () =
+  let b = Behavior.byzantine ~from_cycle:100 Behavior.Equivocate in
+  Alcotest.(check bool) "dormant before" true (Behavior.active_strategy b ~now:99 = None);
+  Alcotest.(check bool) "active after" true
+    (Behavior.active_strategy b ~now:100 = Some Behavior.Equivocate)
+
+(* --- Seu --- *)
+
+let test_seu_zero_rate () =
+  let engine = Engine.create () in
+  let regs = [| Register.create Register.Plain 0L |] in
+  let seu = Seu.start engine (Rng.create 1L) ~rate_per_bit_cycle:0.0 regs in
+  Engine.run ~until:10000 engine;
+  Alcotest.(check int) "nothing injected" 0 (Seu.injected seu)
+
+let test_seu_injects_at_rate () =
+  let engine = Engine.create () in
+  let regs = Array.init 10 (fun _ -> Register.create Register.Plain 0L) in
+  (* 640 bits * 1e-4 upsets/bit/cycle = 0.064 upsets/cycle; over 10k cycles
+     expect ~640. *)
+  let seu = Seu.start engine (Rng.create 2L) ~rate_per_bit_cycle:1.0e-4 regs in
+  Engine.run ~until:10000 engine;
+  let n = Seu.injected seu in
+  Alcotest.(check bool) (Printf.sprintf "rate plausible (%d)" n) true (n > 400 && n < 900)
+
+let test_seu_halt () =
+  let engine = Engine.create () in
+  let regs = [| Register.create Register.Plain 0L |] in
+  let seu = Seu.start engine (Rng.create 3L) ~rate_per_bit_cycle:0.01 regs in
+  ignore (Engine.schedule engine ~delay:100 (fun () -> Seu.halt seu));
+  Engine.run ~until:10000 engine;
+  let at_halt = Seu.injected seu in
+  Engine.run ~until:20000 engine;
+  Alcotest.(check int) "no injections after halt" at_halt (Seu.injected seu)
+
+let test_seu_prefers_bigger_registers () =
+  (* A register with more stored bits should absorb proportionally more. *)
+  let engine = Engine.create () in
+  let small = Register.create Register.Plain 0L in
+  let big = Register.create Register.Secded 0L in
+  let regs = [| small; big |] in
+  let _ = Seu.start engine (Rng.create 4L) ~rate_per_bit_cycle:1.0e-3 regs in
+  Engine.run ~until:50000 engine;
+  let s = Register.upsets_injected small and b = Register.upsets_injected big in
+  Alcotest.(check bool)
+    (Printf.sprintf "bigger absorbs more (%d vs %d)" b s)
+    true
+    (float_of_int b > float_of_int s *. 0.9)
+
+(* --- Apt --- *)
+
+let make_apt ?(n_variants = 4) ?(mean = 1000.0) ?(exposure = 100) ?backdoor_delay () =
+  let engine = Engine.create () in
+  let rng = Rng.create 7L in
+  let apt = Apt.create engine rng ~n_variants ~mean_exploit_cycles:mean ~exposure ?backdoor_delay () in
+  (engine, apt)
+
+let test_apt_compromise_fires () =
+  let engine, apt = make_apt () in
+  let hit = ref [] in
+  let _ = Apt.register_target apt ~id:1 ~variant:0 ~on_compromise:(fun id -> hit := id :: !hit) () in
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check (list int)) "compromised once" [ 1 ] !hit
+
+let test_apt_compromise_timing () =
+  let engine, apt = make_apt () in
+  let at = ref (-1) in
+  Alcotest.(check bool) "undeployed variant unknown" true
+    (Apt.exploit_ready_at apt ~variant:2 = None);
+  let _ = Apt.register_target apt ~id:0 ~variant:2 ~on_compromise:(fun _ -> at := Engine.now engine) () in
+  let ready =
+    match Apt.exploit_ready_at apt ~variant:2 with
+    | Some r -> r
+    | None -> Alcotest.fail "deployment queues development"
+  in
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check int) "exploit ready + exposure" (ready + 100) !at
+
+let test_apt_deactivate_prevents () =
+  let engine, apt = make_apt () in
+  let hit = ref 0 in
+  let tg = Apt.register_target apt ~id:0 ~variant:0 ~on_compromise:(fun _ -> incr hit) () in
+  Apt.deactivate apt tg;
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check int) "never compromised" 0 !hit
+
+let test_apt_rejuvenation_same_variant_recompromised () =
+  let engine, apt = make_apt ~n_variants:1 ~mean:10.0 ~exposure:50 () in
+  let hits = ref [] in
+  let tg =
+    Apt.register_target apt ~id:0 ~variant:0
+      ~on_compromise:(fun _ -> hits := Engine.now engine :: !hits)
+      ()
+  in
+  (* Rejuvenate (same variant) at t=1000; exploit already exists, so the
+     adversary walks back in after one more exposure period. *)
+  ignore (Engine.schedule engine ~delay:1000 (fun () -> Apt.rejuvenate apt tg ~variant:0 ()));
+  Engine.run ~until:10_000 engine;
+  (match List.rev !hits with
+   | [ _first; second ] -> Alcotest.(check int) "re-compromised after exposure" 1050 second
+   | l -> Alcotest.failf "expected 2 compromises, got %d" (List.length l))
+
+let test_apt_diverse_rejuvenation_delays () =
+  (* Switching variants at rejuvenation forces the adversary to develop a
+     NEW exploit (queued behind its current work): the next compromise
+     waits for that development to finish. *)
+  let engine = Engine.create () in
+  let rng = Rng.create 11L in
+  let apt = Apt.create engine rng ~n_variants:8 ~mean_exploit_cycles:100_000.0 ~exposure:10 () in
+  let hits = ref [] in
+  let tg =
+    Apt.register_target apt ~id:0 ~variant:0
+      ~on_compromise:(fun _ -> hits := Engine.now engine :: !hits)
+      ()
+  in
+  let d0 =
+    match Apt.exploit_ready_at apt ~variant:0 with Some d -> d | None -> Alcotest.fail "queued"
+  in
+  let first_fall = d0 + 10 in
+  ignore (Engine.at engine ~time:(first_fall + 1) (fun () -> Apt.rejuvenate apt tg ~variant:5 ()));
+  Engine.run ~until:100_000_000 engine;
+  let d5 =
+    match Apt.exploit_ready_at apt ~variant:5 with Some d -> d | None -> Alcotest.fail "queued 5"
+  in
+  Alcotest.(check bool) "new exploit developed after the switch" true (d5 > first_fall);
+  (match List.rev !hits with
+   | [ f; s ] ->
+     Alcotest.(check int) "first fall" first_fall f;
+     Alcotest.(check int) "second waits for the new exploit" (d5 + 10) s
+   | l -> Alcotest.failf "expected 2 compromises, got %d" (List.length l))
+
+let test_apt_backdoor_ignores_variant () =
+  let engine, apt = make_apt ~mean:1.0e12 ~exposure:100 ~backdoor_delay:500 () in
+  let at = ref (-1) in
+  let _ =
+    Apt.register_target apt ~id:0 ~variant:0 ~backdoored:true
+      ~on_compromise:(fun _ -> at := Engine.now engine)
+      ()
+  in
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check int) "backdoor delay" 500 !at
+
+let test_apt_relocation_escapes_backdoor () =
+  let engine, apt = make_apt ~mean:1.0e12 ~exposure:100 ~backdoor_delay:500 () in
+  let hit = ref 0 in
+  let tg =
+    Apt.register_target apt ~id:0 ~variant:0 ~backdoored:true ~on_compromise:(fun _ -> incr hit) ()
+  in
+  (* Relocate off the trojaned frames before the backdoor matures. *)
+  ignore (Engine.schedule engine ~delay:400 (fun () -> Apt.rejuvenate apt tg ~variant:0 ~backdoored:false ()));
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check int) "never compromised via backdoor" 0 !hit
+
+let test_apt_compromised_count () =
+  let engine, apt = make_apt ~n_variants:2 ~mean:100.0 ~exposure:10 () in
+  let _ = Apt.register_target apt ~id:0 ~variant:0 ~on_compromise:(fun _ -> ()) () in
+  let _ = Apt.register_target apt ~id:1 ~variant:1 ~on_compromise:(fun _ -> ()) () in
+  Engine.run ~until:1_000_000 engine;
+  Alcotest.(check int) "both down" 2 (Apt.compromised_count apt);
+  Alcotest.(check int) "both active" 2 (Apt.active_count apt)
+
+(* --- Common_mode --- *)
+
+let test_cm_diagonal_fixed () =
+  let cm = Common_mode.create ~n_variants:3 ~shared_prob:0.2 in
+  Alcotest.(check (float 1e-9)) "diagonal" 1.0 (Common_mode.shared_prob cm 1 1);
+  Alcotest.(check (float 1e-9)) "off-diagonal" 0.2 (Common_mode.shared_prob cm 0 2)
+
+let test_cm_set_shared_symmetric () =
+  let cm = Common_mode.create ~n_variants:3 ~shared_prob:0.0 in
+  Common_mode.set_shared cm 0 2 0.7;
+  Alcotest.(check (float 1e-9)) "symmetric" 0.7 (Common_mode.shared_prob cm 2 0)
+
+let test_cm_sample_trigger_always_affected () =
+  let cm = Common_mode.create ~n_variants:4 ~shared_prob:0.0 in
+  let rng = Rng.create 13L in
+  let affected = Common_mode.sample_affected cm rng ~trigger:2 in
+  Alcotest.(check bool) "trigger affected" true affected.(2);
+  Alcotest.(check bool) "others independent at q=0" false (affected.(0) || affected.(1) || affected.(3))
+
+let test_cm_identical_variants_always_defeated () =
+  let cm = Common_mode.create ~n_variants:4 ~shared_prob:0.0 in
+  let rng = Rng.create 14L in
+  (* All replicas on variant 0: any vulnerability in the running variant
+     hits everyone. *)
+  let p = Common_mode.p_group_compromise cm rng ~assignment:[| 0; 0; 0; 0 |] ~f:1 ~trials:2000 in
+  Alcotest.(check (float 1e-9)) "always defeated" 1.0 p
+
+let test_cm_diverse_group_survives_at_q0 () =
+  let cm = Common_mode.create ~n_variants:4 ~shared_prob:0.0 in
+  let rng = Rng.create 15L in
+  let p = Common_mode.p_group_compromise cm rng ~assignment:[| 0; 1; 2; 3 |] ~f:1 ~trials:2000 in
+  Alcotest.(check (float 1e-9)) "one variant = one replica <= f" 0.0 p
+
+let test_cm_sharing_increases_risk () =
+  let rng = Rng.create 16L in
+  let p_at q =
+    let cm = Common_mode.create ~n_variants:4 ~shared_prob:q in
+    Common_mode.p_group_compromise cm rng ~assignment:[| 0; 1; 2; 3 |] ~f:1 ~trials:5000
+  in
+  let p_low = p_at 0.1 and p_high = p_at 0.6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone in q (%f < %f)" p_low p_high)
+    true (p_low < p_high)
+
+let test_cm_max_diversity_assignment () =
+  let cm = Common_mode.create ~n_variants:4 ~shared_prob:0.1 in
+  let a = Common_mode.max_diversity_assignment cm ~n_replicas:4 in
+  let distinct = List.sort_uniq compare (Array.to_list a) in
+  Alcotest.(check int) "all distinct when pool suffices" 4 (List.length distinct)
+
+let test_cm_assignment_reuses_when_pool_small () =
+  let cm = Common_mode.create ~n_variants:2 ~shared_prob:0.1 in
+  let a = Common_mode.max_diversity_assignment cm ~n_replicas:5 in
+  Alcotest.(check int) "5 replicas" 5 (Array.length a);
+  let count v = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 a in
+  Alcotest.(check bool) "balanced reuse" true (abs (count 0 - count 1) <= 1)
+
+let test_cm_avoids_correlated_variants () =
+  (* Variants 0 and 1 share everything; 2 is independent. A 2-replica group
+     should pick {0 or 1} plus 2, not {0,1}. *)
+  let cm = Common_mode.create ~n_variants:3 ~shared_prob:0.0 in
+  Common_mode.set_shared cm 0 1 1.0;
+  let a = Common_mode.max_diversity_assignment cm ~n_replicas:2 in
+  let has v = Array.exists (( = ) v) a in
+  Alcotest.(check bool) "uses the independent variant" true (has 2);
+  Alcotest.(check bool) "not both correlated" false (has 0 && has 1)
+
+(* --- Trojan --- *)
+
+let test_trojan_time_bomb () =
+  let engine = Engine.create () in
+  let fired = ref (-1) in
+  let t =
+    Trojan.plant engine (Trojan.Time_bomb 500) Trojan.Kill_switch ~on_trigger:(fun _ ->
+        fired := Engine.now engine)
+  in
+  Engine.run ~until:1000 engine;
+  Alcotest.(check int) "fires at 500" 500 !fired;
+  Alcotest.(check bool) "triggered" true (Trojan.triggered t)
+
+let test_trojan_cheat_code () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let t =
+    Trojan.plant engine (Trojan.Cheat_code 0xDEADL) Trojan.Corrupt_output ~on_trigger:(fun _ ->
+        fired := true)
+  in
+  Trojan.observe t 0x1234L;
+  Alcotest.(check bool) "wrong code inert" false !fired;
+  Trojan.observe t 0xDEADL;
+  Alcotest.(check bool) "code fires" true !fired
+
+let test_trojan_fires_once () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let t =
+    Trojan.plant engine (Trojan.Cheat_code 1L) Trojan.Leak_secret ~on_trigger:(fun _ -> incr count)
+  in
+  Trojan.observe t 1L;
+  Trojan.observe t 1L;
+  Alcotest.(check int) "single shot" 1 !count
+
+let test_trojan_disarm () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let t = Trojan.plant engine (Trojan.Time_bomb 100) Trojan.Kill_switch ~on_trigger:(fun _ -> fired := true) in
+  Trojan.disarm t;
+  Engine.run ~until:1000 engine;
+  Alcotest.(check bool) "disarmed never fires" false !fired
+
+let () =
+  Alcotest.run "resoc_fault"
+    [
+      ( "behavior",
+        [
+          Alcotest.test_case "honest" `Quick test_behavior_honest;
+          Alcotest.test_case "crash" `Quick test_behavior_crash;
+          Alcotest.test_case "byzantine window" `Quick test_behavior_byzantine_window;
+        ] );
+      ( "seu",
+        [
+          Alcotest.test_case "zero rate" `Quick test_seu_zero_rate;
+          Alcotest.test_case "injects at rate" `Slow test_seu_injects_at_rate;
+          Alcotest.test_case "halt" `Quick test_seu_halt;
+          Alcotest.test_case "weighted by size" `Slow test_seu_prefers_bigger_registers;
+        ] );
+      ( "apt",
+        [
+          Alcotest.test_case "compromise fires" `Quick test_apt_compromise_fires;
+          Alcotest.test_case "timing" `Quick test_apt_compromise_timing;
+          Alcotest.test_case "deactivate" `Quick test_apt_deactivate_prevents;
+          Alcotest.test_case "same-variant rejuvenation re-falls" `Quick
+            test_apt_rejuvenation_same_variant_recompromised;
+          Alcotest.test_case "diverse rejuvenation delays" `Quick test_apt_diverse_rejuvenation_delays;
+          Alcotest.test_case "backdoor ignores variant" `Quick test_apt_backdoor_ignores_variant;
+          Alcotest.test_case "relocation escapes backdoor" `Quick test_apt_relocation_escapes_backdoor;
+          Alcotest.test_case "compromised count" `Quick test_apt_compromised_count;
+        ] );
+      ( "common-mode",
+        [
+          Alcotest.test_case "diagonal fixed" `Quick test_cm_diagonal_fixed;
+          Alcotest.test_case "symmetric set" `Quick test_cm_set_shared_symmetric;
+          Alcotest.test_case "trigger affected" `Quick test_cm_sample_trigger_always_affected;
+          Alcotest.test_case "identical variants defeated" `Quick test_cm_identical_variants_always_defeated;
+          Alcotest.test_case "diverse survives at q=0" `Quick test_cm_diverse_group_survives_at_q0;
+          Alcotest.test_case "sharing increases risk" `Slow test_cm_sharing_increases_risk;
+          Alcotest.test_case "max diversity assignment" `Quick test_cm_max_diversity_assignment;
+          Alcotest.test_case "balanced reuse" `Quick test_cm_assignment_reuses_when_pool_small;
+          Alcotest.test_case "avoids correlated variants" `Quick test_cm_avoids_correlated_variants;
+        ] );
+      ( "trojan",
+        [
+          Alcotest.test_case "time bomb" `Quick test_trojan_time_bomb;
+          Alcotest.test_case "cheat code" `Quick test_trojan_cheat_code;
+          Alcotest.test_case "fires once" `Quick test_trojan_fires_once;
+          Alcotest.test_case "disarm" `Quick test_trojan_disarm;
+        ] );
+    ]

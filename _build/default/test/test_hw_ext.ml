@@ -1,0 +1,324 @@
+(* Tests for the hardware extension modules: lockstep coupling, Razor timing
+   speculation, and 3D multi-vendor stacking. *)
+
+open Resoc_hw
+module Rng = Resoc_des.Rng
+
+(* --- Lockstep --- *)
+
+let test_lockstep_cores () =
+  Alcotest.(check int) "simplex" 1 (Lockstep.cores Lockstep.Simplex);
+  Alcotest.(check int) "dmr" 2 (Lockstep.cores (Lockstep.Dmr { max_retries = 2 }));
+  Alcotest.(check int) "tmr" 3 (Lockstep.cores Lockstep.Tmr)
+
+let test_lockstep_no_faults_clean () =
+  let rng = Rng.create 1L in
+  List.iter
+    (fun mode ->
+      let s = Lockstep.run rng mode ~p_fault:0.0 ~steps:1000 () in
+      Alcotest.(check int) "no silent" 0 s.Lockstep.silent_errors;
+      Alcotest.(check int) "no detected" 0 s.Lockstep.detected_uncorrected;
+      Alcotest.(check int) "one cycle per step" 1000 s.Lockstep.cycles)
+    [ Lockstep.Simplex; Lockstep.Dmr { max_retries = 3 }; Lockstep.Tmr ]
+
+let test_lockstep_simplex_silent () =
+  let rng = Rng.create 2L in
+  let s = Lockstep.run rng Lockstep.Simplex ~p_fault:0.05 ~steps:10_000 () in
+  let rate = Lockstep.silent_error_rate s in
+  Alcotest.(check bool) (Printf.sprintf "silent rate ~0.05 (%f)" rate) true
+    (rate > 0.03 && rate < 0.07)
+
+let test_lockstep_dmr_detects () =
+  let rng = Rng.create 3L in
+  let s = Lockstep.run rng (Lockstep.Dmr { max_retries = 5 }) ~p_fault:0.05 ~steps:10_000 () in
+  (* Comparison converts nearly all errors into retries. *)
+  Alcotest.(check bool) "almost no silent errors" true (Lockstep.silent_error_rate s < 0.001);
+  Alcotest.(check bool) "paid in retries" true (s.Lockstep.retries > 100);
+  Alcotest.(check bool) "throughput below simplex" true (Lockstep.throughput s < 1.0)
+
+let test_lockstep_tmr_masks_cheaply () =
+  let rng = Rng.create 4L in
+  let dmr = Lockstep.run rng (Lockstep.Dmr { max_retries = 5 }) ~p_fault:0.05 ~steps:10_000 () in
+  let tmr = Lockstep.run rng Lockstep.Tmr ~p_fault:0.05 ~steps:10_000 () in
+  Alcotest.(check bool) "tmr masks single faults without retry" true
+    (tmr.Lockstep.retries < dmr.Lockstep.retries);
+  Alcotest.(check bool) "tmr throughput higher" true
+    (Lockstep.throughput tmr > Lockstep.throughput dmr);
+  Alcotest.(check bool) "tmr silent negligible" true (Lockstep.silent_error_rate tmr < 0.001)
+
+let test_lockstep_identical_corruption_escapes () =
+  (* With p_identical = 1, every double fault agrees on garbage: DMR cannot
+     see it. *)
+  let rng = Rng.create 5L in
+  let s =
+    Lockstep.run rng (Lockstep.Dmr { max_retries = 5 }) ~p_fault:0.3 ~p_identical:1.0
+      ~steps:5_000 ()
+  in
+  Alcotest.(check bool) "common-mode corruption escapes" true (s.Lockstep.silent_errors > 100)
+
+let test_lockstep_validates () =
+  let rng = Rng.create 6L in
+  Alcotest.check_raises "bad p" (Invalid_argument "Lockstep.run: p_fault out of range") (fun () ->
+      ignore (Lockstep.run rng Lockstep.Simplex ~p_fault:1.5 ~steps:10 ()))
+
+(* --- Razor --- *)
+
+let test_razor_safe_voltage_clean () =
+  let rng = Rng.create 7L in
+  let r = Razor.run rng Razor.default_config ~vdd:1.0 ~razor:true ~ops:1000 in
+  Alcotest.(check int) "no violations at v_safe" 0 r.Razor.detected;
+  Alcotest.(check int) "one cycle per op" 1000 r.Razor.cycles
+
+let test_razor_rate_monotone () =
+  let c = Razor.default_config in
+  Alcotest.(check (float 1e-9)) "zero at safe" 0.0 (Razor.violation_rate c ~vdd:1.0);
+  Alcotest.(check bool) "rises as vdd drops" true
+    (Razor.violation_rate c ~vdd:0.9 < Razor.violation_rate c ~vdd:0.8)
+
+let test_razor_detects_where_baseline_corrupts () =
+  let rng = Rng.create 8L in
+  let vdd = 0.93 in
+  let with_razor = Razor.run rng Razor.default_config ~vdd ~razor:true ~ops:20_000 in
+  let without = Razor.run rng Razor.default_config ~vdd ~razor:false ~ops:20_000 in
+  Alcotest.(check int) "razor lets nothing through" 0 with_razor.Razor.silent_errors;
+  Alcotest.(check bool) "baseline corrupts silently" true (without.Razor.silent_errors > 50);
+  Alcotest.(check bool) "razor pays cycles" true (with_razor.Razor.cycles > without.Razor.cycles)
+
+let test_razor_low_voltage_saves_energy () =
+  (* The Razor pitch: run below v_safe, absorb small penalties, spend less
+     energy per op than the worst-case-safe baseline. *)
+  let rng = Rng.create 9L in
+  let safe = Razor.run rng Razor.default_config ~vdd:1.0 ~razor:true ~ops:20_000 in
+  let scaled = Razor.run rng Razor.default_config ~vdd:0.93 ~razor:true ~ops:20_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "energy/op %f < %f" (Razor.energy_per_op scaled) (Razor.energy_per_op safe))
+    true
+    (Razor.energy_per_op scaled < Razor.energy_per_op safe);
+  Alcotest.(check int) "still correct" 0 scaled.Razor.silent_errors
+
+let test_razor_too_low_not_worth_it () =
+  (* Deep under-volting drowns in penalties: throughput collapses. *)
+  let rng = Rng.create 10L in
+  let ok = Razor.run rng Razor.default_config ~vdd:0.95 ~razor:true ~ops:5_000 in
+  let deep = Razor.run rng Razor.default_config ~vdd:0.80 ~razor:true ~ops:5_000 in
+  Alcotest.(check bool) "throughput collapses" true (Razor.throughput deep < Razor.throughput ok)
+
+(* --- Stack3d --- *)
+
+let test_stack3d_single_vendor () =
+  Alcotest.(check (float 1e-9)) "identity" 0.05 (Stack3d.p_single_vendor ~p_mal:0.05)
+
+let test_stack3d_chain_grows () =
+  let p1 = Stack3d.p_chain ~p_mal:0.05 ~layers:1 in
+  let p4 = Stack3d.p_chain ~p_mal:0.05 ~layers:4 in
+  Alcotest.(check (float 1e-9)) "one layer = single vendor" 0.05 p1;
+  Alcotest.(check bool) "diversity without redundancy backfires" true (p4 > p1);
+  Alcotest.(check (float 1e-9)) "closed form" (1.0 -. (0.95 ** 4.0)) p4
+
+let test_stack3d_vote_shrinks () =
+  let single = Stack3d.p_single_vendor ~p_mal:0.05 in
+  let voted3 = Stack3d.p_redundant_vote ~p_mal:0.05 ~m:3 in
+  let voted5 = Stack3d.p_redundant_vote ~p_mal:0.05 ~m:5 in
+  Alcotest.(check bool) "3-vote beats single vendor" true (voted3 < single);
+  Alcotest.(check bool) "5-vote beats 3-vote" true (voted5 < voted3)
+
+let test_stack3d_vote_formula () =
+  (* m=3: P(>=2 of 3) = 3p^2(1-p) + p^3 *)
+  let p = 0.1 in
+  let expected = (3.0 *. p *. p *. (1.0 -. p)) +. (p *. p *. p) in
+  Alcotest.(check (float 1e-12)) "binomial tail" expected (Stack3d.p_redundant_vote ~p_mal:p ~m:3)
+
+let test_stack3d_mc_matches_analytic () =
+  let rng = Rng.create 11L in
+  let analytic = Stack3d.p_redundant_vote ~p_mal:0.2 ~m:5 in
+  let mc = Stack3d.mc_redundant_vote rng ~p_mal:0.2 ~m:5 ~trials:100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mc %f vs analytic %f" mc analytic)
+    true
+    (Float.abs (mc -. analytic) < 0.005)
+
+let test_stack3d_chain_voted () =
+  (* A 4-function stack with per-function 3-vote redundancy beats both the
+     plain 4-layer chain and (for small p) the single-vendor monolith. *)
+  let p_mal = 0.05 in
+  let voted = Stack3d.p_chain_voted ~p_mal ~layers:4 ~m:3 in
+  Alcotest.(check bool) "beats plain chain" true (voted < Stack3d.p_chain ~p_mal ~layers:4);
+  Alcotest.(check bool) "beats single vendor" true (voted < Stack3d.p_single_vendor ~p_mal);
+  Alcotest.(check (float 1e-12)) "closed form"
+    (1.0 -. ((1.0 -. Stack3d.p_redundant_vote ~p_mal ~m:3) ** 4.0))
+    voted
+
+let test_stack3d_validates () =
+  Alcotest.check_raises "even m"
+    (Invalid_argument "Stack3d.p_redundant_vote: m must be odd and positive") (fun () ->
+      ignore (Stack3d.p_redundant_vote ~p_mal:0.1 ~m:4))
+
+(* --- Sinw --- *)
+
+let test_sinw_validation () =
+  Alcotest.check_raises "bad threshold" (Invalid_argument "Sinw.make: need 1 <= threshold <= wires")
+    (fun () -> ignore (Sinw.make ~wires:3 ~threshold:4))
+
+let test_sinw_single_wire_baseline () =
+  let t = Sinw.make ~wires:1 ~threshold:1 in
+  Alcotest.(check (float 1e-12)) "identity" 0.9 (Sinw.p_functional t ~p_wire_defect:0.1);
+  Alcotest.(check (float 1e-12)) "mttf factor 1" 1.0 (Sinw.mttf_factor t)
+
+let test_sinw_redundancy_raises_yield () =
+  let t = Sinw.make ~wires:4 ~threshold:1 in
+  Alcotest.(check bool) "better than single wire" true
+    (Sinw.p_functional t ~p_wire_defect:0.1 > 0.9);
+  (* needs only 1 of 4: fails only if all four are defective *)
+  Alcotest.(check (float 1e-12)) "closed form" (1.0 -. (0.1 ** 4.0))
+    (Sinw.p_functional t ~p_wire_defect:0.1)
+
+let test_sinw_mttf_factor () =
+  (* 4 wires, threshold 1: 1/4 + 1/3 + 1/2 + 1 = 25/12. *)
+  let t = Sinw.make ~wires:4 ~threshold:1 in
+  Alcotest.(check (float 1e-9)) "harmonic sum" (25.0 /. 12.0) (Sinw.mttf_factor t)
+
+let test_sinw_sampled_lifetime_matches_factor () =
+  let t = Sinw.make ~wires:4 ~threshold:1 in
+  let rng = Rng.create 21L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sinw.sample_lifetime rng t ~wire_mean:100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  let expected = 100.0 *. Sinw.mttf_factor t in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled %f vs analytic %f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 3.0)
+
+let test_sinw_gate_uplift () =
+  let t = Sinw.make ~wires:4 ~threshold:2 in
+  let single, arrayed = Sinw.gate_reliability_uplift t ~p_wire_defect:0.05 ~transistors_per_gate:4 in
+  Alcotest.(check bool) "uplift" true (arrayed > single)
+
+(* --- NoC YX fallback --- *)
+
+module Mesh = Resoc_noc.Mesh
+module Network = Resoc_noc.Network
+module Engine = Resoc_des.Engine
+
+let test_yx_route_shape () =
+  let m = Mesh.create ~width:4 ~height:4 in
+  (* 1=(1,0) -> 14=(2,3): Y first down to (1,3)=13, then X to 14. *)
+  Alcotest.(check (list int)) "y then x" [ 1; 5; 9; 13; 14 ] (Mesh.yx_route m ~src:1 ~dst:14)
+
+let test_yx_route_same_length () =
+  let m = Mesh.create ~width:5 ~height:5 in
+  for src = 0 to 24 do
+    for dst = 0 to 24 do
+      Alcotest.(check int)
+        (Printf.sprintf "%d->%d" src dst)
+        (List.length (Mesh.xy_route m ~src ~dst))
+        (List.length (Mesh.yx_route m ~src ~dst))
+    done
+  done
+
+let test_fallback_survives_xy_break () =
+  let engine = Engine.create () in
+  let mesh = Mesh.create ~width:3 ~height:3 in
+  let config = { Network.default_config with routing = Network.Xy_with_yx_fallback } in
+  let net = Network.create engine mesh config in
+  let received = ref 0 in
+  Network.attach net ~node:8 (fun ~src:_ _ -> incr received);
+  (* Break the XY path 0->8 (x first: 0-1-2-5-8) at its first link. *)
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 1 };
+  Network.send net ~src:0 ~dst:8 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "delivered via YX" 1 !received;
+  Alcotest.(check int) "nothing dropped" 0 (Network.dropped net)
+
+let test_xy_only_drops_on_break () =
+  let engine = Engine.create () in
+  let mesh = Mesh.create ~width:3 ~height:3 in
+  let net = Network.create engine mesh Network.default_config in
+  let received = ref 0 in
+  Network.attach net ~node:8 (fun ~src:_ _ -> incr received);
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 1 };
+  Network.send net ~src:0 ~dst:8 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "dropped without fallback" 0 !received
+
+let test_fallback_doomed_when_both_broken () =
+  let engine = Engine.create () in
+  let mesh = Mesh.create ~width:3 ~height:3 in
+  let config = { Network.default_config with routing = Network.Xy_with_yx_fallback } in
+  let net = Network.create engine mesh config in
+  let received = ref 0 in
+  Network.attach net ~node:8 (fun ~src:_ _ -> incr received);
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 1 };
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 3 };
+  Network.send net ~src:0 ~dst:8 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "both paths dead" 0 !received;
+  Alcotest.(check int) "dropped" 1 (Network.dropped net)
+
+let prop_yx_valid =
+  QCheck.Test.make ~name:"yx route moves by adjacent hops" ~count:200
+    QCheck.(pair (int_bound 35) (int_bound 35))
+    (fun (src, dst) ->
+      let m = Mesh.create ~width:6 ~height:6 in
+      let route = Mesh.yx_route m ~src ~dst in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> Mesh.manhattan m a b = 1 && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok route && List.hd route = src && List.hd (List.rev route) = dst)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "resoc_hw_ext"
+    [
+      ( "lockstep",
+        [
+          Alcotest.test_case "cores" `Quick test_lockstep_cores;
+          Alcotest.test_case "no faults clean" `Quick test_lockstep_no_faults_clean;
+          Alcotest.test_case "simplex silent" `Quick test_lockstep_simplex_silent;
+          Alcotest.test_case "dmr detects" `Quick test_lockstep_dmr_detects;
+          Alcotest.test_case "tmr masks cheaply" `Quick test_lockstep_tmr_masks_cheaply;
+          Alcotest.test_case "identical corruption escapes" `Quick test_lockstep_identical_corruption_escapes;
+          Alcotest.test_case "validates" `Quick test_lockstep_validates;
+        ] );
+      ( "razor",
+        [
+          Alcotest.test_case "safe voltage clean" `Quick test_razor_safe_voltage_clean;
+          Alcotest.test_case "rate monotone" `Quick test_razor_rate_monotone;
+          Alcotest.test_case "detects where baseline corrupts" `Quick test_razor_detects_where_baseline_corrupts;
+          Alcotest.test_case "low voltage saves energy" `Quick test_razor_low_voltage_saves_energy;
+          Alcotest.test_case "too low not worth it" `Quick test_razor_too_low_not_worth_it;
+        ] );
+      ( "stack3d",
+        [
+          Alcotest.test_case "single vendor" `Quick test_stack3d_single_vendor;
+          Alcotest.test_case "chain grows" `Quick test_stack3d_chain_grows;
+          Alcotest.test_case "vote shrinks" `Quick test_stack3d_vote_shrinks;
+          Alcotest.test_case "vote formula" `Quick test_stack3d_vote_formula;
+          Alcotest.test_case "mc matches analytic" `Slow test_stack3d_mc_matches_analytic;
+          Alcotest.test_case "chain voted" `Quick test_stack3d_chain_voted;
+          Alcotest.test_case "validates" `Quick test_stack3d_validates;
+        ] );
+      ( "sinw",
+        [
+          Alcotest.test_case "validation" `Quick test_sinw_validation;
+          Alcotest.test_case "single wire baseline" `Quick test_sinw_single_wire_baseline;
+          Alcotest.test_case "redundancy raises yield" `Quick test_sinw_redundancy_raises_yield;
+          Alcotest.test_case "mttf factor" `Quick test_sinw_mttf_factor;
+          Alcotest.test_case "sampled lifetime" `Slow test_sinw_sampled_lifetime_matches_factor;
+          Alcotest.test_case "gate uplift" `Quick test_sinw_gate_uplift;
+        ] );
+      ( "noc-routing",
+        [
+          Alcotest.test_case "yx route shape" `Quick test_yx_route_shape;
+          Alcotest.test_case "yx same length" `Quick test_yx_route_same_length;
+          Alcotest.test_case "fallback survives xy break" `Quick test_fallback_survives_xy_break;
+          Alcotest.test_case "xy drops on break" `Quick test_xy_only_drops_on_break;
+          Alcotest.test_case "doomed when both broken" `Quick test_fallback_doomed_when_both_broken;
+        ] );
+      qsuite "noc-routing-prop" [ prop_yx_valid ];
+    ]

@@ -1,0 +1,211 @@
+(* Cross-cutting coverage: pretty-printers, client mechanics, trace capture
+   in the integrated system, and protocol switching over the NoC. *)
+
+module Engine = Resoc_des.Engine
+module Trace = Resoc_des.Trace
+module Rng = Resoc_des.Rng
+module Hash = Resoc_crypto.Hash
+module Keychain = Resoc_crypto.Keychain
+module Mac = Resoc_crypto.Mac
+module Behavior = Resoc_fault.Behavior
+module Trinc = Resoc_hybrid.Trinc
+module Register = Resoc_hw.Register
+open Resoc_repl
+module Soc = Resoc_core.Soc
+module Group = Resoc_core.Group
+module Protocol_switch = Resoc_core.Protocol_switch
+module Resilient_system = Resoc_core.Resilient_system
+module Diversity = Resoc_resilience.Diversity
+module Rejuvenation = Resoc_resilience.Rejuvenation
+
+let fmt_to_string pp v = Format.asprintf "%a" pp v
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec scan i = i + m <= n && (String.sub s i m = affix || scan (i + 1)) in
+  m = 0 || scan 0
+
+(* --- pretty-printers --- *)
+
+let test_pp_request_reply () =
+  let r = Types.make_request ~client:4 ~rid:7 ~payload:9L in
+  Alcotest.(check string) "request" "req(c4#7:9)" (fmt_to_string Types.pp_request r);
+  let reply = { Types.client = 4; rid = 7; result = 9L; replica = 2 } in
+  Alcotest.(check string) "reply" "reply(c4#7=9 from r2)" (fmt_to_string Types.pp_reply reply)
+
+let test_pp_behavior () =
+  Alcotest.(check string) "honest" "honest" (fmt_to_string Behavior.pp Behavior.honest);
+  Alcotest.(check string) "crash" "crash@5" (fmt_to_string Behavior.pp (Behavior.crash_at 5));
+  Alcotest.(check string) "byz" "byzantine(delay(3))@9"
+    (fmt_to_string Behavior.pp (Behavior.byzantine ~from_cycle:9 (Behavior.Delay 3)))
+
+let test_pp_hash () =
+  Alcotest.(check int) "hex width" 16 (String.length (fmt_to_string Hash.pp (Hash.of_string "x")))
+
+let test_pp_stats () =
+  let s = Stats.create () in
+  s.Stats.submitted <- 3;
+  s.Stats.completed <- 2;
+  let text = fmt_to_string Stats.pp s in
+  Alcotest.(check bool) "mentions submitted" true (contains ~affix:"submitted=3" text)
+
+(* --- client mechanics --- *)
+
+let test_client_queueing_and_shutdown () =
+  let engine = Engine.create () in
+  let fabric = Transport.hub engine ~n:2 () in
+  let stats = Stats.create () in
+  (* Replica 0 echoes every request back as a reply. *)
+  fabric.Transport.set_handler 0 (fun ~src msg ->
+      match msg with
+      | `Request (r : Types.request) ->
+        fabric.Transport.send ~src:0 ~dst:src
+          (`Reply { Types.client = r.Types.client; rid = r.Types.rid; result = r.Types.payload; replica = 0 })
+      | `Reply _ -> ());
+  let client =
+    Client.create engine fabric ~id:1 ~n_replicas:1 ~quorum:1 ~retry_timeout:1_000 ~stats
+      ~to_msg:(fun r -> `Request r)
+      ~of_msg:(function `Reply r -> Some r | `Request _ -> None)
+      ()
+  in
+  Client.submit client ~payload:1L;
+  Client.submit client ~payload:2L;
+  Client.submit client ~payload:3L;
+  Alcotest.(check bool) "outstanding" true (Client.outstanding client);
+  Alcotest.(check int) "two queued" 2 (Client.queued client);
+  Engine.run engine;
+  Alcotest.(check int) "all served in order" 3 stats.Stats.completed;
+  Client.shutdown client;
+  Client.submit client ~payload:4L;
+  Engine.run engine;
+  Alcotest.(check int) "shutdown blocks new work" 3 stats.Stats.completed
+
+let test_client_retransmits_until_served () =
+  let engine = Engine.create () in
+  let fabric = Transport.hub engine ~n:2 () in
+  let stats = Stats.create () in
+  let seen = ref 0 in
+  (* The replica ignores the first two copies. *)
+  fabric.Transport.set_handler 0 (fun ~src msg ->
+      match msg with
+      | `Request (r : Types.request) ->
+        incr seen;
+        if !seen >= 3 then
+          fabric.Transport.send ~src:0 ~dst:src
+            (`Reply { Types.client = r.Types.client; rid = r.Types.rid; result = 0L; replica = 0 })
+      | `Reply _ -> ());
+  let client =
+    Client.create engine fabric ~id:1 ~n_replicas:1 ~quorum:1 ~retry_timeout:500 ~stats
+      ~to_msg:(fun r -> `Request r)
+      ~of_msg:(function `Reply r -> Some r | `Request _ -> None)
+      ()
+  in
+  Client.submit client ~payload:1L;
+  Engine.run ~until:10_000 engine;
+  Alcotest.(check int) "completed after retries" 1 stats.Stats.completed;
+  Alcotest.(check int) "two retransmissions" 2 stats.Stats.retransmissions
+
+(* --- trinc fail-stop accounting --- *)
+
+let test_trinc_register_fault_detected () =
+  let tr = Trinc.create ~id:0 ~key:(Mac.key_of_int64 1L) ~protection:Register.Secded in
+  Register.inject_upset_at (Trinc.counter_register tr) 3;
+  Register.inject_upset_at (Trinc.counter_register tr) 9;
+  (match Trinc.attest tr ~new_counter:1L ~digest:(Hash.of_string "x") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "double flip must be detected");
+  Alcotest.(check int) "counted" 1 (Trinc.faults_detected tr)
+
+(* --- resilient system trace --- *)
+
+let test_resilient_system_trace_captures_events () =
+  let config =
+    {
+      Resilient_system.default_config with
+      group = { Group.default_spec with n_clients = 1 };
+      apt =
+        Some
+          {
+            Resilient_system.mean_exploit_cycles = 20_000.0;
+            exposure = 2_000;
+            backdoor_delay = 1_000_000;
+            detection_prob = 0.0;
+            detection_delay = 1_000;
+          };
+      rejuvenation = Some { Rejuvenation.period = 30_000; downtime = 500 };
+      diversity = Diversity.Max_diversity;
+    }
+  in
+  let sys = Resilient_system.create config in
+  ignore (Resilient_system.run sys ~horizon:200_000 ~workload_period:5_000);
+  let entries = Trace.entries (Resilient_system.trace sys) in
+  let has component = List.exists (fun e -> e.Trace.component = component) entries in
+  Alcotest.(check bool) "rejuvenation events" true (has "rejuvenation");
+  Alcotest.(check bool) "apt events" true (has "apt")
+
+(* --- protocol switch over the NoC --- *)
+
+let test_protocol_switch_on_soc () =
+  let soc = Soc.create { Soc.default_config with mesh_width = 4; mesh_height = 4 } in
+  let engine = Soc.engine soc in
+  let spec = { Group.default_spec with kind = `Minbft; n_clients = 1 } in
+  let sw = Protocol_switch.create engine (Group.On_soc soc) spec in
+  for i = 1 to 3 do
+    Protocol_switch.submit sw ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:60_000 engine;
+  Protocol_switch.switch sw { spec with Group.kind = `Pbft } ~downtime:2_000;
+  Engine.run ~until:80_000 engine;
+  for i = 4 to 6 do
+    Protocol_switch.submit sw ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:400_000 engine;
+  Alcotest.(check int) "epochs over the mesh" 1 (Protocol_switch.epoch sw);
+  Alcotest.(check int) "all served across the switch" 6 (Protocol_switch.total_completed sw);
+  Alcotest.(check int64) "state carried over the mesh" 21L
+    ((Protocol_switch.group sw).Group.replica_state ~replica:0)
+
+(* --- engine odds and ends --- *)
+
+let test_engine_pending_counts () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5 (fun () -> ()));
+  ignore (Engine.schedule e ~delay:6 (fun () -> ()));
+  Alcotest.(check int) "pending" 2 (Engine.pending e);
+  Alcotest.(check bool) "step consumes" true (Engine.step e);
+  Alcotest.(check int) "one left" 1 (Engine.pending e)
+
+let test_trace_dump_smoke () =
+  let t = Trace.create () in
+  Trace.emit t ~time:5 Trace.Info ~component:"x" (fun () -> "hello");
+  let text = Format.asprintf "%t" (Trace.dump t) in
+  Alcotest.(check bool) "mentions component" true (contains ~affix:"hello" text)
+
+let () =
+  Alcotest.run "resoc_misc"
+    [
+      ( "pretty-printing",
+        [
+          Alcotest.test_case "request/reply" `Quick test_pp_request_reply;
+          Alcotest.test_case "behavior" `Quick test_pp_behavior;
+          Alcotest.test_case "hash" `Quick test_pp_hash;
+          Alcotest.test_case "stats" `Quick test_pp_stats;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "queueing and shutdown" `Quick test_client_queueing_and_shutdown;
+          Alcotest.test_case "retransmits until served" `Quick test_client_retransmits_until_served;
+        ] );
+      ( "hybrids",
+        [ Alcotest.test_case "trinc register fault" `Quick test_trinc_register_fault_detected ] );
+      ( "integration",
+        [
+          Alcotest.test_case "resilient system trace" `Quick test_resilient_system_trace_captures_events;
+          Alcotest.test_case "protocol switch on soc" `Quick test_protocol_switch_on_soc;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pending counts" `Quick test_engine_pending_counts;
+          Alcotest.test_case "trace dump" `Quick test_trace_dump_smoke;
+        ] );
+    ]

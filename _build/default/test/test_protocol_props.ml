@@ -1,0 +1,152 @@
+(* Property-based protocol safety: for randomized fault schedules within the
+   declared budget, every protocol must stay live (all submitted requests
+   complete) and safe (surviving honest replicas agree on the accumulator
+   state, which is order-insensitive and therefore a valid cross-view
+   oracle). *)
+
+open Resoc_repl
+module Engine = Resoc_des.Engine
+module Behavior = Resoc_fault.Behavior
+module Group = Resoc_core.Group
+
+let horizon = 400_000
+
+(* A fault schedule: which replica misbehaves, how, and when. *)
+type fault = No_fault | Crash of { replica : int; at : int } | Byz of { replica : int; kind : int }
+
+let fault_gen ~n =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return No_fault);
+        ( 3,
+          map2
+            (fun replica at -> Crash { replica; at })
+            (int_bound (n - 1))
+            (int_bound 50_000) );
+        (2, map2 (fun replica kind -> Byz { replica; kind }) (int_bound (n - 1)) (int_bound 2));
+      ])
+
+let behaviors_of_fault ~n fault =
+  let b = Array.make n Behavior.honest in
+  (match fault with
+   | No_fault -> ()
+   | Crash { replica; at } -> b.(replica) <- Behavior.crash_at at
+   | Byz { replica; kind } ->
+     let strategy =
+       match kind with
+       | 0 -> Behavior.Silent
+       | 1 -> Behavior.Equivocate
+       | _ -> Behavior.Corrupt_execution
+     in
+     b.(replica) <- Behavior.byzantine strategy);
+  b
+
+let faulty_replica = function
+  | No_fault -> None
+  | Crash { replica; _ } | Byz { replica; _ } -> Some replica
+
+let print_fault = function
+  | No_fault -> "none"
+  | Crash { replica; at } -> Printf.sprintf "crash r%d@%d" replica at
+  | Byz { replica; kind } -> Printf.sprintf "byz r%d kind %d" replica kind
+
+(* Run a protocol group under the fault and check liveness + agreement. *)
+let check_kind kind ~byz_ok (fault, n_requests) =
+  let spec = { Group.default_spec with kind; f = 1; n_clients = 1 } in
+  let n = Group.n_replicas_of spec in
+  (match fault with
+   | Byz _ when not byz_ok -> true  (* out of this protocol's fault model *)
+   | _ ->
+     let engine = Engine.create () in
+     let behaviors = behaviors_of_fault ~n fault in
+     let spec = { spec with Group.behaviors = Some behaviors } in
+     let group = Group.build engine (Group.Hub { latency = 5 }) spec in
+     for i = 1 to n_requests do
+       group.Group.submit ~client:0 ~payload:(Int64.of_int i)
+     done;
+     Engine.run ~until:horizon engine;
+     let s = group.Group.stats () in
+     let live = s.Resoc_repl.Stats.completed = n_requests in
+     let skip = faulty_replica fault in
+     let honest =
+       List.filter (fun r -> Some r <> skip) (List.init n Fun.id)
+     in
+     let states = List.map (fun replica -> group.Group.replica_state ~replica) honest in
+     let agree =
+       match states with
+       | [] -> true
+       | first :: rest -> List.for_all (Int64.equal first) rest
+     in
+     if not (live && agree) then
+       QCheck.Test.fail_reportf "fault=%s requests=%d live=%b agree=%b states=%s"
+         (print_fault fault) n_requests live agree
+         (String.concat "," (List.map Int64.to_string states))
+     else true)
+
+let arbitrary_case ~n =
+  QCheck.make
+    ~print:(fun (fault, k) -> Printf.sprintf "(%s, %d requests)" (print_fault fault) k)
+    QCheck.Gen.(pair (fault_gen ~n) (int_range 1 8))
+
+let prop_pbft =
+  QCheck.Test.make ~name:"pbft safe+live under random single fault" ~count:25
+    (arbitrary_case ~n:4)
+    (check_kind `Pbft ~byz_ok:true)
+
+let prop_minbft =
+  QCheck.Test.make ~name:"minbft safe+live under random single fault" ~count:25
+    (arbitrary_case ~n:3)
+    (check_kind `Minbft ~byz_ok:true)
+
+let prop_a2m_bft =
+  QCheck.Test.make ~name:"a2m-bft safe+live under random single fault" ~count:25
+    (arbitrary_case ~n:3)
+    (check_kind `A2m_bft ~byz_ok:true)
+
+let prop_paxos =
+  (* Crash model only: Byzantine draws are skipped. *)
+  QCheck.Test.make ~name:"paxos safe+live under random crash" ~count:25 (arbitrary_case ~n:3)
+    (check_kind `Paxos ~byz_ok:false)
+
+(* Rejuvenation churn must never break agreement: random offline/online
+   windows for one replica at a time. *)
+let prop_rejuvenation_churn =
+  QCheck.Test.make ~name:"minbft agreement under offline/online churn" ~count:20
+    QCheck.(make ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+              Gen.(list_size (int_range 1 4) (int_range 1 80)))
+    (fun windows ->
+      let engine = Engine.create () in
+      let config = { Minbft.default_config with f = 1; n_clients = 1 } in
+      let fabric = Transport.hub engine ~n:4 () in
+      let sys = Minbft.start engine fabric config () in
+      (* Take replica (i mod 3) down for window*100 cycles, sequentially. *)
+      let t = ref 1_000 in
+      List.iteri
+        (fun i window ->
+          let replica = i mod 3 in
+          let start = !t in
+          let stop = start + (window * 100) in
+          ignore (Engine.at engine ~time:start (fun () -> Minbft.set_offline sys ~replica));
+          ignore (Engine.at engine ~time:stop (fun () -> Minbft.set_online sys ~replica));
+          t := stop + 5_000)
+        windows;
+      Resoc_workload.Generator.periodic engine ~period:3_000 ~until:(!t + 20_000) ~n_clients:1
+        ~submit:(fun ~client ~payload -> Minbft.submit sys ~client ~payload)
+        ();
+      Engine.run ~until:(!t + 200_000) engine;
+      let s = Minbft.stats sys in
+      let all_agree =
+        let s0 = Minbft.replica_state sys ~replica:0 in
+        Int64.equal s0 (Minbft.replica_state sys ~replica:1)
+        && Int64.equal s0 (Minbft.replica_state sys ~replica:2)
+      in
+      s.Stats.completed = s.Stats.submitted && all_agree)
+
+let () =
+  Alcotest.run "resoc_protocol_props"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pbft; prop_minbft; prop_a2m_bft; prop_paxos; prop_rejuvenation_churn ] );
+    ]

@@ -1,0 +1,389 @@
+open Resoc_resilience
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Common_mode = Resoc_fault.Common_mode
+module Region = Resoc_fabric.Region
+module Grid = Resoc_fabric.Grid
+module Icap = Resoc_fabric.Icap
+module Bitstream = Resoc_fabric.Bitstream
+
+(* --- Diversity --- *)
+
+let pool q = Common_mode.create ~n_variants:4 ~shared_prob:q
+
+let test_diversity_same () =
+  let d = Diversity.create ~pool:(pool 0.1) Diversity.Same in
+  Alcotest.(check (array int)) "monoculture" [| 0; 0; 0 |] (Diversity.initial_assignment d ~n_replicas:3);
+  Alcotest.(check int) "rejuvenates to same" 0
+    (Diversity.rejuvenation_variant d ~replica:1 ~current:[| 0; 0; 0 |])
+
+let test_diversity_round_robin () =
+  let d = Diversity.create ~pool:(pool 0.1) Diversity.Round_robin in
+  Alcotest.(check (array int)) "rotation" [| 0; 1; 2; 3; 0 |] (Diversity.initial_assignment d ~n_replicas:5);
+  Alcotest.(check int) "advances" 2 (Diversity.rejuvenation_variant d ~replica:0 ~current:[| 1; 2; 3 |])
+
+let test_diversity_max_distinct () =
+  let d = Diversity.create ~pool:(pool 0.1) Diversity.Max_diversity in
+  let a = Diversity.initial_assignment d ~n_replicas:4 in
+  Alcotest.(check int) "all distinct" 4 (List.length (List.sort_uniq compare (Array.to_list a)))
+
+let test_diversity_rejuvenation_changes_variant () =
+  let d = Diversity.create ~pool:(pool 0.1) Diversity.Max_diversity in
+  (* With 4 variants and 3 replicas on 0,1,2, the unused variant 3 is the
+     least-correlated fresh choice. *)
+  Alcotest.(check int) "moves to unused variant" 3
+    (Diversity.rejuvenation_variant d ~replica:0 ~current:[| 0; 1; 2 |])
+
+let test_diversity_risk_ordering () =
+  let d_same = Diversity.create ~pool:(pool 0.2) Diversity.Same in
+  let d_max = Diversity.create ~pool:(pool 0.2) Diversity.Max_diversity in
+  let risk_same =
+    Diversity.expected_group_risk d_same ~assignment:(Diversity.initial_assignment d_same ~n_replicas:4)
+  in
+  let risk_max =
+    Diversity.expected_group_risk d_max ~assignment:(Diversity.initial_assignment d_max ~n_replicas:4)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "monoculture risk %f > diverse %f" risk_same risk_max)
+    true (risk_same > risk_max)
+
+(* --- Rejuvenation --- *)
+
+let make_hooks ?(n = 4) ?(choose = fun _ -> 0) log =
+  {
+    Rejuvenation.n_replicas = n;
+    take_offline = (fun r -> log := `Off r :: !log);
+    bring_online = (fun r -> log := `On r :: !log);
+    choose_variant = choose;
+    on_restart = (fun ~replica ~variant -> log := `Restart (replica, variant) :: !log);
+  }
+
+let test_rejuvenation_round_robin_staggered () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let mgr =
+    Rejuvenation.start engine { Rejuvenation.period = 1_000; downtime = 100 } (make_hooks log)
+  in
+  Engine.run ~until:4_500 engine;
+  Alcotest.(check int) "four rejuvenations" 4 (Rejuvenation.rejuvenations mgr);
+  let order = List.filter_map (function `Off r -> Some r | _ -> None) (List.rev !log) in
+  Alcotest.(check (list int)) "round robin order" [ 0; 1; 2; 3 ] order
+
+let test_rejuvenation_at_most_one_down () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let mgr =
+    Rejuvenation.start engine { Rejuvenation.period = 1_000; downtime = 500 } (make_hooks log)
+  in
+  let max_down = ref 0 in
+  Engine.every engine ~period:50 (fun () -> max_down := max !max_down (Rejuvenation.in_progress mgr));
+  Engine.run ~until:10_000 engine;
+  Alcotest.(check int) "quorum-preserving stagger" 1 !max_down
+
+let test_rejuvenation_downtime_respected () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let _ = Rejuvenation.start engine { Rejuvenation.period = 1_000; downtime = 250 } (make_hooks log) in
+  Engine.run ~until:1_500 engine;
+  let events = List.rev !log in
+  (match events with
+   | `Off 0 :: `On 0 :: `Restart (0, _) :: _ -> ()
+   | _ -> Alcotest.fail "expected off/on/restart sequence");
+  ignore events
+
+let test_rejuvenation_variant_hook () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let _ =
+    Rejuvenation.start engine
+      { Rejuvenation.period = 1_000; downtime = 100 }
+      (make_hooks ~choose:(fun r -> r + 10) log)
+  in
+  Engine.run ~until:2_500 engine;
+  let restarts = List.filter_map (function `Restart (r, v) -> Some (r, v) | _ -> None) (List.rev !log) in
+  Alcotest.(check (list (pair int int))) "variants chosen per replica" [ (0, 10); (1, 11) ] restarts
+
+let test_rejuvenation_reactive () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let mgr = Rejuvenation.start engine { Rejuvenation.period = 10_000; downtime = 100 } (make_hooks log) in
+  ignore (Engine.schedule engine ~delay:50 (fun () -> Rejuvenation.rejuvenate_now mgr ~replica:2));
+  Engine.run ~until:1_000 engine;
+  Alcotest.(check int) "reactive rejuvenation counted" 1 (Rejuvenation.rejuvenations mgr);
+  let order = List.filter_map (function `Off r -> Some r | _ -> None) (List.rev !log) in
+  Alcotest.(check (list int)) "targeted replica" [ 2 ] order
+
+let test_rejuvenation_stop () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let mgr = Rejuvenation.start engine { Rejuvenation.period = 100; downtime = 10 } (make_hooks log) in
+  ignore (Engine.schedule engine ~delay:250 (fun () -> Rejuvenation.stop mgr));
+  Engine.run ~until:2_000 engine;
+  Alcotest.(check int) "stopped after two" 2 (Rejuvenation.rejuvenations mgr)
+
+let test_rejuvenation_validates_policy () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "downtime >= period"
+    (Invalid_argument "Rejuvenation.start: downtime must be shorter than the stagger period")
+    (fun () ->
+      ignore (Rejuvenation.start engine { Rejuvenation.period = 100; downtime = 100 } (make_hooks (ref []))))
+
+(* --- Threat --- *)
+
+let test_threat_accumulates () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000 in
+  Threat.report th ();
+  Threat.report th ();
+  Alcotest.(check (float 1e-9)) "two events" 2.0 (Threat.level th);
+  Alcotest.(check int) "counted" 2 (Threat.events_total th)
+
+let test_threat_decays () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000 in
+  Threat.report th ~weight:4.0 ();
+  ignore (Engine.schedule engine ~delay:1_000 (fun () ->
+      Alcotest.(check (float 0.01)) "half life" 2.0 (Threat.level th)));
+  ignore (Engine.schedule engine ~delay:2_000 (fun () ->
+      Alcotest.(check (float 0.01)) "two half lives" 1.0 (Threat.level th)));
+  Engine.run engine
+
+let test_threat_reset () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000 in
+  Threat.report th ();
+  Threat.reset th;
+  Alcotest.(check (float 1e-9)) "cleared" 0.0 (Threat.level th)
+
+(* --- Adaptation --- *)
+
+let test_adaptation_raises_under_threat () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:5_000 in
+  let f = ref 1 in
+  let policy = { Adaptation.default_policy with eval_period = 500; cooldown = 1_000 } in
+  let peak = ref 1 in
+  let mgr =
+    Adaptation.start engine policy th
+      { Adaptation.current_f = (fun () -> !f);
+        scale_to = (fun f' -> f := f'; peak := max !peak f') }
+  in
+  (* Burst of suspicious events at t=2000. *)
+  ignore (Engine.schedule engine ~delay:2_000 (fun () -> for _ = 1 to 5 do Threat.report th () done));
+  Engine.run ~until:20_000 engine;
+  Alcotest.(check bool) "f raised during the surge" true (!peak >= 2);
+  (match Adaptation.actions mgr with
+   | (_, Adaptation.Raise_f 2) :: _ -> ()
+   | _ -> Alcotest.fail "first action should raise f to 2")
+
+let test_adaptation_lowers_when_calm () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:2_000 in
+  let f = ref 1 in
+  let policy = { Adaptation.default_policy with eval_period = 500; cooldown = 1_000 } in
+  let _ =
+    Adaptation.start engine policy th
+      { Adaptation.current_f = (fun () -> !f); scale_to = (fun f' -> f := f') }
+  in
+  ignore (Engine.schedule engine ~delay:1_000 (fun () -> for _ = 1 to 5 do Threat.report th () done));
+  Engine.run ~until:60_000 engine;
+  (* Threat long decayed: back at the floor. *)
+  Alcotest.(check int) "returned to f_min" 1 !f
+
+let test_adaptation_respects_f_max () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000_000 in
+  let f = ref 1 in
+  let policy = { Adaptation.default_policy with f_max = 2; eval_period = 500; cooldown = 500 } in
+  let _ =
+    Adaptation.start engine policy th
+      { Adaptation.current_f = (fun () -> !f); scale_to = (fun f' -> f := f') }
+  in
+  for _ = 1 to 100 do Threat.report th () done;
+  Engine.run ~until:30_000 engine;
+  Alcotest.(check int) "capped at f_max" 2 !f
+
+let test_adaptation_cooldown_limits_rate () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000_000 in
+  let f = ref 0 in
+  let policy =
+    { Adaptation.default_policy with f_min = 0; f_max = 100; eval_period = 100; cooldown = 5_000 }
+  in
+  let mgr =
+    Adaptation.start engine policy th
+      { Adaptation.current_f = (fun () -> !f); scale_to = (fun f' -> f := f') }
+  in
+  for _ = 1 to 100 do Threat.report th () done;
+  Engine.run ~until:10_500 engine;
+  Alcotest.(check bool) "at most 3 actions in 10.5k cycles" true
+    (List.length (Adaptation.actions mgr) <= 3)
+
+let test_adaptation_hysteresis_validated () =
+  let engine = Engine.create () in
+  let th = Threat.create engine ~half_life:1_000 in
+  Alcotest.check_raises "bad thresholds"
+    (Invalid_argument "Adaptation.start: thresholds must leave a hysteresis band") (fun () ->
+      ignore
+        (Adaptation.start engine
+           { Adaptation.default_policy with raise_threshold = 1.0; lower_threshold = 2.0 }
+           th
+           { Adaptation.current_f = (fun () -> 1); scale_to = ignore }))
+
+(* --- Governance --- *)
+
+let governance_setup ?(n_kernels = 4) ?(threshold = 3) ?malicious () =
+  let engine = Engine.create () in
+  let grid = Grid.create ~width:8 ~height:8 in
+  let icap = Icap.create engine grid () in
+  let governance_principal = 100 in
+  Icap.grant icap ~principal:governance_principal ~region:(Region.make ~x:0 ~y:0 ~w:8 ~h:8);
+  (* Victim principal 1 owns a slot. *)
+  let slot =
+    match Grid.place grid ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2) ~variant:1 ~owner:1 with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "setup place failed: %s" e
+  in
+  let gov = Governance.create engine icap ~n_kernels ~threshold ?malicious ~governance_principal () in
+  (engine, gov, slot)
+
+let legit_op slot = { Governance.slot; bitstream = Bitstream.make ~variant:2 ~w:2 ~h:2; requestor = 1 }
+
+let rogue_op slot =
+  (* Valid bitstream, but the requestor does not own the slot: a hijack. *)
+  { Governance.slot; bitstream = Bitstream.make ~variant:9 ~w:2 ~h:2; requestor = 66 }
+
+let test_governance_executes_legitimate () =
+  let engine, gov, slot = governance_setup () in
+  let result = ref None in
+  Governance.propose gov ~proposer:0 (legit_op slot) (fun d -> result := Some d);
+  Engine.run engine;
+  (match !result with
+   | Some (Governance.Executed _) -> ()
+   | _ -> Alcotest.fail "legitimate op should execute");
+  Alcotest.(check int) "counted" 1 (Governance.executed_legitimate gov)
+
+let test_governance_blocks_rogue () =
+  let malicious = [| true; false; false; false |] in
+  let engine, gov, slot = governance_setup ~malicious () in
+  let result = ref None in
+  Governance.propose gov ~proposer:0 (rogue_op slot) (fun d -> result := Some d);
+  Engine.run engine;
+  Alcotest.(check bool) "blocked" true (!result = Some Governance.Blocked);
+  Alcotest.(check int) "rogue blocked counted" 1 (Governance.blocked_rogue gov);
+  Alcotest.(check int) "nothing rogue executed" 0 (Governance.executed_rogue gov)
+
+let test_governance_single_compromised_kernel_fails () =
+  let engine = Engine.create () in
+  let grid = Grid.create ~width:8 ~height:8 in
+  let icap = Icap.create engine grid () in
+  Icap.grant icap ~principal:100 ~region:(Region.make ~x:0 ~y:0 ~w:8 ~h:8);
+  let slot =
+    match Grid.place grid ~region:(Region.make ~x:0 ~y:0 ~w:2 ~h:2) ~variant:1 ~owner:1 with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "setup place failed: %s" e
+  in
+  let gov = Governance.single_kernel engine icap ~compromised:true ~governance_principal:100 () in
+  let result = ref None in
+  Governance.propose gov ~proposer:0 (rogue_op slot) (fun d -> result := Some d);
+  Engine.run engine;
+  (match !result with
+   | Some (Governance.Executed _) -> ()
+   | _ -> Alcotest.fail "compromised single kernel executes the hijack");
+  Alcotest.(check int) "rogue executed" 1 (Governance.executed_rogue gov);
+  (* the hijacker's variant is now in the victim's region *)
+  match Grid.slots grid with
+  | [ s ] -> Alcotest.(check int) "variant hijacked" 9 s.Grid.variant
+  | _ -> Alcotest.fail "expected one slot"
+
+let test_governance_minority_malicious_harmless () =
+  (* f=1 malicious out of 4 kernels with threshold 3: legitimate ops pass,
+     rogue ops fail. *)
+  let malicious = [| false; true; false; false |] in
+  let engine, gov, slot = governance_setup ~malicious () in
+  let r1 = ref None and r2 = ref None in
+  Governance.propose gov ~proposer:1 (rogue_op slot) (fun d -> r1 := Some d);
+  Engine.run engine;
+  Governance.propose gov ~proposer:0 (legit_op slot) (fun d -> r2 := Some d);
+  Engine.run engine;
+  Alcotest.(check bool) "rogue blocked" true (!r1 = Some Governance.Blocked);
+  (match !r2 with
+   | Some (Governance.Executed _) -> ()
+   | _ -> Alcotest.fail "legitimate op should still execute")
+
+let test_governance_majority_malicious_defeated () =
+  (* Beyond the assumed f: 3 of 4 kernels malicious defeats the vote. *)
+  let malicious = [| true; true; true; false |] in
+  let engine, gov, slot = governance_setup ~malicious () in
+  let result = ref None in
+  Governance.propose gov ~proposer:0 (rogue_op slot) (fun d -> result := Some d);
+  Engine.run engine;
+  (match !result with
+   | Some (Governance.Executed _) -> ()
+   | _ -> Alcotest.fail "assumption violated: rogue executes");
+  Alcotest.(check int) "counted as rogue execution" 1 (Governance.executed_rogue gov)
+
+let test_governance_corrupt_bitstream_blocked_by_honest () =
+  let engine, gov, slot = governance_setup () in
+  let op =
+    { Governance.slot; bitstream = Bitstream.corrupt (Bitstream.make ~variant:2 ~w:2 ~h:2); requestor = 1 }
+  in
+  let result = ref None in
+  Governance.propose gov ~proposer:0 op (fun d -> result := Some d);
+  Engine.run engine;
+  Alcotest.(check bool) "honest kernels reject bad checksum" true (!result = Some Governance.Blocked)
+
+let test_governance_vote_latency () =
+  let engine, gov, slot = governance_setup () in
+  let done_at = ref 0 in
+  Governance.propose gov ~proposer:0 (legit_op slot) (fun _ -> done_at := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check bool) "voting + reconfiguration takes time" true (!done_at > 50)
+
+let () =
+  Alcotest.run "resoc_resilience"
+    [
+      ( "diversity",
+        [
+          Alcotest.test_case "same" `Quick test_diversity_same;
+          Alcotest.test_case "round robin" `Quick test_diversity_round_robin;
+          Alcotest.test_case "max diversity distinct" `Quick test_diversity_max_distinct;
+          Alcotest.test_case "rejuvenation changes variant" `Quick test_diversity_rejuvenation_changes_variant;
+          Alcotest.test_case "risk ordering" `Quick test_diversity_risk_ordering;
+        ] );
+      ( "rejuvenation",
+        [
+          Alcotest.test_case "round robin staggered" `Quick test_rejuvenation_round_robin_staggered;
+          Alcotest.test_case "at most one down" `Quick test_rejuvenation_at_most_one_down;
+          Alcotest.test_case "downtime respected" `Quick test_rejuvenation_downtime_respected;
+          Alcotest.test_case "variant hook" `Quick test_rejuvenation_variant_hook;
+          Alcotest.test_case "reactive" `Quick test_rejuvenation_reactive;
+          Alcotest.test_case "stop" `Quick test_rejuvenation_stop;
+          Alcotest.test_case "policy validation" `Quick test_rejuvenation_validates_policy;
+        ] );
+      ( "threat",
+        [
+          Alcotest.test_case "accumulates" `Quick test_threat_accumulates;
+          Alcotest.test_case "decays" `Quick test_threat_decays;
+          Alcotest.test_case "reset" `Quick test_threat_reset;
+        ] );
+      ( "adaptation",
+        [
+          Alcotest.test_case "raises under threat" `Quick test_adaptation_raises_under_threat;
+          Alcotest.test_case "lowers when calm" `Quick test_adaptation_lowers_when_calm;
+          Alcotest.test_case "respects f_max" `Quick test_adaptation_respects_f_max;
+          Alcotest.test_case "cooldown limits rate" `Quick test_adaptation_cooldown_limits_rate;
+          Alcotest.test_case "hysteresis validated" `Quick test_adaptation_hysteresis_validated;
+        ] );
+      ( "governance",
+        [
+          Alcotest.test_case "executes legitimate" `Quick test_governance_executes_legitimate;
+          Alcotest.test_case "blocks rogue" `Quick test_governance_blocks_rogue;
+          Alcotest.test_case "single compromised kernel fails" `Quick
+            test_governance_single_compromised_kernel_fails;
+          Alcotest.test_case "minority malicious harmless" `Quick test_governance_minority_malicious_harmless;
+          Alcotest.test_case "majority malicious defeated" `Quick test_governance_majority_malicious_defeated;
+          Alcotest.test_case "corrupt bitstream blocked" `Quick test_governance_corrupt_bitstream_blocked_by_honest;
+          Alcotest.test_case "vote latency" `Quick test_governance_vote_latency;
+        ] );
+    ]
