@@ -31,10 +31,60 @@ module Group = Resoc_core.Group
 module Resilient_system = Resoc_core.Resilient_system
 module Generator = Resoc_workload.Generator
 
+module Campaign = Resoc_campaign.Campaign
+module Cstats = Resoc_campaign.Stats
+module Emit = Resoc_campaign.Emit
+
 let header title claim =
   Printf.printf "\n=== %s ===\n%s\n\n" title claim
 
 let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Campaign plumbing: every multi-seed experiment goes through the     *)
+(* resoc_campaign runner. Replicate seeds come from the SplitMix64     *)
+(* seed tree under one root seed, so [--seeds N] scales every          *)
+(* experiment uniformly and aggregates are bit-identical regardless of *)
+(* the worker count.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type run_config = {
+  replicates : int;
+  jobs : int;
+  json_dir : string option;  (* None disables BENCH_<id>.json emission *)
+  csv : bool;
+  root_seed : int64;
+  progress : bool;
+}
+
+let run_config =
+  ref
+    {
+      replicates = 16;
+      jobs = 1;
+      json_dir = Some ".";
+      csv = false;
+      root_seed = 0x5EEDL;
+      progress = true;
+    }
+
+let run_campaign ~id ~title cells =
+  let rc = !run_config in
+  let config =
+    {
+      Campaign.root_seed = rc.root_seed;
+      replicates = rc.replicates;
+      jobs = rc.jobs;
+      progress = rc.progress;
+    }
+  in
+  let result = Campaign.run ~config ~id ~title cells in
+  (match rc.json_dir with
+  | Some dir ->
+    ignore (Emit.json_file ~dir result);
+    if rc.csv then ignore (Emit.csv_file ~dir result)
+  | None -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* E1: gate-level redundancy (Fig. 1 bottom layer; refs [13]-[18])     *)
@@ -129,32 +179,52 @@ let e2_usig_ecc () =
   header "E2  USIG counter protection: plain vs parity vs SECDED"
     "Claim (SIII): a bitflip in a plain USIG counter register is catastrophic\n\
      for consensus (silent desync -> stalls/view changes); ECC registers\n\
-     tolerate it at a known extra circuit cost.";
-  row "%-10s %-8s %-6s %-6s | %-40s\n" "SEU/bit/cy" "protect" "bits" "gates"
-    "avail  viewchg  gaps  upsets  lat-p99";
-  List.iter
-    (fun seu_rate ->
-      List.iter
-        (fun (label, protection) ->
-          let availability = ref 0.0 and vcs = ref 0 and gaps = ref 0 and ups = ref 0 in
-          let p99 = ref 0.0 in
-          let seeds = [ 11L; 22L; 33L ] in
-          List.iter
-            (fun seed ->
-              let a, v, g, u, l = run_minbft_under_seu ~protection ~seu_rate ~seed in
-              availability := !availability +. a;
-              vcs := !vcs + v;
-              gaps := !gaps + g;
-              ups := !ups + u;
-              p99 := Float.max !p99 l)
-            seeds;
-          let k = float_of_int (List.length seeds) in
-          row "%-10.0e %-8s %-6d %-6d | %.3f  %-7d %-5d %-7d %.0f\n" seu_rate label
-            (Register.stored_bits (Register.create protection 0L))
-            (Register.gate_cost protection)
-            (!availability /. k) !vcs !gaps !ups !p99)
-        [ ("plain", Register.Plain); ("parity", Register.Parity); ("secded", Register.Secded) ])
-    [ 0.0; 1.0e-7; 1.0e-6; 4.0e-6 ]
+     tolerate it at a known extra circuit cost. Per-replicate means ±95% CI.";
+  let protections =
+    [ ("plain", Register.Plain); ("parity", Register.Parity); ("secded", Register.Secded) ]
+  in
+  let specs =
+    List.concat_map
+      (fun seu_rate ->
+        List.map (fun (label, protection) -> (seu_rate, label, protection)) protections)
+      [ 0.0; 1.0e-7; 1.0e-6; 4.0e-6 ]
+  in
+  let cells =
+    List.map
+      (fun (seu_rate, label, protection) ->
+        Campaign.cell
+          ~params:
+            [ ("seu_rate", Printf.sprintf "%.0e" seu_rate); ("protection", label) ]
+          (Printf.sprintf "%.0e/%s" seu_rate label)
+          (fun ~seed ->
+            let avail, vcs, gaps, upsets, p99 =
+              run_minbft_under_seu ~protection ~seu_rate ~seed
+            in
+            [
+              ("avail", avail);
+              ("view_changes", float_of_int vcs);
+              ("gaps", float_of_int gaps);
+              ("upsets", float_of_int upsets);
+              ("lat_p99", p99);
+            ]))
+      specs
+  in
+  let result = run_campaign ~id:"e2" ~title:"USIG counter protection under SEUs" cells in
+  row "%-10s %-8s %-6s %-6s | %-15s %-12s %-8s %-8s %-8s\n" "SEU/bit/cy" "protect" "bits"
+    "gates" "avail (95% CI)" "viewchg" "gaps" "upsets" "p99-max";
+  List.iter2
+    (fun (seu_rate, label, protection) agg ->
+      let avail = Campaign.metric agg "avail" in
+      let vcs = Campaign.metric agg "view_changes" in
+      let gaps = Campaign.metric agg "gaps" in
+      let ups = Campaign.metric agg "upsets" in
+      let p99 = Campaign.metric agg "lat_p99" in
+      row "%-10.0e %-8s %-6d %-6d | %.3f ±%.3f    %-12s %-8.0f %-8.0f %.0f\n" seu_rate label
+        (Register.stored_bits (Register.create protection 0L))
+        (Register.gate_cost protection)
+        avail.Cstats.mean avail.Cstats.ci95 (Cstats.pp_mean_ci vcs) gaps.Cstats.mean
+        ups.Cstats.mean p99.Cstats.max)
+    specs result.Campaign.cells
 
 (* ------------------------------------------------------------------ *)
 (* E3: PBFT (3f+1) vs MinBFT (2f+1) on the NoC (SI, SII.A; refs [40]-[42]) *)
@@ -273,24 +343,49 @@ let e5_diversity () =
   header "E5  Diversity vs common-mode vulnerabilities"
     "Claim (SII.B): active replication only helps while replicas fail\n\
      independently; one shared vulnerability defeats a monoculture group.\n\
-     P(single vulnerability event defeats the f=1, n=4 group):";
-  let rng = Rng.create 2024L in
-  let trials = 40_000 in
-  row "%-8s %-14s %-14s %-14s %-14s\n" "q" "monoculture" "2 variants" "4 variants" "8 variants";
+     P(single vulnerability event defeats the f=1, n=4 group), mean ±95% CI:";
+  let strategies =
+    [
+      ("monoculture", 4, Diversity.Same);
+      ("2-variants", 2, Diversity.Round_robin);
+      ("4-variants", 4, Diversity.Max_diversity);
+      ("8-variants", 8, Diversity.Max_diversity);
+    ]
+  in
+  let qs = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ] in
+  let trials = 4_000 in
+  let specs = List.concat_map (fun q -> List.map (fun s -> (q, s)) strategies) qs in
+  let cells =
+    List.map
+      (fun (q, (name, variants, strategy)) ->
+        Campaign.cell
+          ~params:[ ("q", Printf.sprintf "%.2f" q); ("strategy", name) ]
+          (Printf.sprintf "q%.2f/%s" q name)
+          (fun ~seed ->
+            let rng = Rng.create seed in
+            let pool = Common_mode.create ~n_variants:variants ~shared_prob:q in
+            let d = Diversity.create ~pool strategy in
+            let assignment = Diversity.initial_assignment d ~n_replicas:4 in
+            [
+              ( "p_compromise",
+                Common_mode.p_group_compromise pool rng ~assignment ~f:1 ~trials );
+            ]))
+      specs
+  in
+  let result = run_campaign ~id:"e5" ~title:"Diversity vs common-mode vulnerabilities" cells in
+  let tagged = List.combine specs result.Campaign.cells in
+  row "%-8s %-18s %-18s %-18s %-18s\n" "q" "monoculture" "2 variants" "4 variants" "8 variants";
   List.iter
     (fun q ->
-      let p_for ~variants ~strategy =
-        let pool = Common_mode.create ~n_variants:variants ~shared_prob:q in
-        let d = Diversity.create ~pool strategy in
-        let assignment = Diversity.initial_assignment d ~n_replicas:4 in
-        Common_mode.p_group_compromise pool rng ~assignment ~f:1 ~trials
+      let col name =
+        let _, agg =
+          List.find (fun ((q', (name', _, _)), _) -> q' = q && name' = name) tagged
+        in
+        Cstats.pp_mean_ci ~decimals:4 (Campaign.metric agg "p_compromise")
       in
-      row "%-8.2f %-14.4f %-14.4f %-14.4f %-14.4f\n" q
-        (p_for ~variants:4 ~strategy:Diversity.Same)
-        (p_for ~variants:2 ~strategy:Diversity.Round_robin)
-        (p_for ~variants:4 ~strategy:Diversity.Max_diversity)
-        (p_for ~variants:8 ~strategy:Diversity.Max_diversity))
-    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ]
+      row "%-8.2f %-18s %-18s %-18s %-18s\n" q (col "monoculture") (col "2-variants")
+        (col "4-variants") (col "8-variants"))
+    qs
 
 (* ------------------------------------------------------------------ *)
 (* E6: rejuvenation vs APTs (SII.C; ref [51])                          *)
@@ -352,32 +447,41 @@ let e6_rejuvenation () =
           } );
     ]
   in
-  row "%-18s %-16s %-13s %-12s %-14s\n" "policy" "survival" "compromises" "peak-simult"
-    "rejuvenations";
+  let cells =
+    List.map
+      (fun (name, tweak) ->
+        Campaign.cell ~params:[ ("policy", name) ] name (fun ~seed ->
+            let sys = Resilient_system.create (tweak (base seed)) in
+            let r = Resilient_system.run sys ~horizon ~workload_period:5_000 in
+            let metrics =
+              [
+                ( "survived",
+                  match r.Resilient_system.failed_at with None -> 1.0 | Some _ -> 0.0 );
+                ("compromises", float_of_int r.Resilient_system.compromises);
+                ("peak_simult", float_of_int r.Resilient_system.compromised_peak);
+                ("rejuvenations", float_of_int r.Resilient_system.rejuvenations);
+              ]
+            in
+            match r.Resilient_system.failed_at with
+            | Some t -> metrics @ [ ("failed_at", float_of_int t) ]
+            | None -> metrics))
+      variants
+  in
+  let result = run_campaign ~id:"e6" ~title:"Rejuvenation policies under an APT campaign" cells in
+  row "%-18s %-18s %-10s %-15s %-12s %-14s\n" "policy" "survival (95% CI)" "fell@mean"
+    "compromises" "peak-simult" "rejuvenations";
   List.iter
-    (fun (name, tweak) ->
-      let seeds = [ 101L; 202L; 303L ] in
-      let survived = ref 0 and fell_sum = ref 0 and comps = ref 0 and rejs = ref 0 in
-      let peak = ref 0 in
-      List.iter
-        (fun seed ->
-          let sys = Resilient_system.create (tweak (base seed)) in
-          let r = Resilient_system.run sys ~horizon ~workload_period:5_000 in
-          (match r.Resilient_system.failed_at with
-           | None -> incr survived
-           | Some t -> fell_sum := !fell_sum + t);
-          comps := !comps + r.Resilient_system.compromises;
-          rejs := !rejs + r.Resilient_system.rejuvenations;
-          peak := max !peak r.Resilient_system.compromised_peak)
-        seeds;
-      let k = List.length seeds in
-      let survival =
-        if !survived = k then "all seeds"
-        else if !survived = 0 then Printf.sprintf "fell @%d" (!fell_sum / k)
-        else Printf.sprintf "%d/%d seeds" !survived k
-      in
-      row "%-18s %-16s %-13d %-12d %-14d\n" name survival !comps !peak !rejs)
-    variants
+    (fun agg ->
+      let surv = Campaign.fraction agg "survived" in
+      let fell = Campaign.metric agg "failed_at" in
+      let comps = Campaign.metric agg "compromises" in
+      let peak = Campaign.metric agg "peak_simult" in
+      let rejs = Campaign.metric agg "rejuvenations" in
+      let fell_s = if fell.Cstats.n = 0 then "-" else Printf.sprintf "%.0f" fell.Cstats.mean in
+      row "%-18s %-18s %-10s %-15s %-12.0f %-14s\n" agg.Campaign.cell_id
+        (Cstats.pp_fraction surv) fell_s (Cstats.pp_mean_ci comps) peak.Cstats.max
+        (Cstats.pp_mean_ci rejs))
+    result.Campaign.cells
 
 (* ------------------------------------------------------------------ *)
 (* E7: threat-adaptive f (SII.D; refs [52]-[54])                       *)
@@ -477,23 +581,34 @@ let e7_adaptation () =
     "Claim (SII.D, refs [52]-[54]): scaling f with the observed threat\n\
      survives surges that defeat a static small group, at a fraction of the\n\
      cost of constant over-provisioning. Attack surge in [200k,400k):";
-  row "%-14s %-14s %-18s %-10s\n" "configuration" "survival" "replica-cycles(M)" "final f";
-  let seeds = [ 7L; 17L; 27L; 37L; 47L ] in
+  let cells =
+    List.map
+      (fun (name, adaptive, static_f) ->
+        Campaign.cell ~params:[ ("configuration", name) ] name (fun ~seed ->
+            let failed, rc, f_end = e7_run ~adaptive ~static_f ~seed in
+            let metrics =
+              [
+                ("survived", match failed with None -> 1.0 | Some _ -> 0.0);
+                ("replica_cycles_m", float_of_int rc /. 1.0e6);
+                ("final_f", float_of_int f_end);
+              ]
+            in
+            match failed with
+            | Some t -> metrics @ [ ("failed_at", float_of_int t) ]
+            | None -> metrics))
+      [ ("static f=1", false, 1); ("static f=4", false, 4); ("adaptive 1..4", true, 1) ]
+  in
+  let result = run_campaign ~id:"e7" ~title:"Threat-adaptive fault budget" cells in
+  row "%-14s %-18s %-20s %-10s\n" "configuration" "survival (95% CI)" "replica-cycles(M)"
+    "final f";
   List.iter
-    (fun (name, adaptive, static_f) ->
-      let survived = ref 0 and cycles = ref 0 and fsum = ref 0 in
-      List.iter
-        (fun seed ->
-          let failed, rc, f_end = e7_run ~adaptive ~static_f ~seed in
-          (match failed with None -> incr survived | Some _ -> ());
-          cycles := !cycles + rc;
-          fsum := !fsum + f_end)
-        seeds;
-      let k = List.length seeds in
-      row "%-14s %d/%-12d %-18.1f %-10.1f\n" name !survived k
-        (float_of_int !cycles /. float_of_int k /. 1.0e6)
-        (float_of_int !fsum /. float_of_int k))
-    [ ("static f=1", false, 1); ("static f=4", false, 4); ("adaptive 1..4", true, 1) ]
+    (fun agg ->
+      let surv = Campaign.fraction agg "survived" in
+      let cycles = Campaign.metric agg "replica_cycles_m" in
+      let final_f = Campaign.metric agg "final_f" in
+      row "%-14s %-18s %-20s %-10.1f\n" agg.Campaign.cell_id (Cstats.pp_fraction surv)
+        (Cstats.pp_mean_ci cycles) final_f.Cstats.mean)
+    result.Campaign.cells
 
 (* ------------------------------------------------------------------ *)
 (* E8: consensual reconfiguration (SII.E; ref [55])                    *)
@@ -670,33 +785,41 @@ let f1_layered_stack () =
           } );
     ]
   in
-  row "%-26s %-16s %-13s %-13s %-14s\n" "stack prefix" "survival" "compromises" "peak-simult"
-    "availability";
+  let cells =
+    List.map
+      (fun (name, layer) ->
+        Campaign.cell ~params:[ ("stack", name) ] name (fun ~seed ->
+            let sys = Resilient_system.create (layer (base seed)) in
+            let r = Resilient_system.run sys ~horizon ~workload_period:4_000 in
+            let metrics =
+              [
+                ( "survived",
+                  match r.Resilient_system.failed_at with None -> 1.0 | Some _ -> 0.0 );
+                ("compromises", float_of_int r.Resilient_system.compromises);
+                ("peak_simult", float_of_int r.Resilient_system.compromised_peak);
+                ("availability", r.Resilient_system.availability);
+              ]
+            in
+            match r.Resilient_system.failed_at with
+            | Some t -> metrics @ [ ("failed_at", float_of_int t) ]
+            | None -> metrics))
+      layers
+  in
+  let result = run_campaign ~id:"f1" ~title:"Fig. 1 cumulative layering" cells in
+  row "%-26s %-18s %-10s %-15s %-12s %-16s\n" "stack prefix" "survival (95% CI)" "fell@mean"
+    "compromises" "peak-simult" "availability";
   List.iter
-    (fun (name, layer) ->
-      let seeds = [ 1L; 2L; 3L ] in
-      let survived = ref 0 and fell_sum = ref 0 and comps = ref 0 and peak = ref 0 in
-      let avail = ref 0.0 in
-      List.iter
-        (fun seed ->
-          let sys = Resilient_system.create (layer (base seed)) in
-          let r = Resilient_system.run sys ~horizon ~workload_period:4_000 in
-          (match r.Resilient_system.failed_at with
-           | None -> incr survived
-           | Some t -> fell_sum := !fell_sum + t);
-          comps := !comps + r.Resilient_system.compromises;
-          peak := max !peak r.Resilient_system.compromised_peak;
-          avail := !avail +. r.Resilient_system.availability)
-        seeds;
-      let k = List.length seeds in
-      let survival =
-        if !survived = k then "all seeds"
-        else if !survived = 0 then Printf.sprintf "fell @%d" (!fell_sum / k)
-        else Printf.sprintf "%d/%d seeds" !survived k
-      in
-      row "%-26s %-16s %-13d %-13d %-14.3f\n" name survival !comps !peak
-        (!avail /. float_of_int k))
-    layers
+    (fun agg ->
+      let surv = Campaign.fraction agg "survived" in
+      let fell = Campaign.metric agg "failed_at" in
+      let comps = Campaign.metric agg "compromises" in
+      let peak = Campaign.metric agg "peak_simult" in
+      let avail = Campaign.metric agg "availability" in
+      let fell_s = if fell.Cstats.n = 0 then "-" else Printf.sprintf "%.0f" fell.Cstats.mean in
+      row "%-26s %-18s %-10s %-15s %-12.0f %.3f ±%.3f\n" agg.Campaign.cell_id
+        (Cstats.pp_fraction surv) fell_s (Cstats.pp_mean_ci comps) peak.Cstats.max
+        avail.Cstats.mean avail.Cstats.ci95)
+    result.Campaign.cells
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the other mechanisms the paper's text names               *)
@@ -780,18 +903,35 @@ let a3_noc_routing () =
     Engine.run engine;
     float_of_int (Resoc_noc.Network.delivered net) /. 2000.0
   in
-  row "%-14s %-12s %-16s\n" "failed links" "xy-only" "xy+yx-fallback";
+  let links = [ 0; 2; 4; 8; 16; 32 ] in
+  let routings =
+    [ ("xy", Resoc_noc.Network.Xy); ("xy+yx", Resoc_noc.Network.Xy_with_yx_fallback) ]
+  in
+  let specs = List.concat_map (fun fl -> List.map (fun r -> (fl, r)) routings) links in
+  let cells =
+    List.map
+      (fun (failed_links, (rname, routing)) ->
+        Campaign.cell
+          ~params:[ ("failed_links", string_of_int failed_links); ("routing", rname) ]
+          (Printf.sprintf "%d/%s" failed_links rname)
+          (fun ~seed -> [ ("delivery", deliver ~routing ~failed_links ~seed) ]))
+      specs
+  in
+  let result = run_campaign ~id:"a3" ~title:"Fault-tolerant NoC routing" cells in
+  let tagged = List.combine specs result.Campaign.cells in
+  row "%-14s %-20s %-20s\n" "failed links" "xy-only (95% CI)" "xy+yx-fallback (95% CI)";
   List.iter
     (fun failed_links ->
-      let avg routing =
-        let seeds = [ 5L; 6L; 7L ] in
-        List.fold_left (fun acc seed -> acc +. deliver ~routing ~failed_links ~seed) 0.0 seeds
-        /. float_of_int (List.length seeds)
+      let col rname =
+        let _, agg =
+          List.find
+            (fun ((fl, (rname', _)), _) -> fl = failed_links && rname' = rname)
+            tagged
+        in
+        Cstats.pp_mean_ci ~decimals:3 (Campaign.metric agg "delivery")
       in
-      row "%-14d %-12.3f %-16.3f\n" failed_links
-        (avg Resoc_noc.Network.Xy)
-        (avg Resoc_noc.Network.Xy_with_yx_fallback))
-    [ 0; 2; 4; 8; 16; 32 ]
+      row "%-14d %-20s %-20s\n" failed_links (col "xy") (col "xy+yx"))
+    links
 
 let a4_lockstep () =
   header "A4  Lockstep core coupling (SI)"

@@ -1,9 +1,18 @@
-(* Benchmark entry point: prints every experiment table (E1-E9, F1) and then
-   runs one Bechamel micro-benchmark per experiment on a scaled-down version
-   of its core simulation, so wall-clock regressions in the simulator itself
-   are visible.
+(* Benchmark entry point: prints every experiment table (E1-E9, F1, A1-A8)
+   and then runs one Bechamel micro-benchmark per experiment on a scaled-down
+   version of its core simulation, so wall-clock regressions in the simulator
+   itself are visible.
 
-   Usage: main.exe [--only <id>[,<id>...]] [--no-bechamel] [--list] *)
+   Multi-seed experiments run through the resoc_campaign runner: [--seeds]
+   sets the replicate count per configuration cell, [--jobs] the number of
+   worker domains (default: RESOC_JOBS or the recommended domain count), and
+   each campaign writes a machine-readable BENCH_<id>.json (plus CSV with
+   [--csv]) into [--json-dir]. Aggregates are bit-identical across worker
+   counts.
+
+   Usage: main.exe [--only <id>[,<id>...]] [--list] [--seeds N] [--jobs N]
+                   [--json-dir DIR | --no-json] [--csv] [--root-seed S]
+                   [--no-bechamel] [--no-progress] *)
 
 open Bechamel
 open Toolkit
@@ -117,25 +126,92 @@ let run_bechamel () =
     (List.sort compare rows)
 
 let () =
-  let argv = Array.to_list Sys.argv in
-  let only =
-    match List.find_opt (fun a -> String.length a > 7 && String.sub a 0 7 = "--only=") argv with
-    | Some a -> String.split_on_char ',' (String.sub a 7 (String.length a - 7))
-    | None ->
-      let rec scan = function
-        | "--only" :: ids :: _ -> String.split_on_char ',' ids
-        | _ :: rest -> scan rest
-        | [] -> []
-      in
-      scan argv
+  let only = ref [] in
+  let list_only = ref false in
+  let no_bechamel = ref false in
+  let seeds = ref 16 in
+  let jobs = ref (Resoc_campaign.Pool.default_jobs ()) in
+  let json_dir = ref "." in
+  let no_json = ref false in
+  let csv = ref false in
+  let root_seed = ref 0x5EEDL in
+  let no_progress = ref false in
+  let spec =
+    [
+      ( "--only",
+        Arg.String
+          (fun s -> only := !only @ String.split_on_char ',' (String.trim s)),
+        "IDS run only these experiments (comma-separated ids, see --list)" );
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ( "--seeds",
+        Arg.Set_int seeds,
+        "N replicates per campaign cell (default 16)" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains for campaigns (default: RESOC_JOBS or recommended \
+         domain count)" );
+      ( "--json-dir",
+        Arg.Set_string json_dir,
+        "DIR directory for BENCH_<id>.json files (default .)" );
+      ("--no-json", Arg.Set no_json, " disable BENCH_<id>.json emission");
+      ("--csv", Arg.Set csv, " also write BENCH_<id>.csv per campaign");
+      ( "--root-seed",
+        Arg.String (fun s -> root_seed := Int64.of_string s),
+        "S root seed of the campaign seed tree (default 0x5EED)" );
+      ("--no-bechamel", Arg.Set no_bechamel, " skip the Bechamel micro-benchmarks");
+      ("--no-progress", Arg.Set no_progress, " disable stderr progress/timing lines");
+    ]
   in
-  if List.mem "--list" argv then begin
+  let usage = "main.exe [options]\n\nOptions:" in
+  Arg.parse (Arg.align spec)
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    usage;
+  if !list_only then begin
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) Experiments.all;
     exit 0
   end;
+  let known = List.map (fun (id, _, _) -> id) Experiments.all in
+  let unknown = List.filter (fun id -> not (List.mem id known)) !only in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment id(s): %s\nvalid ids: %s\n"
+      (String.concat ", " unknown) (String.concat " " known);
+    exit 2
+  end;
+  if !seeds < 1 then begin
+    Printf.eprintf "--seeds must be >= 1\n";
+    exit 2
+  end;
+  if !jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1\n";
+    exit 2
+  end;
+  if not !no_json then begin
+    let rec mkdir_p dir =
+      if not (Sys.file_exists dir) then begin
+        mkdir_p (Filename.dirname dir);
+        try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+      end
+    in
+    mkdir_p !json_dir;
+    if not (try Sys.is_directory !json_dir with Sys_error _ -> false) then begin
+      Printf.eprintf "--json-dir %s: cannot create directory\n" !json_dir;
+      exit 2
+    end
+  end;
+  Experiments.run_config :=
+    {
+      Experiments.replicates = !seeds;
+      jobs = !jobs;
+      json_dir = (if !no_json then None else Some !json_dir);
+      csv = !csv;
+      root_seed = !root_seed;
+      progress = not !no_progress;
+    };
   Printf.printf "resoc experiment suite — reproducing the quantitative claims of\n";
   Printf.printf "\"The Path to Fault- and Intrusion-Resilient Manycore Systems on a Chip\" (DSN'23)\n";
+  Printf.printf "campaigns: %d replicates/cell, %d worker domain(s), root seed %Ld\n" !seeds
+    !jobs !root_seed;
   List.iter
-    (fun (id, _title, run) -> if only = [] || List.mem id only then run ())
+    (fun (id, _title, run) -> if !only = [] || List.mem id !only then run ())
     Experiments.all;
-  if not (List.mem "--no-bechamel" argv) then run_bechamel ()
+  if not !no_bechamel then run_bechamel ()

@@ -1,0 +1,100 @@
+type metrics = (string * float) list
+
+type trial = Completed of metrics | Failed of Pool.failure
+
+type cell = {
+  id : string;
+  params : (string * string) list;
+  run : seed:int64 -> metrics;
+}
+
+let cell ?(params = []) id run = { id; params; run }
+
+type config = {
+  root_seed : int64;
+  replicates : int;
+  jobs : int;
+  progress : bool;
+}
+
+let default_config = { root_seed = 0x5EEDL; replicates = 16; jobs = 1; progress = false }
+
+type aggregate = {
+  cell_id : string;
+  params : (string * string) list;
+  seeds : int64 array;
+  trials : trial array;
+}
+
+type result = {
+  id : string;
+  title : string;
+  root_seed : int64;
+  replicates : int;
+  cells : aggregate list;
+}
+
+let run ?(config = default_config) ~id ~title cells =
+  if config.replicates < 1 then invalid_arg "Campaign.run: replicates must be >= 1";
+  Printexc.record_backtrace true;
+  let grid = Array.of_list cells in
+  let reps = config.replicates in
+  let total = Array.length grid * reps in
+  let seed_of index =
+    Seed_tree.replicate_seed ~root:config.root_seed ~cell:(index / reps)
+      ~replicate:(index mod reps)
+  in
+  let progress =
+    if config.progress && total > 0 then Some (Progress.create ~label:id ~total) else None
+  in
+  let on_done =
+    Option.map (fun p -> fun ~completed ~total -> Progress.tick p ~completed ~total) progress
+  in
+  let raw =
+    Pool.map ~jobs:config.jobs ?on_done total (fun index ->
+        grid.(index / reps).run ~seed:(seed_of index))
+  in
+  Option.iter Progress.finish progress;
+  let cells =
+    List.mapi
+      (fun c (cell : cell) ->
+        {
+          cell_id = cell.id;
+          params = cell.params;
+          seeds = Array.init reps (fun r -> seed_of ((c * reps) + r));
+          trials =
+            Array.init reps (fun r ->
+                match raw.((c * reps) + r) with
+                | Ok m -> Completed m
+                | Error f -> Failed f);
+        })
+      cells
+  in
+  { id; title; root_seed = config.root_seed; replicates = reps; cells }
+
+let failures agg =
+  Array.fold_left
+    (fun acc -> function Failed _ -> acc + 1 | Completed _ -> acc)
+    0 agg.trials
+
+let completed_values agg key =
+  Array.to_list agg.trials
+  |> List.filter_map (function
+       | Completed m -> List.assoc_opt key m
+       | Failed _ -> None)
+  |> Array.of_list
+
+let metric agg key = Stats.summarize (completed_values agg key)
+
+let fraction agg key =
+  Stats.survival (Array.map (fun v -> v > 0.5) (completed_values agg key))
+
+let metric_keys agg =
+  Array.fold_left
+    (fun acc -> function
+      | Failed _ -> acc
+      | Completed m ->
+        List.fold_left
+          (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+          acc m)
+    [] agg.trials

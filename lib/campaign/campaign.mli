@@ -1,0 +1,74 @@
+(** Deterministic, Domains-parallel Monte-Carlo campaign runner.
+
+    A campaign is a grid of {e cells} (one per experiment configuration
+    point); each cell is expanded into [replicates] trials whose seeds come
+    from the SplitMix64 seed tree ({!Seed_tree}), keyed only by (root seed,
+    cell index, replicate index). Trials run on a {!Pool} of worker domains
+    and land in slots indexed by (cell, replicate), so every aggregate —
+    and the emitted JSON/CSV — is bit-identical whether the campaign ran on
+    1 domain or 16. The simulations themselves stay single-threaded; only
+    replicates are parallel.
+
+    A trial that raises is recorded as [Failed] with its backtrace and the
+    rest of the campaign keeps running. *)
+
+type metrics = (string * float) list
+(** One trial's named measurements, in report order. A metric may be
+    omitted by some trials (e.g. ["failed_at"] only when the system fell);
+    aggregation is per-key over the trials that carry it. Boolean outcomes
+    are encoded as 0.0 / 1.0 and aggregated with {!fraction}. *)
+
+type trial = Completed of metrics | Failed of Pool.failure
+
+type cell = {
+  id : string;  (** row label within the campaign, e.g. ["fast/diverse"] *)
+  params : (string * string) list;
+      (** the configuration point, as key/value pairs for CSV/JSON *)
+  run : seed:int64 -> metrics;  (** one replicate; must not print *)
+}
+
+val cell : ?params:(string * string) list -> string -> (seed:int64 -> metrics) -> cell
+
+type config = {
+  root_seed : int64;
+  replicates : int;  (** trials per cell; must be >= 1 *)
+  jobs : int;  (** worker domains; clamped to [1 .. total trials] *)
+  progress : bool;  (** stderr progress/timing via {!Progress} *)
+}
+
+val default_config : config
+(** [{ root_seed = 0x5EED; replicates = 16; jobs = 1; progress = false }] *)
+
+type aggregate = {
+  cell_id : string;
+  params : (string * string) list;
+  seeds : int64 array;  (** replicate seeds, in replicate order *)
+  trials : trial array;  (** same order as [seeds] *)
+}
+
+type result = {
+  id : string;  (** campaign id, e.g. ["e6"]; names [BENCH_<id>.json] *)
+  title : string;
+  root_seed : int64;
+  replicates : int;
+  cells : aggregate list;  (** in input cell order *)
+}
+
+val run : ?config:config -> id:string -> title:string -> cell list -> result
+(** Expand the grid, run all trials on the pool, regroup by cell. Raises
+    [Invalid_argument] if [replicates < 1]. *)
+
+(** {2 Aggregate accessors} *)
+
+val failures : aggregate -> int
+
+val metric : aggregate -> string -> Stats.summary
+(** Summary of a metric over the completed trials that carry it. *)
+
+val fraction : aggregate -> string -> Stats.fraction
+(** Survival-style aggregation of a 0/1 metric (values > 0.5 count as
+    success) over the completed trials that carry it. *)
+
+val metric_keys : aggregate -> string list
+(** Union of metric names across completed trials, in first-appearance
+    order — the column order used by the emitters. *)

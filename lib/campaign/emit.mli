@@ -1,0 +1,16 @@
+(** Structured result emission for campaign runs.
+
+    The JSON file makes the perf/claim trajectory machine-readable across
+    PRs: one [BENCH_<id>.json] per campaign, holding per-cell aggregate
+    statistics and the raw per-trial metrics. The file content is a pure
+    function of the campaign result — worker count and wall-clock are
+    deliberately excluded — so reruns with different [--jobs] produce
+    byte-identical files. *)
+
+val json_file : dir:string -> Campaign.result -> string
+(** Write [dir/BENCH_<id>.json]; returns the path written. *)
+
+val csv_file : dir:string -> Campaign.result -> string
+(** Write [dir/BENCH_<id>.csv]: one row per trial with cell id, parameters,
+    replicate index, seed, status and every metric column (union across the
+    campaign; blank where a trial lacks the metric). Returns the path. *)

@@ -1,0 +1,44 @@
+type failure = { error : string; backtrace : string }
+
+let default_jobs () =
+  match Sys.getenv_opt "RESOC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ~jobs ?on_done n f =
+  if n < 0 then invalid_arg "Pool.map: negative job count";
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let notify = Mutex.create () in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Ok (f i)
+          with e ->
+            let backtrace = Printexc.get_backtrace () in
+            Error { error = Printexc.to_string e; backtrace }
+        in
+        results.(i) <- Some r;
+        let done_now = 1 + Atomic.fetch_and_add completed 1 in
+        (match on_done with
+        | Some cb -> Mutex.protect notify (fun () -> cb ~completed:done_now ~total:n)
+        | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  Array.map (function Some r -> r | None -> assert false) results

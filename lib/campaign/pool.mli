@@ -1,0 +1,26 @@
+(** Fixed-size worker pool over OCaml 5 [Domain]s.
+
+    Jobs are claimed from a shared atomic counter and each result is written
+    to its own slot of a pre-sized array, so the output order is the input
+    order no matter how the scheduler interleaves workers — the property the
+    campaign runner's determinism guarantee rests on. A job that raises is
+    captured as an [Error] with its backtrace instead of tearing down the
+    pool. *)
+
+type failure = { error : string; backtrace : string }
+
+val default_jobs : unit -> int
+(** Worker count when the caller does not specify one: the [RESOC_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map :
+  jobs:int ->
+  ?on_done:(completed:int -> total:int -> unit) ->
+  int ->
+  (int -> 'a) ->
+  ('a, failure) result array
+(** [map ~jobs n f] evaluates [f 0 .. f (n-1)] on [min jobs n] domains
+    (clamped to at least 1) and returns the results in index order.
+    [on_done] is invoked after each job completes, serialized by a mutex,
+    with the number completed so far — used for progress reporting. *)

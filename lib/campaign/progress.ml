@@ -1,0 +1,26 @@
+type t = {
+  label : string;
+  total : int;
+  started : float;
+  tty : bool;
+}
+
+let create ~label ~total =
+  { label; total; started = Unix.gettimeofday (); tty = Unix.isatty Unix.stderr }
+
+let tick t ~completed ~total =
+  if t.tty then begin
+    let elapsed = Unix.gettimeofday () -. t.started in
+    let eta =
+      if completed = 0 then 0.0
+      else elapsed /. float_of_int completed *. float_of_int (total - completed)
+    in
+    Printf.eprintf "\r[%s] %d/%d replicates  eta %.1fs " t.label completed total eta;
+    flush stderr
+  end
+
+let finish t =
+  let elapsed = Unix.gettimeofday () -. t.started in
+  if t.tty then prerr_string "\r\027[K";
+  Printf.eprintf "[%s] %d replicates in %.1fs\n" t.label t.total elapsed;
+  flush stderr

@@ -1,0 +1,20 @@
+(** Campaign progress reporting on stderr.
+
+    Live [\r]-rewritten replicate counts with an ETA while stderr is a
+    terminal; in either case {!finish} prints one summary line with the
+    wall-clock time, which is also how bench runs report their campaign
+    timings. Progress never touches stdout, so tables and emitted files are
+    unaffected. *)
+
+type t
+
+val create : label:string -> total:int -> t
+(** Start a progress display for [total] replicates, tagged [label]
+    (typically the campaign id, e.g. ["e6"]). *)
+
+val tick : t -> completed:int -> total:int -> unit
+(** Update the display; call from the pool's [on_done] callback (already
+    serialized there). A no-op when stderr is not a tty. *)
+
+val finish : t -> unit
+(** Clear the live line and print ["[e6] 96 replicates in 3.2s"]. *)

@@ -1,0 +1,9 @@
+module Rng = Resoc_des.Rng
+
+let cell_seed ~root ~cell = Rng.derive root cell
+
+let replicate_seed ~root ~cell ~replicate = Rng.derive (cell_seed ~root ~cell) replicate
+
+let replicate_seeds ~root ~cell ~n =
+  let base = cell_seed ~root ~cell in
+  Array.init n (fun replicate -> Rng.derive base replicate)

@@ -20,6 +20,16 @@ let split t =
   (* A second mixing round decorrelates the child stream from the parent. *)
   { state = mix (Int64.logxor seed 0xA5A5A5A5A5A5A5A5L) }
 
+let derive seed index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  (* Closed form for the [index]-th split child of [create seed]: the
+     parent's (index+1)-th raw output is mix (seed + (index+1)*gamma), and
+     [split] turns each output into a child state with one more mixing
+     round. O(1) in [index], so a campaign can address any leaf of the seed
+     tree directly without replaying its siblings. *)
+  let advanced = Int64.add seed (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  mix (Int64.logxor (mix advanced) 0xA5A5A5A5A5A5A5A5L)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Mask to 62 bits so Int64.to_int cannot wrap negative on 63-bit ints. *)

@@ -19,6 +19,14 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val derive : int64 -> int -> int64
+(** [derive seed i] is the seed of the [i]-th (0-based) child stream of
+    [seed]: [create (derive seed i)] behaves exactly like the generator
+    returned by the [(i+1)]-th call to {!split} on [create seed], but is
+    computed in O(1). This lets a campaign address any leaf of a seed tree
+    (cell [c], replicate [r]) directly, independent of evaluation order.
+    Raises [Invalid_argument] if [i < 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
