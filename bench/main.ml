@@ -10,9 +10,22 @@
    [--csv]) into [--json-dir]. Aggregates are bit-identical across worker
    counts.
 
+   [--perf] switches to the self-timing hot-path harness (bench/perf.ml):
+   it measures events/sec and allocations/event on three canonical
+   workloads and writes BENCH_PERF.json; [--quick] shrinks the workloads
+   to a CI-friendly sub-10s run. bench/regress.exe compares two such
+   files and fails on regression.
+
+   Progress lines on stderr default to on only when stderr is a tty
+   (override with --no-progress / --progress).
+
+   Exit codes: 0 success, 2 bad usage (unknown experiment id, invalid
+   flag value, unwritable --json-dir).
+
    Usage: main.exe [--only <id>[,<id>...]] [--list] [--seeds N] [--jobs N]
                    [--json-dir DIR | --no-json] [--csv] [--root-seed S]
-                   [--no-bechamel] [--no-progress] *)
+                   [--no-bechamel] [--no-progress] [--progress]
+                   [--perf] [--quick] *)
 
 open Bechamel
 open Toolkit
@@ -135,7 +148,11 @@ let () =
   let no_json = ref false in
   let csv = ref false in
   let root_seed = ref 0x5EEDL in
-  let no_progress = ref false in
+  (* Progress chatter defaults to on only for interactive runs; CI logs
+     stay clean without needing the flag. *)
+  let progress = ref (Unix.isatty Unix.stderr) in
+  let perf = ref false in
+  let quick = ref false in
   let spec =
     [
       ( "--only",
@@ -159,7 +176,12 @@ let () =
         Arg.String (fun s -> root_seed := Int64.of_string s),
         "S root seed of the campaign seed tree (default 0x5EED)" );
       ("--no-bechamel", Arg.Set no_bechamel, " skip the Bechamel micro-benchmarks");
-      ("--no-progress", Arg.Set no_progress, " disable stderr progress/timing lines");
+      ( "--no-progress",
+        Arg.Clear progress,
+        " disable stderr progress/timing lines (default when stderr is not a tty)" );
+      ("--progress", Arg.Set progress, " force stderr progress/timing lines on");
+      ("--perf", Arg.Set perf, " run the hot-path perf harness instead of the experiments");
+      ("--quick", Arg.Set quick, " with --perf: sub-10s workloads for CI");
     ]
   in
   let usage = "main.exe [options]\n\nOptions:" in
@@ -198,6 +220,11 @@ let () =
       exit 2
     end
   end;
+  if !perf then begin
+    Perf.run ~quick:!quick ~json_dir:(if !no_json then None else Some !json_dir)
+      ~progress:!progress ();
+    exit 0
+  end;
   Experiments.run_config :=
     {
       Experiments.replicates = !seeds;
@@ -205,7 +232,7 @@ let () =
       json_dir = (if !no_json then None else Some !json_dir);
       csv = !csv;
       root_seed = !root_seed;
-      progress = not !no_progress;
+      progress = !progress;
     };
   Printf.printf "resoc experiment suite — reproducing the quantitative claims of\n";
   Printf.printf "\"The Path to Fault- and Intrusion-Resilient Manycore Systems on a Chip\" (DSN'23)\n";

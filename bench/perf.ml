@@ -1,0 +1,203 @@
+(* Self-timing harness for the simulator hot path.
+
+   Three canonical workloads, each a deterministic simulation whose wall
+   clock and allocation rate are measured end to end:
+
+   - [churn]   pure-engine event churn: 64 self-rescheduling actors, no
+               protocol logic, so the engine's queue discipline dominates;
+   - [e3mesh]  the E3 kernel: a MinBFT group on a 4x4 mesh NoC serving a
+               client burst — heap + NoC link model + protocol timers;
+   - [e2seu]   the E2 kernel: one SEU-campaign replicate (MinBFT over the
+               hub transport with SEU injection and periodic scrubbing).
+
+   Each workload runs [runs] times; we report the best wall time (least
+   noisy) and the minimum allocated bytes per event (steady-state floor).
+   The simulations themselves are pure functions of their seeds, so the
+   event counts are exact and reproducible; only the timings vary.
+
+   Results go to stdout and to BENCH_PERF.json (see [emit_json] for the
+   schema); bench/regress.exe diffs that file against a committed
+   baseline. *)
+
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Register = Resoc_hw.Register
+module Seu = Resoc_fault.Seu
+module Usig = Resoc_hybrid.Usig
+module Transport = Resoc_repl.Transport
+module Minbft = Resoc_repl.Minbft
+module Soc = Resoc_core.Soc
+module Group = Resoc_core.Group
+module Generator = Resoc_workload.Generator
+
+type result = {
+  id : string;
+  runs : int;
+  events : int;
+  best_wall_s : float;
+  events_per_sec : float;
+  alloc_bytes_per_event : float;
+}
+
+(* --- workloads: each returns the number of events processed --- *)
+
+let churn ~events () =
+  let e = Engine.create () in
+  let actors = 64 in
+  for i = 0 to actors - 1 do
+    (* One closure per actor, reused for every rescheduling, so the
+       measurement isolates the engine's own per-event cost. The delay
+       pattern is a fixed function of (now, actor): deterministic and
+       cheap, with enough spread to exercise heap reordering. *)
+    let rec fire () = ignore (Engine.schedule e ~delay:(1 + ((Engine.now e + i) mod 13)) fire) in
+    ignore (Engine.schedule e ~delay:(1 + (i mod 7)) fire)
+  done;
+  Engine.run ~max_events:events e;
+  Engine.events_processed e
+
+(* One E3/E2 simulation lasts a few milliseconds; [repeat] independent
+   replicas inside the measured region push each sample well past timer
+   resolution and scheduler noise. *)
+
+let e3_mesh ~requests ~repeat () =
+  let total = ref 0 in
+  for _ = 1 to repeat do
+    let soc =
+      Soc.create { Soc.default_config with mesh_width = 4; mesh_height = 4; seed = 77L }
+    in
+    let spec = { Group.default_spec with kind = `Minbft; f = 1; n_clients = 2 } in
+    let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
+    Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:group.Group.submit;
+    Engine.run ~until:2_000_000 (Soc.engine soc);
+    total := !total + Engine.events_processed (Soc.engine soc)
+  done;
+  !total
+
+let e2_seu_once ~horizon ~seed =
+  let engine = Engine.create ~seed () in
+  let config =
+    { Minbft.default_config with f = 1; n_clients = 2; usig_protection = Register.Secded }
+  in
+  let n = Minbft.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 2) () in
+  let sys = Minbft.start engine fabric config () in
+  let registers =
+    Array.init n (fun replica -> Usig.counter_register (Minbft.usig sys ~replica))
+  in
+  let seu =
+    Seu.start engine (Rng.create (Int64.add seed 7L)) ~rate_per_bit_cycle:1.0e-6 registers
+  in
+  Engine.every engine ~period:250 (fun () -> Array.iter Register.scrub registers);
+  Generator.periodic engine ~period:2_000 ~until:horizon ~n_clients:2
+    ~submit:(fun ~client ~payload -> Minbft.submit sys ~client ~payload)
+    ();
+  Engine.run ~until:horizon engine;
+  ignore (Seu.injected seu);
+  Engine.events_processed engine
+
+let e2_seu ~horizon ~repeat () =
+  let total = ref 0 in
+  for i = 1 to repeat do
+    total := !total + e2_seu_once ~horizon ~seed:(Int64.of_int (0x5EED + i))
+  done;
+  !total
+
+(* --- measurement --- *)
+
+let measure ~id ~runs f =
+  let best_wall = ref infinity in
+  let best_alloc = ref infinity in
+  let events = ref 0 in
+  for _ = 1 to runs do
+    Gc.full_major ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let n = f () in
+    let t1 = Unix.gettimeofday () in
+    let a1 = Gc.allocated_bytes () in
+    if n <= 0 then failwith (Printf.sprintf "perf workload %s processed no events" id);
+    events := n;
+    let wall = t1 -. t0 in
+    if wall < !best_wall then best_wall := wall;
+    let per = (a1 -. a0) /. float_of_int n in
+    if per < !best_alloc then best_alloc := per
+  done;
+  {
+    id;
+    runs;
+    events = !events;
+    best_wall_s = !best_wall;
+    events_per_sec = float_of_int !events /. !best_wall;
+    alloc_bytes_per_event = !best_alloc;
+  }
+
+(* --- emission --- *)
+
+let float_repr v =
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "null"
+  else Printf.sprintf "%.6g" v
+
+let emit_json ~dir ~mode results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"resoc-perf/1\",\"mode\":\"";
+  Buffer.add_string buf mode;
+  Buffer.add_string buf "\",\"workloads\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"runs\":%d,\"events\":%d,\"best_wall_s\":%s,\"events_per_sec\":%s,\"alloc_bytes_per_event\":%s}"
+           r.id r.runs r.events (float_repr r.best_wall_s) (float_repr r.events_per_sec)
+           (float_repr r.alloc_bytes_per_event)))
+    results;
+  Buffer.add_string buf "]}\n";
+  let path = Filename.concat dir "BENCH_PERF.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  path
+
+let run ~quick ~json_dir ~progress () =
+  let runs = if quick then 2 else 3 in
+  let note fmt =
+    Printf.ksprintf (fun s -> if progress then Printf.eprintf "[perf] %s\n%!" s) fmt
+  in
+  Printf.printf "=== Simulator hot-path performance (%s mode, best of %d) ===\n"
+    (if quick then "quick" else "full")
+    runs;
+  let workloads =
+    if quick then
+      [
+        ("churn", churn ~events:400_000);
+        ("e3mesh", e3_mesh ~requests:100 ~repeat:4);
+        ("e2seu", e2_seu ~horizon:100_000 ~repeat:4);
+      ]
+    else
+      [
+        ("churn", churn ~events:2_000_000);
+        ("e3mesh", e3_mesh ~requests:200 ~repeat:25);
+        ("e2seu", e2_seu ~horizon:250_000 ~repeat:25);
+      ]
+  in
+  let results =
+    List.map
+      (fun (id, f) ->
+        note "running %s ..." id;
+        let r = measure ~id ~runs f in
+        note "%s: %.0f events/s" id r.events_per_sec;
+        r)
+      workloads
+  in
+  Printf.printf "%-8s %12s %12s %14s %12s\n" "workload" "events" "wall(s)" "events/sec"
+    "allocB/ev";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %12d %12.4f %14.0f %12.1f\n" r.id r.events r.best_wall_s
+        r.events_per_sec r.alloc_bytes_per_event)
+    results;
+  match json_dir with
+  | None -> ()
+  | Some dir ->
+    let path = emit_json ~dir ~mode:(if quick then "quick" else "full") results in
+    Printf.printf "wrote %s\n" path

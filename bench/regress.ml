@@ -1,0 +1,259 @@
+(* Perf-regression gate: compare a freshly measured BENCH_PERF.json
+   against the committed baseline (bench/perf_baseline.json).
+
+     regress.exe --baseline <file> --current <file>
+                 [--min-ratio R] [--max-alloc-ratio R]
+
+   A workload regresses when its events/sec falls below [min-ratio] x
+   baseline (default 0.5 — generous, because shared CI runners are
+   noisy) or its alloc bytes/event rises above [max-alloc-ratio] x
+   baseline (default 1.15 — tight, because the workloads are
+   deterministic so allocation counts are machine-independent; an
+   absolute slack of 16 B/ev absorbs rounding on near-zero baselines).
+
+   Exit codes: 0 = within tolerance, 1 = regression, 2 = unreadable or
+   malformed input. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* Minimal recursive-descent JSON parser — enough for the fixed schema
+   we emit ourselves; no external dependencies. *)
+module Parser = struct
+  type state = { src : string; mutable pos : int }
+
+  let error st msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg st.pos))
+
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+    | Some _ | None -> ()
+
+  let expect st c =
+    match peek st with
+    | Some got when got = c -> advance st
+    | Some got -> error st (Printf.sprintf "expected '%c', got '%c'" c got)
+    | None -> error st (Printf.sprintf "expected '%c', got end of input" c)
+
+  let literal st word value =
+    String.iter (fun c -> expect st c) word;
+    value
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> error st "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some (('"' | '\\' | '/') as c) -> Buffer.add_char buf c
+        | Some c -> error st (Printf.sprintf "unsupported escape '\\%c'" c)
+        | None -> error st "unterminated escape");
+        advance st;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number st =
+    let start = st.pos in
+    let rec go () =
+      match peek st with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+        advance st;
+        go ()
+      | Some _ | None -> ()
+    in
+    go ();
+    let text = String.sub st.src start (st.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> error st (Printf.sprintf "bad number %S" text)
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' -> parse_obj st
+    | Some '[' -> parse_list st
+    | Some '"' -> Str (parse_string st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some ('0' .. '9' | '-') -> parse_number st
+    | Some c -> error st (Printf.sprintf "unexpected '%c'" c)
+    | None -> error st "unexpected end of input"
+
+  and parse_obj st =
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st in
+        fields := (key, value) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          go ()
+        | Some '}' -> advance st
+        | _ -> error st "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+
+  and parse_list st =
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let value = parse_value st in
+        items := value :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          go ()
+        | Some ']' -> advance st
+        | _ -> error st "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+
+  let parse src =
+    let st = { src; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then error st "trailing garbage";
+    v
+end
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> raise (Parse_error msg)
+
+let field obj key =
+  match obj with
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing field %S" key)))
+  | _ -> raise (Parse_error (Printf.sprintf "expected object around %S" key))
+
+let num = function
+  | Num f -> f
+  | _ -> raise (Parse_error "expected number")
+
+let str = function
+  | Str s -> s
+  | _ -> raise (Parse_error "expected string")
+
+type workload = { id : string; events_per_sec : float; alloc_bytes_per_event : float }
+
+let load_perf path =
+  let root = Parser.parse (read_file path) in
+  (match field root "schema" with
+  | Str "resoc-perf/1" -> ()
+  | Str other -> raise (Parse_error (Printf.sprintf "unsupported schema %S" other))
+  | _ -> raise (Parse_error "schema is not a string"));
+  match field root "workloads" with
+  | List ws ->
+    List.map
+      (fun w ->
+        {
+          id = str (field w "id");
+          events_per_sec = num (field w "events_per_sec");
+          alloc_bytes_per_event = num (field w "alloc_bytes_per_event");
+        })
+      ws
+  | _ -> raise (Parse_error "workloads is not a list")
+
+let () =
+  let baseline = ref "" in
+  let current = ref "" in
+  let min_ratio = ref 0.5 in
+  let max_alloc_ratio = ref 1.15 in
+  let alloc_slack = 16.0 in
+  let usage = "regress.exe --baseline <json> --current <json> [--min-ratio R] [--max-alloc-ratio R]" in
+  let args =
+    [
+      ("--baseline", Arg.Set_string baseline, "committed perf baseline JSON");
+      ("--current", Arg.Set_string current, "freshly measured BENCH_PERF.json");
+      ("--min-ratio", Arg.Set_float min_ratio, "events/sec floor as fraction of baseline (default 0.5)");
+      ( "--max-alloc-ratio",
+        Arg.Set_float max_alloc_ratio,
+        "alloc bytes/event ceiling as multiple of baseline (default 1.15)" );
+    ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !baseline = "" || !current = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  match (load_perf !baseline, load_perf !current) with
+  | exception Parse_error msg ->
+    Printf.eprintf "regress: %s\n" msg;
+    exit 2
+  | base, cur ->
+    let regressed = ref false in
+    List.iter
+      (fun b ->
+        match List.find_opt (fun c -> c.id = b.id) cur with
+        | None ->
+          Printf.printf "%-8s MISSING from current run\n" b.id;
+          regressed := true
+        | Some c ->
+          let speed_ratio = c.events_per_sec /. b.events_per_sec in
+          let alloc_ceiling = (b.alloc_bytes_per_event *. !max_alloc_ratio) +. alloc_slack in
+          let speed_ok = speed_ratio >= !min_ratio in
+          let alloc_ok = c.alloc_bytes_per_event <= alloc_ceiling in
+          Printf.printf "%-8s %10.0f ev/s (%.2fx base)  %8.1f allocB/ev (base %.1f)  %s\n" c.id
+            c.events_per_sec speed_ratio c.alloc_bytes_per_event b.alloc_bytes_per_event
+            (if speed_ok && alloc_ok then "ok"
+             else if not speed_ok then "REGRESSION: events/sec below floor"
+             else "REGRESSION: allocations grew");
+          if not (speed_ok && alloc_ok) then regressed := true)
+      base;
+    if !regressed then exit 1

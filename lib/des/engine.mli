@@ -1,14 +1,21 @@
 (** Deterministic discrete-event simulation engine.
 
-    Time is a count of SoC clock cycles (an [int]). Events scheduled for the
-    same cycle fire in scheduling order (FIFO per cycle), which — together
-    with the seeded RNG tree — makes every simulation run a pure function of
-    its master seed and configuration. *)
+    Time is a count of SoC clock cycles (an [int], at most 2^42-1 so that
+    time and a sequence number pack into one word). Events scheduled for
+    the same cycle fire in scheduling order (FIFO per cycle), which —
+    together with the seeded RNG tree — makes every simulation run a pure
+    function of its master seed and configuration.
+
+    Steady-state scheduling is allocation-free: the queue is a packed
+    int-keyed heap and event cells are pooled (see DESIGN.md §4). *)
 
 type t
 
 type handle
-(** A scheduled event, usable for cancellation (e.g. protocol timers). *)
+(** A scheduled event, usable for cancellation (e.g. protocol timers).
+    Handles are engine-specific tokens; a handle whose event has fired,
+    been cancelled, or been recycled is stale, and cancelling it is a
+    no-op. *)
 
 val create : ?seed:int64 -> unit -> t
 (** [create ~seed ()] makes an engine at time 0. Default seed is 1. *)
@@ -29,13 +36,19 @@ val at : t -> time:int -> (unit -> unit) -> handle
 
 val every : t -> period:int -> ?start:int -> (unit -> unit) -> unit
 (** [every t ~period f] runs [f] at [start], [start+period], ... until the
-    simulation ends. [start] defaults to [now t + period]. *)
+    simulation ends. [start] defaults to [now t + period]. Each periodic
+    timer re-arms itself by recycling one pooled event: no per-tick
+    allocation. *)
 
-val cancel : handle -> unit
-(** Cancelling a fired or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** [cancel t h] marks the event lazily deleted: it is skipped (and its
+    slot recycled) when its time comes, and the engine compacts the queue
+    if cancelled events come to dominate it. Cancelling a fired, already
+    cancelled, or recycled handle is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet popped). *)
+(** Number of events still queued. Cancelled events are counted until
+    they are popped or purged, so this is an upper bound on live events. *)
 
 val events_processed : t -> int
 

@@ -57,8 +57,16 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      (* Overwrite the vacated slot with a still-live element: leaving the
+         moved element's old copy there would pin popped payloads (and
+         their closures) until the slot is next overwritten. *)
+      t.data.(t.len) <- t.data.(0);
       sift_down t 0
-    end;
+    end
+    else
+      (* Heap drained: drop the backing store so the last payload is
+         collectable. The next [add] re-grows from scratch. *)
+      t.data <- [||];
     Some top
   end
 

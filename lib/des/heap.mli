@@ -18,7 +18,9 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element. The vacated backing-array
+    slot is cleared so popped elements do not linger unreachable-but-
+    pinned in the heap. *)
 
 val clear : 'a t -> unit
 

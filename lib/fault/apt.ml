@@ -68,16 +68,16 @@ let exploit_ready_at t ~variant =
   check_variant t variant;
   t.exploit_done.(variant)
 
-let cancel_pending target =
+let cancel_pending t target =
   match target.pending with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     target.pending <- None
   | None -> ()
 
 (* (Re)compute when this target falls, given its exposure clock starts now. *)
 let arm t target =
-  cancel_pending target;
+  cancel_pending t target;
   if target.active && not target.compromised then begin
     let now = Engine.now t.engine in
     let via_exploit =
@@ -143,9 +143,9 @@ let rejuvenate t target ~variant ?backdoored () =
   target.active <- true;
   arm t target
 
-let deactivate _t target =
+let deactivate t target =
   target.active <- false;
-  cancel_pending target
+  cancel_pending t target
 
 let compromised target = target.compromised
 

@@ -5,6 +5,7 @@ type effect = Kill_switch | Corrupt_output | Leak_secret
 type trigger = Time_bomb of int | Cheat_code of int64
 
 type t = {
+  engine : Engine.t;
   trigger : trigger;
   effect : effect;
   on_trigger : effect -> unit;
@@ -20,7 +21,9 @@ let fire t =
   end
 
 let plant engine trigger effect ~on_trigger =
-  let t = { trigger; effect; on_trigger; triggered = false; armed = true; pending = None } in
+  let t =
+    { engine; trigger; effect; on_trigger; triggered = false; armed = true; pending = None }
+  in
   (match trigger with
    | Time_bomb at ->
      let now = Engine.now engine in
@@ -42,7 +45,7 @@ let disarm t =
   t.armed <- false;
   match t.pending with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     t.pending <- None
   | None -> ()
 

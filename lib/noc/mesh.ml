@@ -1,23 +1,30 @@
+(* Fault state lives in two dense byte maps ('\000' = up): one byte per
+   router, one per directed link. Links are identified by
+   [src * 4 + dir], with dir 0 = north (id - width), 1 = west (id - 1),
+   2 = east (id + 1), 3 = south (id + width). For a fixed src that dir
+   order is ascending dst, so scanning ids ascending enumerates links in
+   (src, dst) lexicographic order — the same order the old Set-based
+   representation produced from [elements]. The hot path (Network) works
+   on these ids directly; the record-based link API stays for tests and
+   fault-injection code. *)
+
 type link = { src : int; dst : int }
-
-module Link_set = Set.Make (struct
-  type t = link
-
-  let compare (a : link) b = compare (a.src, a.dst) (b.src, b.dst)
-end)
-
-module Int_set = Set.Make (Int)
 
 type t = {
   width : int;
   height : int;
-  mutable down_links : Link_set.t;
-  mutable down_routers : Int_set.t;
+  routers : Bytes.t;  (* '\000' = up *)
+  links : Bytes.t;  (* n_nodes * 4, '\000' = up *)
 }
 
 let create ~width ~height =
   if width <= 0 || height <= 0 then invalid_arg "Mesh.create: dimensions must be positive";
-  { width; height; down_links = Link_set.empty; down_routers = Int_set.empty }
+  {
+    width;
+    height;
+    routers = Bytes.make (width * height) '\000';
+    links = Bytes.make (width * height * 4) '\000';
+  }
 
 let width t = t.width
 let height t = t.height
@@ -48,24 +55,61 @@ let neighbors t id =
       else None)
     candidates
 
+(* Direction of the (src, dst) hop, or -1 if the tiles are not adjacent.
+   Both ids must already be in range. *)
+let dir_of t ~src ~dst =
+  let d = dst - src in
+  if d = -t.width then 0
+  else if d = -1 && src mod t.width > 0 then 1
+  else if d = 1 && src mod t.width < t.width - 1 then 2
+  else if d = t.width then 3
+  else -1
+
+let n_link_ids t = n_nodes t * 4
+
+let link_id t ~src ~dst =
+  check_id t src;
+  check_id t dst;
+  let dir = dir_of t ~src ~dst in
+  if dir < 0 then invalid_arg "Mesh: not a link between adjacent tiles";
+  (src * 4) + dir
+
+let link_of_id t lid =
+  if lid < 0 || lid >= n_link_ids t then invalid_arg "Mesh.link_of_id: bad link id";
+  let src = lid / 4 in
+  let dst =
+    match lid land 3 with
+    | 0 -> src - t.width
+    | 1 -> src - 1
+    | 2 -> src + 1
+    | _ -> src + t.width
+  in
+  { src; dst }
+
+(* One step of dimension-order routing from [cur] toward [dst]; returns
+   [cur] on arrival. Equivalent hop-for-hop to walking the list produced
+   by [dimension_route]. *)
+let next_hop t ~cur ~dst ~x_first =
+  let w = t.width in
+  let cx = cur mod w and dx = dst mod w in
+  if x_first then
+    if cx <> dx then (if cx < dx then cur + 1 else cur - 1)
+    else if cur < dst then cur + w
+    else if cur > dst then cur - w
+    else cur
+  else if cur / w <> dst / w then (if cur < dst then cur + w else cur - w)
+  else if cx < dx then cur + 1
+  else if cx > dx then cur - 1
+  else cur
+
 let dimension_route t ~src ~dst ~x_first =
   check_id t src;
   check_id t dst;
-  let sx, sy = coord_of_id t src and dx, dy = coord_of_id t dst in
-  let step v target = if v < target then v + 1 else v - 1 in
-  let rec go x y acc =
-    if x_first && x <> dx then
-      let x' = step x dx in
-      go x' y (id_of_coord t ~x:x' ~y :: acc)
-    else if y <> dy then
-      let y' = step y dy in
-      go x y' (id_of_coord t ~x ~y:y' :: acc)
-    else if x <> dx then
-      let x' = step x dx in
-      go x' y (id_of_coord t ~x:x' ~y :: acc)
-    else List.rev acc
+  let rec go cur acc =
+    if cur = dst then List.rev (cur :: acc)
+    else go (next_hop t ~cur ~dst ~x_first) (cur :: acc)
   in
-  go sx sy [ src ]
+  go src []
 
 let xy_route t ~src ~dst = dimension_route t ~src ~dst ~x_first:true
 
@@ -78,42 +122,55 @@ let links_of_route route =
   in
   pair route
 
-let adjacent t a b =
-  check_id t a;
-  check_id t b;
-  manhattan t a b = 1
+let fail_link t l = Bytes.set t.links (link_id t ~src:l.src ~dst:l.dst) '\001'
 
-let check_link t l =
-  if not (adjacent t l.src l.dst) then invalid_arg "Mesh: not a link between adjacent tiles"
+let repair_link t l = Bytes.set t.links (link_id t ~src:l.src ~dst:l.dst) '\000'
 
-let fail_link t l =
-  check_link t l;
-  t.down_links <- Link_set.add l t.down_links
+let link_up t l = Bytes.get t.links (link_id t ~src:l.src ~dst:l.dst) = '\000'
 
-let repair_link t l =
-  check_link t l;
-  t.down_links <- Link_set.remove l t.down_links
-
-let link_up t l =
-  check_link t l;
-  not (Link_set.mem l t.down_links)
+let link_up_id t lid = Bytes.unsafe_get t.links lid = '\000'
 
 let fail_router t id =
   check_id t id;
-  t.down_routers <- Int_set.add id t.down_routers
+  Bytes.set t.routers id '\001'
 
 let repair_router t id =
   check_id t id;
-  t.down_routers <- Int_set.remove id t.down_routers
+  Bytes.set t.routers id '\000'
 
 let router_up t id =
   check_id t id;
-  not (Int_set.mem id t.down_routers)
+  Bytes.unsafe_get t.routers id = '\000'
 
 let route_usable_via t ~route =
   List.for_all (router_up t) route && List.for_all (link_up t) (links_of_route route)
 
 let route_usable t ~src ~dst = route_usable_via t ~route:(xy_route t ~src ~dst)
 
-let failed_links t = Link_set.elements t.down_links
-let failed_routers t = Int_set.elements t.down_routers
+(* Allocation-free equivalent of [route_usable_via ~route:(xy_route ...)]:
+   walks the unique XY path checking each router and link as it goes. *)
+let xy_path_usable t ~src ~dst =
+  check_id t src;
+  check_id t dst;
+  let rec go cur =
+    if Bytes.unsafe_get t.routers cur <> '\000' then false
+    else if cur = dst then true
+    else
+      let next = next_hop t ~cur ~dst ~x_first:true in
+      link_up_id t ((cur * 4) + dir_of t ~src:cur ~dst:next) && go next
+  in
+  go src
+
+let failed_links t =
+  let acc = ref [] in
+  for lid = n_link_ids t - 1 downto 0 do
+    if Bytes.get t.links lid <> '\000' then acc := link_of_id t lid :: !acc
+  done;
+  !acc
+
+let failed_routers t =
+  let acc = ref [] in
+  for id = n_nodes t - 1 downto 0 do
+    if Bytes.get t.routers id <> '\000' then acc := id :: !acc
+  done;
+  !acc

@@ -27,8 +27,18 @@ val manhattan : t -> int -> int -> int
 
 val neighbors : t -> int -> int list
 
+val check_id : t -> int -> unit
+(** Raises [Invalid_argument] unless the id names a tile. *)
+
 val xy_route : t -> src:int -> dst:int -> int list
 (** Tiles visited, inclusive of [src] and [dst]; X dimension first. *)
+
+val next_hop : t -> cur:int -> dst:int -> x_first:bool -> int
+(** One step of dimension-order routing; returns [cur] on arrival. Ids
+    must be valid tile ids. Walking [next_hop] to a fixpoint visits
+    exactly the tiles of [xy_route] (or [yx_route] when [x_first] is
+    false) — the transport uses it to route hop by hop without
+    materializing the list. *)
 
 val yx_route : t -> src:int -> dst:int -> int list
 (** Y dimension first — the escape path of simple fault-tolerant routers. *)
@@ -50,6 +60,31 @@ val route_usable : t -> src:int -> dst:int -> bool
 
 val route_usable_via : t -> route:int list -> bool
 (** Same check for an arbitrary route. *)
+
+val xy_path_usable : t -> src:int -> dst:int -> bool
+(** Allocation-free [route_usable] on the XY path (hot-path variant). *)
+
+(** {2 Integer link ids}
+
+    Directed links double as dense array indices: [src * 4 + dir] with
+    dir 0 = north, 1 = west, 2 = east, 3 = south. Scanning ids in
+    ascending order enumerates links in (src, dst) lexicographic order.
+    Border ids that point off the mesh are never up nor down; they are
+    simply unused. *)
+
+val n_link_ids : t -> int
+(** Size of the link-id space, [4 * n_nodes]. *)
+
+val link_id : t -> src:int -> dst:int -> int
+(** Id of the directed link; raises [Invalid_argument] unless [src] and
+    [dst] are adjacent tiles. *)
+
+val link_of_id : t -> int -> link
+(** Inverse of [link_id]; the id must be in range (the result of a
+    border id is a phantom link no valid route crosses). *)
+
+val link_up_id : t -> int -> bool
+(** [link_up] by id, no validation — the id must come from [link_id]. *)
 
 val failed_links : t -> link list
 val failed_routers : t -> int list

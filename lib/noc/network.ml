@@ -12,20 +12,33 @@ type config = {
 
 let default_config = { router_latency = 2; bytes_per_cycle = 16; local_latency = 1; routing = Xy }
 
-module Link_tbl = Hashtbl.Make (struct
-  type t = Mesh.link
-
-  let equal (a : Mesh.link) b = a.Mesh.src = b.Mesh.src && a.Mesh.dst = b.Mesh.dst
-  let hash (l : Mesh.link) = (l.Mesh.src * 65599) + l.Mesh.dst
-end)
-
+(* A message in flight is a pooled record spread across parallel arrays:
+   current router, endpoints, injection time, size, payload, and one
+   per-slot [advance] closure built when the slot is first created and
+   reused for every hop of every flight that occupies the slot. Routing
+   is recomputed one hop at a time with [Mesh.next_hop] — hop-for-hop
+   identical to walking a precomputed dimension-order route, without
+   materializing it. Link occupancy and load live in dense int arrays
+   indexed by [Mesh.link_id]. In steady state a unicast allocates only
+   the payload box; the engine, heap, and per-hop bookkeeping are all
+   allocation-free. *)
 type 'msg t = {
   engine : Engine.t;
   mesh : Mesh.t;
   config : config;
   handlers : (src:int -> 'msg -> unit) option array;
-  busy_until : int Link_tbl.t;
-  load : int Link_tbl.t;
+  busy_until : int array;  (* by link id *)
+  load : int array;  (* by link id *)
+  mutable fl_cur : int array;
+  mutable fl_src : int array;
+  mutable fl_dst : int array;
+  mutable fl_start : int array;
+  mutable fl_bytes : int array;
+  mutable fl_xfirst : Bytes.t;
+  mutable fl_msg : 'msg option array;
+  mutable fl_advance : (unit -> unit) array;
+  mutable fl_free_next : int array;
+  mutable fl_free_head : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -41,8 +54,18 @@ let create engine mesh config =
     mesh;
     config;
     handlers = Array.make (Mesh.n_nodes mesh) None;
-    busy_until = Link_tbl.create 64;
-    load = Link_tbl.create 64;
+    busy_until = Array.make (Mesh.n_link_ids mesh) 0;
+    load = Array.make (Mesh.n_link_ids mesh) 0;
+    fl_cur = [||];
+    fl_src = [||];
+    fl_dst = [||];
+    fl_start = [||];
+    fl_bytes = [||];
+    fl_xfirst = Bytes.empty;
+    fl_msg = [||];
+    fl_advance = [||];
+    fl_free_next = [||];
+    fl_free_head = -1;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -68,32 +91,90 @@ let deliver t ~src ~dst ~start msg =
     Metrics.Histogram.add t.latency (float_of_int (Engine.now t.engine - start));
     handler ~src msg
 
-let serialization_cycles t bytes_ =
-  (bytes_ + t.config.bytes_per_cycle - 1) / t.config.bytes_per_cycle
+let serialization_cycles t bytes_ = (bytes_ + t.config.bytes_per_cycle - 1) / t.config.bytes_per_cycle
 
-(* Advance the message across [links]; each traversal waits for the link to
-   free, then occupies it for the serialization time plus router latency. *)
-let rec traverse t ~src ~dst ~start ~bytes_ msg = function
-  | [] -> deliver t ~src ~dst ~start msg
-  | link :: rest ->
-    if not (Mesh.router_up t.mesh link.Mesh.src && Mesh.link_up t.mesh link) then
-      t.dropped <- t.dropped + 1
-    else begin
-      let now = Engine.now t.engine in
-      let free_at = match Link_tbl.find_opt t.busy_until link with Some v -> v | None -> now in
-      let begin_tx = max now free_at in
-      let done_at = begin_tx + t.config.router_latency + serialization_cycles t bytes_ in
-      Link_tbl.replace t.busy_until link done_at;
-      Link_tbl.replace t.load link
-        (1 + (match Link_tbl.find_opt t.load link with Some v -> v | None -> 0));
-      ignore
-        (Engine.at t.engine ~time:done_at (fun () ->
-             (* Re-check the far router at arrival time: it may have died
-                while the message was in flight. *)
-             if Mesh.router_up t.mesh link.Mesh.dst then
-               traverse t ~src ~dst ~start ~bytes_ msg rest
-             else t.dropped <- t.dropped + 1))
+let release t slot =
+  Array.unsafe_set t.fl_msg slot None;
+  Array.unsafe_set t.fl_free_next slot t.fl_free_head;
+  t.fl_free_head <- slot
+
+(* Inject the flight into the link out of its current router; drops here
+   mirror the old per-hop [router_up src && link_up] check. *)
+let rec hop t slot =
+  let cur = Array.unsafe_get t.fl_cur slot in
+  let dst = Array.unsafe_get t.fl_dst slot in
+  let x_first = Bytes.unsafe_get t.fl_xfirst slot <> '\000' in
+  let next = Mesh.next_hop t.mesh ~cur ~dst ~x_first in
+  let lid = Mesh.link_id t.mesh ~src:cur ~dst:next in
+  if Mesh.router_up t.mesh cur && Mesh.link_up_id t.mesh lid then begin
+    let now = Engine.now t.engine in
+    let free_at = Array.unsafe_get t.busy_until lid in
+    let begin_tx = if now > free_at then now else free_at in
+    let done_at =
+      begin_tx + t.config.router_latency + serialization_cycles t (Array.unsafe_get t.fl_bytes slot)
+    in
+    Array.unsafe_set t.busy_until lid done_at;
+    Array.unsafe_set t.load lid (Array.unsafe_get t.load lid + 1);
+    Array.unsafe_set t.fl_cur slot next;
+    ignore (Engine.at t.engine ~time:done_at (Array.unsafe_get t.fl_advance slot))
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    release t slot
+  end
+
+(* Arrival at the flight's current router. Re-check it at arrival time:
+   it may have died while the message was on the wire. *)
+and advance t slot =
+  let cur = Array.unsafe_get t.fl_cur slot in
+  if Mesh.router_up t.mesh cur then
+    if cur = Array.unsafe_get t.fl_dst slot then begin
+      let src = Array.unsafe_get t.fl_src slot in
+      let start = Array.unsafe_get t.fl_start slot in
+      let msg = match Array.unsafe_get t.fl_msg slot with Some m -> m | None -> assert false in
+      release t slot;
+      deliver t ~src ~dst:cur ~start msg
     end
+    else hop t slot
+  else begin
+    t.dropped <- t.dropped + 1;
+    release t slot
+  end
+
+let grow_flights t =
+  let cap = Array.length t.fl_cur in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  let extend a = Array.append a (Array.make (ncap - cap) 0) in
+  t.fl_cur <- extend t.fl_cur;
+  t.fl_src <- extend t.fl_src;
+  t.fl_dst <- extend t.fl_dst;
+  t.fl_start <- extend t.fl_start;
+  t.fl_bytes <- extend t.fl_bytes;
+  let nxfirst = Bytes.make ncap '\000' in
+  Bytes.blit t.fl_xfirst 0 nxfirst 0 cap;
+  t.fl_xfirst <- nxfirst;
+  let nmsg = Array.make ncap None in
+  Array.blit t.fl_msg 0 nmsg 0 cap;
+  t.fl_msg <- nmsg;
+  let nadv = Array.make ncap (fun () -> ()) in
+  Array.blit t.fl_advance 0 nadv 0 cap;
+  for i = cap to ncap - 1 do
+    nadv.(i) <- (fun () -> advance t i)
+  done;
+  t.fl_advance <- nadv;
+  let nfree = Array.make ncap (-1) in
+  Array.blit t.fl_free_next 0 nfree 0 cap;
+  for i = ncap - 1 downto cap do
+    nfree.(i) <- t.fl_free_head;
+    t.fl_free_head <- i
+  done;
+  t.fl_free_next <- nfree
+
+let alloc_flight t =
+  if t.fl_free_head < 0 then grow_flights t;
+  let slot = t.fl_free_head in
+  t.fl_free_head <- Array.unsafe_get t.fl_free_next slot;
+  slot
 
 let send t ~src ~dst ~bytes_ msg =
   if bytes_ <= 0 then invalid_arg "Network.send: bytes must be positive";
@@ -105,17 +186,26 @@ let send t ~src ~dst ~bytes_ msg =
       (Engine.schedule t.engine ~delay:t.config.local_latency (fun () ->
            deliver t ~src ~dst ~start msg))
   else begin
-    let route =
-      let xy = Mesh.xy_route t.mesh ~src ~dst in
+    Mesh.check_id t.mesh src;
+    Mesh.check_id t.mesh dst;
+    let x_first =
       match t.config.routing with
-      | Xy -> xy
-      | Xy_with_yx_fallback ->
-        if Mesh.route_usable_via t.mesh ~route:xy then xy else Mesh.yx_route t.mesh ~src ~dst
+      | Xy -> true
+      | Xy_with_yx_fallback -> Mesh.xy_path_usable t.mesh ~src ~dst
     in
-    let links = Mesh.links_of_route route in
     (* The sender's own router must be alive to inject at all. *)
     if not (Mesh.router_up t.mesh src) then t.dropped <- t.dropped + 1
-    else traverse t ~src ~dst ~start ~bytes_ msg links
+    else begin
+      let slot = alloc_flight t in
+      Array.unsafe_set t.fl_cur slot src;
+      Array.unsafe_set t.fl_src slot src;
+      Array.unsafe_set t.fl_dst slot dst;
+      Array.unsafe_set t.fl_start slot start;
+      Array.unsafe_set t.fl_bytes slot bytes_;
+      Bytes.unsafe_set t.fl_xfirst slot (if x_first then '\001' else '\000');
+      Array.unsafe_set t.fl_msg slot (Some msg);
+      hop t slot
+    end
   end
 
 let sent t = t.sent
@@ -124,4 +214,10 @@ let dropped t = t.dropped
 let bytes_sent t = t.bytes_sent
 let latency t = t.latency
 
-let hop_load t = Link_tbl.fold (fun link n acc -> (link, n) :: acc) t.load []
+let hop_load t =
+  let acc = ref [] in
+  for lid = Array.length t.load - 1 downto 0 do
+    let n = Array.unsafe_get t.load lid in
+    if n > 0 then acc := (Mesh.link_of_id t.mesh lid, n) :: !acc
+  done;
+  !acc

@@ -4,7 +4,12 @@
     link bandwidth), and links are FIFO resources: a message arriving at a
     busy link queues behind earlier traffic, so congestion emerges rather
     than being parameterized. Failures are evaluated per hop, so a link or
-    router that dies mid-flight kills the messages crossing it. *)
+    router that dies mid-flight kills the messages crossing it.
+
+    In-flight messages are pooled records and the next hop is recomputed
+    per hop ([Mesh.next_hop] — same tiles as the precomputed
+    dimension-order route), so a unicast allocates only its payload box
+    regardless of distance. *)
 
 type routing =
   | Xy  (** Deterministic dimension-order; a fault on the unique path drops. *)

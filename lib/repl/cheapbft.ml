@@ -135,7 +135,7 @@ let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
 let cancel_request_timer r digest =
   match Hashtbl.find_opt r.timers digest with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel r.engine h;
     Hashtbl.remove r.timers digest
   | None -> ()
 
@@ -275,7 +275,7 @@ let adopt_new_view r ~view ~base ~state ~rid_table =
   r.last_exec_counter <- base;
   Hashtbl.reset r.rid_table;
   List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Hashtbl.reset r.timers;
   List.iter (fun signer -> Hashtbl.replace r.baseline_pending signer ()) (replica_ids r);
   Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending

@@ -26,10 +26,10 @@ type 'msg t = {
 
 let replica_ids t = List.init t.n_replicas Fun.id
 
-let cancel_timer fl =
+let cancel_timer t fl =
   match fl.timer with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     fl.timer <- None
   | None -> ()
 
@@ -56,7 +56,7 @@ let start_request t payload =
   arm_timer t fl
 
 let complete t fl (reply : Types.reply) =
-  cancel_timer fl;
+  cancel_timer t fl;
   t.inflight <- None;
   t.stats.Stats.completed <- t.stats.Stats.completed + 1;
   Histogram.add t.stats.Stats.latency (float_of_int (Engine.now t.engine - fl.submitted_at));
@@ -134,6 +134,6 @@ let shutdown t =
   t.stopped <- true;
   match t.inflight with
   | Some fl ->
-    cancel_timer fl;
+    cancel_timer t fl;
     t.inflight <- None
   | None -> ()

@@ -193,7 +193,7 @@ module Make (H : HYBRID) = struct
   let cancel_request_timer r digest =
     match Hashtbl.find_opt r.timers digest with
     | Some h ->
-      Engine.cancel h;
+      Engine.cancel r.engine h;
       Hashtbl.remove r.timers digest
     | None -> ()
 
@@ -374,7 +374,7 @@ module Make (H : HYBRID) = struct
     r.last_exec_counter <- base;
     Hashtbl.reset r.rid_table;
     List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-    Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+    Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
     Hashtbl.reset r.timers;
     r.batch_buffer <- [];
     r.flush_scheduled <- false;
@@ -592,7 +592,7 @@ module Make (H : HYBRID) = struct
   let set_offline t ~replica =
     let r = t.replicas.(replica) in
     r.online <- false;
-    Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+    Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
     Hashtbl.reset r.timers
 
   let set_online t ~replica =

@@ -92,7 +92,7 @@ let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
 let cancel_request_timer r digest =
   match Hashtbl.find_opt r.timers digest with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel r.engine h;
     Hashtbl.remove r.timers digest
   | None -> ()
 
@@ -165,7 +165,7 @@ let adopt_new_term r ~term ~start_seq ~state ~rid_table =
   r.next_seq <- start_seq;
   Hashtbl.reset r.rid_table;
   List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Hashtbl.reset r.timers;
   Hashtbl.iter (fun digest _ -> start_election_timer r digest) r.pending
 
@@ -336,7 +336,7 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
-  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Hashtbl.reset r.timers
 
 let set_online t ~replica =

@@ -114,7 +114,7 @@ let entry_for r ~view ~seq ~digest =
 let cancel_request_timer r digest =
   match Hashtbl.find_opt r.timers digest with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel r.engine h;
     Hashtbl.remove r.timers digest
   | None -> ()
 
@@ -418,7 +418,7 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
-  Hashtbl.iter (fun _ h -> Engine.cancel h) r.timers;
+  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Hashtbl.reset r.timers
 
 let set_online t ~replica =

@@ -11,22 +11,68 @@ type 'msg fabric = {
 
 let broadcast fabric ~src ~to_ msg = List.iter (fun dst -> fabric.send ~src ~dst msg) to_
 
+(* Hub deliveries ride pooled slots: per slot a (src, dst) pair, the
+   payload, and a fire closure built once and reused — so a send pushes
+   two ints into the engine and boxes the payload, nothing else. The
+   slot is released before the handler runs, so a handler that sends
+   can reuse it immediately. *)
 let hub engine ~n ?(latency = 5) ?(size_of = fun _ -> 64) () =
   if n <= 0 then invalid_arg "Transport.hub: need at least one endpoint";
   if latency < 0 then invalid_arg "Transport.hub: negative latency";
   let handlers = Array.make n None in
   let messages = ref 0 in
   let bytes = ref 0 in
+  let p_src = ref [||] in
+  let p_dst = ref [||] in
+  let p_msg = ref [||] in
+  let p_fire = ref [||] in
+  let p_free_next = ref [||] in
+  let free_head = ref (-1) in
+  let fire slot =
+    let src = (!p_src).(slot) and dst = (!p_dst).(slot) in
+    let msg = match (!p_msg).(slot) with Some m -> m | None -> assert false in
+    (!p_msg).(slot) <- None;
+    (!p_free_next).(slot) <- !free_head;
+    free_head := slot;
+    match handlers.(dst) with
+    | Some handler -> handler ~src msg
+    | None -> ()
+  in
+  let grow () =
+    let cap = Array.length !p_src in
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let extend a = Array.append a (Array.make (ncap - cap) 0) in
+    p_src := extend !p_src;
+    p_dst := extend !p_dst;
+    let nmsg = Array.make ncap None in
+    Array.blit !p_msg 0 nmsg 0 cap;
+    p_msg := nmsg;
+    let nfire = Array.make ncap (fun () -> ()) in
+    Array.blit !p_fire 0 nfire 0 cap;
+    for i = cap to ncap - 1 do
+      nfire.(i) <- (fun () -> fire i)
+    done;
+    p_fire := nfire;
+    let nfree = Array.make ncap (-1) in
+    Array.blit !p_free_next 0 nfree 0 cap;
+    for i = ncap - 1 downto cap do
+      nfree.(i) <- !free_head;
+      free_head := i
+    done;
+    p_free_next := nfree
+  in
   let send ~src ~dst msg =
     if dst < 0 || dst >= n then invalid_arg "Transport.hub: destination out of range";
     incr messages;
     bytes := !bytes + size_of msg;
     let delay = if src = dst then 1 else latency in
-    ignore
-      (Engine.schedule engine ~delay (fun () ->
-           match handlers.(dst) with
-           | Some handler -> handler ~src msg
-           | None -> ()))
+    if !free_head < 0 then grow ();
+    let slot = !free_head in
+    free_head := (!p_free_next).(slot);
+    (!p_src).(slot) <- src;
+    (!p_dst).(slot) <- dst;
+    (!p_msg).(slot) <- Some msg;
+    ignore (Engine.schedule engine ~delay (!p_fire).(slot))
   in
   {
     n_endpoints = n;

@@ -31,6 +31,27 @@ let test_heap_interleaved () =
   Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
   Alcotest.(check (option int)) "pop 7" (Some 7) (Heap.pop h)
 
+let test_heap_pop_releases () =
+  (* Popped payloads must not stay pinned by the heap's backing array:
+     the vacated slot is overwritten on every pop and the array dropped
+     when the heap drains. *)
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) in
+  let weaks = Weak.create 4 in
+  for i = 0 to 3 do
+    let payload = ref (1000 + i) in
+    Weak.set weaks i (Some payload);
+    Heap.add h (i, payload)
+  done;
+  for _ = 0 to 3 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected" i)
+      false (Weak.check weaks i)
+  done
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains sorted" ~count:200
     QCheck.(list int)
@@ -181,7 +202,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~delay:5 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   Alcotest.(check bool) "cancelled never fires" false !fired
 
@@ -235,6 +256,109 @@ let test_engine_determinism () =
     !acc
   in
   Alcotest.(check (list int)) "same seed same trace" (run_once ()) (run_once ())
+
+let test_engine_cancel_after_fire () =
+  (* A handle outlives its event: cancelling after the fire — even once
+     the pooled slot has been recycled by a later event — must be a
+     no-op thanks to the generation stamp. *)
+  let e = Engine.create () in
+  let fired_a = ref false and fired_b = ref false in
+  let ha = Engine.schedule e ~delay:1 (fun () -> fired_a := true) in
+  Engine.run e;
+  Alcotest.(check bool) "a fired" true !fired_a;
+  ignore (Engine.schedule e ~delay:1 (fun () -> fired_b := true));
+  Engine.cancel e ha;
+  (* stale: must not kill b's recycled slot *)
+  Engine.run e;
+  Alcotest.(check bool) "b unaffected by stale cancel" true !fired_b
+
+let test_engine_cancel_middle_fifo () =
+  (* Same-cycle FIFO must survive lazy deletion: cancelling events in
+     the middle of a cycle leaves the survivors in schedule order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let handles =
+    List.init 8 (fun i -> Engine.schedule e ~delay:5 (fun () -> log := i :: !log))
+  in
+  List.iteri (fun i h -> if i mod 2 = 1 then Engine.cancel e h) handles;
+  ignore (Engine.schedule e ~delay:5 (fun () -> log := 8 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "survivors in order" [ 0; 2; 4; 6; 8 ] (List.rev !log)
+
+let test_engine_cancel_heavy_purge () =
+  (* Push far past the purge threshold (64 corpses, half the queue dead)
+     and check the survivors still fire exactly once, in order. *)
+  let e = Engine.create () in
+  let count = ref 0 and last = ref (-1) in
+  let doomed = ref [] in
+  for i = 0 to 999 do
+    let h =
+      Engine.at e ~time:10 (fun () ->
+          incr count;
+          Alcotest.(check bool) "ascending" true (i > !last);
+          last := i)
+    in
+    if i mod 4 <> 0 then doomed := h :: !doomed
+  done;
+  List.iter (Engine.cancel e) !doomed;
+  Engine.run e;
+  Alcotest.(check int) "survivors fired" 250 !count
+
+let test_engine_seq_era_renumber () =
+  (* Burn through a full 2^20 sequence era while a cohort of same-time
+     events is pending; the renumbering must preserve their firing order
+     and their interleaving with events scheduled after the era rolls. *)
+  let e = Engine.create () in
+  let t_meet = 1_200_000 in
+  let log = ref [] in
+  for i = 0 to 49 do
+    ignore (Engine.at e ~time:t_meet (fun () -> log := i :: !log))
+  done;
+  (* ~1.05M ticks exhaust the first era mid-run *)
+  Engine.every e ~period:1 (fun () -> ());
+  Engine.run ~until:1_100_000 e;
+  for i = 50 to 99 do
+    ignore (Engine.at e ~time:t_meet (fun () -> log := i :: !log))
+  done;
+  Engine.run ~until:(t_meet + 1) e;
+  Alcotest.(check (list int)) "cohort order across era roll" (List.init 100 Fun.id)
+    (List.rev !log)
+
+let prop_ipq_model =
+  (* The int-keyed heap against the obvious model: a sorted list. Keys
+     are made unique by packing the op index into the low bits, exactly
+     like the engine packs (time, seq). *)
+  QCheck.Test.make ~name:"ipq matches sorted-list model" ~count:200
+    QCheck.(list (pair small_nat bool))
+    (fun ops ->
+      let q = Ipq.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i (k, pop) ->
+          if pop && !model <> [] then begin
+            let mk, mv = List.hd !model in
+            ok := !ok && Ipq.min_key q = mk && Ipq.min_val q = mv;
+            Ipq.remove_min q;
+            model := List.tl !model
+          end
+          else begin
+            let key = (k lsl 20) lor i in
+            Ipq.add q key i;
+            model := List.merge compare [ (key, i) ] !model
+          end)
+        ops;
+      ok := !ok && Ipq.size q = List.length !model;
+      (* to_sorted_pairs/reload round-trip (the renumbering path) *)
+      let pairs = Ipq.to_sorted_pairs q in
+      ok := !ok && Array.to_list pairs = !model;
+      Ipq.reload q pairs;
+      List.iter
+        (fun (mk, mv) ->
+          ok := !ok && Ipq.min_key q = mk && Ipq.min_val q = mv;
+          Ipq.remove_min q)
+        !model;
+      !ok && Ipq.is_empty q)
 
 (* --- Metrics --- *)
 
@@ -328,8 +452,9 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "pop releases payloads" `Quick test_heap_pop_releases;
         ] );
-      qsuite "heap-prop" [ prop_heap_sorts ];
+      qsuite "heap-prop" [ prop_heap_sorts; prop_ipq_model ];
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -359,6 +484,10 @@ let () =
           Alcotest.test_case "max events" `Quick test_engine_max_events;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+          Alcotest.test_case "cancel middle fifo" `Quick test_engine_cancel_middle_fifo;
+          Alcotest.test_case "cancel heavy purge" `Quick test_engine_cancel_heavy_purge;
+          Alcotest.test_case "seq era renumber" `Slow test_engine_seq_era_renumber;
         ] );
       ( "metrics",
         [
