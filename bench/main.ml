@@ -22,9 +22,17 @@
    Exit codes: 0 success, 2 bad usage (unknown experiment id, invalid
    flag value, unwritable --json-dir).
 
-   Usage: main.exe [--only <id>[,<id>...]] [--list] [--seeds N] [--jobs N]
-                   [--json-dir DIR | --no-json] [--csv] [--root-seed S]
-                   [--no-bechamel] [--no-progress] [--progress]
+   [--metrics] enables the resoc_obs metrics registry and appends merged
+   per-replicate "obs.*" scalars to each campaign's metrics; [--trace FILE]
+   additionally records protocol/NoC trace events and writes a Chrome
+   trace_event JSON (chrome://tracing, Perfetto). Tracing forces --jobs 1
+   so every ring lives on the main domain. Positional arguments are
+   experiment ids, equivalent to --only.
+
+   Usage: main.exe [ids...] [--only <id>[,<id>...]] [--list] [--seeds N]
+                   [--jobs N] [--json-dir DIR | --no-json] [--csv]
+                   [--root-seed S] [--no-bechamel] [--no-progress]
+                   [--progress] [--metrics] [--trace FILE]
                    [--perf] [--quick] *)
 
 open Bechamel
@@ -153,6 +161,8 @@ let () =
   let progress = ref (Unix.isatty Unix.stderr) in
   let perf = ref false in
   let quick = ref false in
+  let metrics = ref false in
+  let trace_file = ref "" in
   let spec =
     [
       ( "--only",
@@ -180,13 +190,19 @@ let () =
         Arg.Clear progress,
         " disable stderr progress/timing lines (default when stderr is not a tty)" );
       ("--progress", Arg.Set progress, " force stderr progress/timing lines on");
+      ( "--metrics",
+        Arg.Set metrics,
+        " enable the obs metrics registry; campaigns append obs.* scalars" );
+      ( "--trace",
+        Arg.Set_string trace_file,
+        "FILE write a Chrome trace_event JSON of the run (forces --jobs 1)" );
       ("--perf", Arg.Set perf, " run the hot-path perf harness instead of the experiments");
       ("--quick", Arg.Set quick, " with --perf: sub-10s workloads for CI");
     ]
   in
-  let usage = "main.exe [options]\n\nOptions:" in
+  let usage = "main.exe [ids...] [options]\n\nOptions:" in
   Arg.parse (Arg.align spec)
-    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    (fun anon -> only := !only @ String.split_on_char ',' (String.trim anon))
     usage;
   if !list_only then begin
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) Experiments.all;
@@ -206,6 +222,12 @@ let () =
   if !jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1\n";
     exit 2
+  end;
+  if !metrics then Resoc_obs.Obs.enable_metrics ();
+  if !trace_file <> "" then begin
+    (* Rings are domain-local; export from the main domain only. *)
+    Resoc_obs.Obs.enable_tracing ();
+    jobs := 1
   end;
   if not !no_json then begin
     let rec mkdir_p dir =
@@ -241,4 +263,8 @@ let () =
   List.iter
     (fun (id, _title, run) -> if !only = [] || List.mem id !only then run ())
     Experiments.all;
+  if !trace_file <> "" then begin
+    Resoc_obs.Obs.write_trace !trace_file;
+    Printf.eprintf "wrote Chrome trace to %s\n%!" !trace_file
+  end;
   if not !no_bechamel then run_bechamel ()

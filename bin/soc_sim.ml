@@ -12,21 +12,36 @@ module Group = Resoc_core.Group
 module Soc = Resoc_core.Soc
 module Resilient_system = Resoc_core.Resilient_system
 module Scenario = Resoc_workload.Scenario
+module Obs = Resoc_obs.Obs
 open Cmdliner
 
 let print_report report =
   Format.printf "%a@." Resilient_system.pp_report report
 
-let print_trace sys =
+let print_event_log sys =
   let entries = Resoc_des.Trace.entries (Resilient_system.trace sys) in
   Format.printf "@.--- resilience event trace (%d entries) ---@." (List.length entries);
   List.iter (fun e -> Format.printf "%a@." Resoc_des.Trace.pp_entry e) entries
+
+(* Observability flags must be set before the system (and its engine) is
+   created: instruments are registered at component construction. *)
+let setup_obs ~metrics ~trace =
+  if metrics then Obs.enable_metrics ();
+  if trace <> None then Obs.enable_tracing ()
+
+let finish_obs ~metrics ~trace =
+  (match trace with
+   | Some path ->
+     Obs.write_trace path;
+     Format.eprintf "wrote Chrome trace to %s@." path
+   | None -> ());
+  if metrics then print_string (Obs.metrics_json ())
 
 (* --- scenario command --- *)
 
 let scenario_names () = List.map (fun s -> s.Scenario.name) (Scenario.all ())
 
-let run_scenario name horizon_override show_trace =
+let run_scenario name horizon_override show_event_log metrics trace =
   match List.find_opt (fun s -> s.Scenario.name = name) (Scenario.all ()) with
   | None ->
     Format.eprintf "unknown scenario %S; available: %s@." name
@@ -37,14 +52,24 @@ let run_scenario name horizon_override show_trace =
     let horizon =
       match horizon_override with Some h -> h | None -> scenario.Scenario.horizon
     in
+    setup_obs ~metrics ~trace;
     let sys = Resilient_system.create scenario.Scenario.config in
     let report =
       Resilient_system.run sys ~horizon ~workload_period:scenario.Scenario.workload_period
     in
     print_report report;
-    if show_trace then print_trace sys
+    if show_event_log then print_event_log sys;
+    finish_obs ~metrics ~trace
 
-let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the resilience event trace.")
+let event_log_flag =
+  Arg.(value & flag & info [ "event-log" ] ~doc:"Print the resilience event trace.")
+
+let metrics_flag =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the obs metrics registry as JSON on stdout.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace_event JSON of the run to $(docv).")
 
 let scenario_cmd =
   let name_arg =
@@ -55,7 +80,7 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a packaged domain scenario")
-    Term.(const run_scenario $ name_arg $ horizon_arg $ trace_flag)
+    Term.(const run_scenario $ name_arg $ horizon_arg $ event_log_flag $ metrics_flag $ trace_arg)
 
 (* --- list command --- *)
 
@@ -87,7 +112,7 @@ let diversity_conv =
     [ ("same", Diversity.Same); ("round-robin", Diversity.Round_robin); ("max", Diversity.Max_diversity) ]
 
 let run_custom protocol f n_clients mesh protection diversity n_variants rejuv_period
-    relocate apt_mean horizon workload_period seed show_trace =
+    relocate apt_mean horizon workload_period seed show_event_log metrics trace =
   let soc_config =
     { Soc.default_config with mesh_width = mesh; mesh_height = mesh; seed = Int64.of_int seed }
   in
@@ -113,10 +138,12 @@ let run_custom protocol f n_clients mesh protection diversity n_variants rejuv_p
          | None -> None);
     }
   in
+  setup_obs ~metrics ~trace;
   let sys = Resilient_system.create config in
   let report = Resilient_system.run sys ~horizon ~workload_period in
   print_report report;
-  if show_trace then print_trace sys
+  if show_event_log then print_event_log sys;
+  finish_obs ~metrics ~trace
 
 let run_cmd =
   let protocol =
@@ -147,7 +174,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a custom resilient-SoC configuration")
     Term.(const run_custom $ protocol $ f $ n_clients $ mesh $ protection $ diversity $ n_variants
-          $ rejuv $ relocate $ apt $ horizon $ period $ seed $ trace_flag)
+          $ rejuv $ relocate $ apt $ horizon $ period $ seed $ event_log_flag $ metrics_flag
+          $ trace_arg)
 
 let main =
   Cmd.group

@@ -1,3 +1,5 @@
+module Obs = Resoc_obs.Obs
+
 type metrics = (string * float) list
 
 type trial = Completed of metrics | Failed of Pool.failure
@@ -52,7 +54,16 @@ let run ?(config = default_config) ~id ~title cells =
   in
   let raw =
     Pool.map ~jobs:config.jobs ?on_done total (fun index ->
-        grid.(index / reps).run ~seed:(seed_of index))
+        let cell = grid.(index / reps) in
+        (* A replicate runs wholly on one worker domain, so the domain-local
+           instance list snapshots exactly this replicate's instruments —
+           deterministic whichever worker picked it up. *)
+        if !Obs.metrics_on then begin
+          Obs.begin_replicate ();
+          let m = cell.run ~seed:(seed_of index) in
+          m @ Obs.replicate_metrics ()
+        end
+        else cell.run ~seed:(seed_of index))
   in
   Option.iter Progress.finish progress;
   let cells =

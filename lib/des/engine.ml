@@ -18,6 +18,9 @@
    the queue is dead we purge it in one pass. Handles pack (generation,
    slot) so a stale handle — fired, cancelled, or recycled — is a no-op. *)
 
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+
 let seq_bits = 20
 let seq_limit = 1 lsl seq_bits
 let max_time = max_int lsr seq_bits
@@ -44,9 +47,23 @@ type t = {
   mutable free_head : int;
   mutable n_cancelled : int;
   rng : Rng.t;
+  obs : Obs.t;
+  obs_fired : int;
+  obs_cancelled : int;
+  obs_qdepth : int;
 }
 
 let create ?(seed = 1L) () =
+  let obs = Obs.create () in
+  (* Instruments are registered only when metrics are already enabled, so
+     a disabled run pays nothing beyond the empty instance. *)
+  let obs_fired, obs_cancelled, obs_qdepth =
+    if !Obs.metrics_on then
+      ( Registry.counter obs.Obs.metrics "des.events_fired",
+        Registry.counter obs.Obs.metrics "des.events_cancelled",
+        Registry.gauge obs.Obs.metrics "des.queue_depth" )
+    else (0, 0, 0)
+  in
   {
     now = 0;
     next_seq = 0;
@@ -60,11 +77,17 @@ let create ?(seed = 1L) () =
     free_head = -1;
     n_cancelled = 0;
     rng = Rng.create seed;
+    obs;
+    obs_fired;
+    obs_cancelled;
+    obs_qdepth;
   }
 
 let now t = t.now
 
 let rng t = t.rng
+
+let obs t = t.obs
 
 let grow_pool t =
   let cap = Array.length t.actions in
@@ -175,6 +198,7 @@ let cancel t h =
   then begin
     Bytes.set t.cancelled slot '\001';
     t.n_cancelled <- t.n_cancelled + 1;
+    if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_cancelled;
     (* Lazy deletion: skip-on-pop is free, but a queue that is mostly
        corpses wastes heap depth — purge once the dead outnumber the
        live. *)
@@ -201,6 +225,10 @@ let step t =
       free_slot t slot;
       t.now <- key lsr seq_bits;
       t.processed <- t.processed + 1;
+      if !Obs.metrics_on then begin
+        Registry.incr t.obs.Obs.metrics t.obs_fired;
+        Registry.set t.obs.Obs.metrics t.obs_qdepth (Ipq.size t.queue)
+      end;
       action ()
     end;
     true

@@ -27,6 +27,12 @@ val rng : t -> Rng.t
 (** The engine's master generator. Components should [Rng.split] it once at
     construction rather than drawing from it during the run. *)
 
+val obs : t -> Resoc_obs.Obs.t
+(** The engine's observability instance (metrics registry + trace ring).
+    Subsystems built on this engine register their instruments here; all
+    recording sites are gated on the global [Resoc_obs.Obs] flags and
+    cost one branch when disabled. *)
+
 val schedule : t -> delay:int -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
     non-negative; [delay = 0] fires later in the current cycle. *)

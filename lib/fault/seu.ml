@@ -1,6 +1,9 @@
 module Engine = Resoc_des.Engine
 module Rng = Resoc_des.Rng
 module Register = Resoc_hw.Register
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+module Ring = Resoc_obs.Ring
 
 type t = {
   engine : Engine.t;
@@ -10,6 +13,8 @@ type t = {
   total_bits : int;
   mutable injected : int;
   mutable halted : bool;
+  obs : Obs.t;
+  obs_injected : int;
 }
 
 let pick_register t =
@@ -30,6 +35,10 @@ let rec schedule_next t =
            if not t.halted then begin
              Register.inject_upset (pick_register t) t.rng;
              t.injected <- t.injected + 1;
+             if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_injected;
+             if !Obs.trace_on then
+               Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.fault
+                 ~id:0 ~arg:t.injected;
              schedule_next t
            end))
   end
@@ -39,6 +48,10 @@ let start engine rng ~rate_per_bit_cycle registers =
   if Array.length registers = 0 && rate_per_bit_cycle > 0.0 then
     invalid_arg "Seu.start: no registers to upset";
   let total_bits = Array.fold_left (fun acc r -> acc + Register.stored_bits r) 0 registers in
+  let obs = Engine.obs engine in
+  let obs_injected =
+    if !Obs.metrics_on then Registry.counter obs.Obs.metrics "fault.seu.injected" else 0
+  in
   let t =
     {
       engine;
@@ -48,6 +61,8 @@ let start engine rng ~rate_per_bit_cycle registers =
       total_bits;
       injected = 0;
       halted = false;
+      obs;
+      obs_injected;
     }
   in
   schedule_next t;

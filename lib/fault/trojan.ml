@@ -1,4 +1,7 @@
 module Engine = Resoc_des.Engine
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+module Ring = Resoc_obs.Ring
 
 type effect = Kill_switch | Corrupt_output | Leak_secret
 
@@ -12,17 +15,36 @@ type t = {
   mutable triggered : bool;
   mutable armed : bool;
   mutable pending : Engine.handle option;
+  obs : Obs.t;
+  obs_triggered : int;
 }
 
 let fire t =
   if t.armed && not t.triggered then begin
     t.triggered <- true;
+    if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_triggered;
+    if !Obs.trace_on then
+      Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.fault ~id:1 ~arg:0;
     t.on_trigger t.effect
   end
 
 let plant engine trigger effect ~on_trigger =
+  let obs = Engine.obs engine in
+  let obs_triggered =
+    if !Obs.metrics_on then Registry.counter obs.Obs.metrics "fault.trojan.triggered" else 0
+  in
   let t =
-    { engine; trigger; effect; on_trigger; triggered = false; armed = true; pending = None }
+    {
+      engine;
+      trigger;
+      effect;
+      on_trigger;
+      triggered = false;
+      armed = true;
+      pending = None;
+      obs;
+      obs_triggered;
+    }
   in
   (match trigger with
    | Time_bomb at ->

@@ -1,5 +1,8 @@
 module Engine = Resoc_des.Engine
 module Metrics = Resoc_des.Metrics
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+module Ring = Resoc_obs.Ring
 
 type routing = Xy | Xy_with_yx_fallback
 
@@ -44,11 +47,27 @@ type 'msg t = {
   mutable dropped : int;
   mutable bytes_sent : int;
   latency : Metrics.Histogram.t;
+  obs : Obs.t;
+  obs_link_base : int;  (* counter cells, one per link id *)
+  obs_delivered : int;
+  obs_dropped : int;
+  obs_latency : Registry.histogram;
 }
 
 let create engine mesh config =
   if config.router_latency < 0 || config.bytes_per_cycle <= 0 || config.local_latency < 0 then
     invalid_arg "Network.create: invalid config";
+  let obs = Engine.obs engine in
+  let obs_link_base, obs_delivered, obs_dropped, obs_latency =
+    if !Obs.metrics_on then
+      ( Registry.counter_block obs.Obs.metrics ~n:(Mesh.n_link_ids mesh)
+          ~name:(fun lid -> "noc.link." ^ string_of_int lid),
+        Registry.counter obs.Obs.metrics "noc.delivered",
+        Registry.counter obs.Obs.metrics "noc.dropped",
+        Registry.histogram obs.Obs.metrics "noc.latency"
+          ~bounds:[| 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |] )
+    else (0, 0, 0, Registry.null_histogram)
+  in
   {
     engine;
     mesh;
@@ -71,6 +90,11 @@ let create engine mesh config =
     dropped = 0;
     bytes_sent = 0;
     latency = Metrics.Histogram.create "noc.latency";
+    obs;
+    obs_link_base;
+    obs_delivered;
+    obs_dropped;
+    obs_latency;
   }
 
 let mesh t = t.mesh
@@ -83,12 +107,23 @@ let detach t ~node =
   if node < 0 || node >= Array.length t.handlers then invalid_arg "Network.detach: bad node";
   t.handlers.(node) <- None
 
+let drop t ~node =
+  t.dropped <- t.dropped + 1;
+  if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_dropped;
+  if !Obs.trace_on then
+    Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.noc_drop ~id:node ~arg:0
+
 let deliver t ~src ~dst ~start msg =
   match t.handlers.(dst) with
-  | None -> t.dropped <- t.dropped + 1
+  | None -> drop t ~node:dst
   | Some handler ->
     t.delivered <- t.delivered + 1;
-    Metrics.Histogram.add t.latency (float_of_int (Engine.now t.engine - start));
+    let lat = Engine.now t.engine - start in
+    Metrics.Histogram.add t.latency (float_of_int lat);
+    if !Obs.metrics_on then begin
+      Registry.incr t.obs.Obs.metrics t.obs_delivered;
+      Registry.observe t.obs.Obs.metrics t.obs_latency lat
+    end;
     handler ~src msg
 
 let serialization_cycles t bytes_ = (bytes_ + t.config.bytes_per_cycle - 1) / t.config.bytes_per_cycle
@@ -114,12 +149,17 @@ let rec hop t slot =
       begin_tx + t.config.router_latency + serialization_cycles t (Array.unsafe_get t.fl_bytes slot)
     in
     Array.unsafe_set t.busy_until lid done_at;
-    Array.unsafe_set t.load lid (Array.unsafe_get t.load lid + 1);
+    let load = Array.unsafe_get t.load lid + 1 in
+    Array.unsafe_set t.load lid load;
+    if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics (t.obs_link_base + lid);
+    if !Obs.trace_on then
+      Ring.sample t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.noc_link ~id:lid
+        ~arg:load;
     Array.unsafe_set t.fl_cur slot next;
     ignore (Engine.at t.engine ~time:done_at (Array.unsafe_get t.fl_advance slot))
   end
   else begin
-    t.dropped <- t.dropped + 1;
+    drop t ~node:cur;
     release t slot
   end
 
@@ -137,7 +177,7 @@ and advance t slot =
     end
     else hop t slot
   else begin
-    t.dropped <- t.dropped + 1;
+    drop t ~node:cur;
     release t slot
   end
 
@@ -194,7 +234,7 @@ let send t ~src ~dst ~bytes_ msg =
       | Xy_with_yx_fallback -> Mesh.xy_path_usable t.mesh ~src ~dst
     in
     (* The sender's own router must be alive to inject at all. *)
-    if not (Mesh.router_up t.mesh src) then t.dropped <- t.dropped + 1
+    if not (Mesh.router_up t.mesh src) then drop t ~node:src
     else begin
       let slot = alloc_flight t in
       Array.unsafe_set t.fl_cur slot src;

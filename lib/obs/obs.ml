@@ -1,0 +1,154 @@
+let metrics_on = ref false
+
+let trace_on = ref false
+
+let trace_capacity = ref 65536
+
+let enable_metrics () = metrics_on := true
+
+let enable_tracing ?capacity () =
+  (match capacity with
+  | Some c ->
+    if c <= 0 then invalid_arg "Obs.enable_tracing: capacity must be positive";
+    trace_capacity := c
+  | None -> ());
+  trace_on := true
+
+let disable () =
+  metrics_on := false;
+  trace_on := false
+
+type t = { metrics : Registry.t; ring : Ring.t }
+
+(* Instances created on this domain since the last [begin_replicate],
+   newest first. Domain-local so parallel campaign workers never share
+   state: a replicate runs entirely on one domain and snapshots exactly
+   the instances it created, whichever worker picked it up. *)
+let collected : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let create () =
+  let inst =
+    {
+      metrics = Registry.create ();
+      ring = Ring.create ~capacity:(if !trace_on then !trace_capacity else 0);
+    }
+  in
+  if !metrics_on || !trace_on then begin
+    let l = Domain.DLS.get collected in
+    l := inst :: !l
+  end;
+  inst
+
+let begin_replicate () = Domain.DLS.get collected := []
+
+let domain_instances () = List.rev !(Domain.DLS.get collected)
+
+module Cat = struct
+  let des = 0
+
+  let noc_link = 1
+
+  let noc_drop = 2
+
+  let repl = 3
+
+  let fault = 4
+
+  let label = function
+    | 0 -> "des"
+    | 1 | 2 -> "noc"
+    | 3 -> "repl"
+    | 4 -> "fault"
+    | _ -> "other"
+end
+
+let code_request = 0
+
+let code_pre_prepare = 1
+
+let code_prepare = 2
+
+let code_commit = 3
+
+let code_reply = 4
+
+let code_view_change = 5
+
+let code_new_view = 6
+
+(* Repl trace ids pack a per-span unique id above the 3-bit phase code;
+   see DESIGN.md §6 for the exact layouts. *)
+let repl_request_span ~replica ~client ~rid =
+  (((((replica lsl 8) lor (client land 0xff)) lsl 20) lor (rid land 0xfffff)) lsl 3) lor code_request
+
+let repl_counter_span ~replica ~counter =
+  ((((replica lsl 32) lor (counter land 0xffffffff)) lsl 3)) lor code_commit
+
+let repl_event ~replica ~code = (replica lsl 3) lor code
+
+let repl_code_name = function
+  | 0 -> "request"
+  | 1 -> "pre-prepare"
+  | 2 -> "prepare"
+  | 3 -> "commit"
+  | 4 -> "reply"
+  | 5 -> "view-change"
+  | 6 -> "new-view"
+  | _ -> "repl"
+
+let default_name ~cat ~id =
+  if cat = Cat.noc_link then "noc.link." ^ string_of_int id
+  else if cat = Cat.noc_drop then "noc.drop"
+  else if cat = Cat.repl then repl_code_name (id land 7)
+  else if cat = Cat.fault then (match id with 0 -> "fault.seu" | 1 -> "fault.trojan" | _ -> "fault.inject")
+  else "des"
+
+(* Merge scalars across this domain's instances, preserving first-seen
+   order so the result is a pure function of the replicate. *)
+let merged_scalars () =
+  let order = ref [] in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun inst ->
+      Registry.iter_scalars inst.metrics (fun name ~gauge v ->
+          match Hashtbl.find_opt tbl name with
+          | None ->
+            Hashtbl.replace tbl name v;
+            order := name :: !order
+          | Some prev -> Hashtbl.replace tbl name (if gauge then v else prev + v)))
+    (domain_instances ());
+  List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+
+let replicate_metrics () =
+  List.map (fun (n, v) -> ("obs." ^ n, float_of_int v)) (merged_scalars ())
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let metrics_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"resoc-obs/1\",\"metrics\":{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf n;
+      Printf.bprintf buf ":%d" v)
+    (merged_scalars ());
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf
+
+let write_trace path =
+  let rings = List.map (fun i -> i.ring) (domain_instances ()) in
+  let s = Chrome.to_string ~rings ~name:default_name ~cat_label:Cat.label () in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)

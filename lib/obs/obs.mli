@@ -1,0 +1,84 @@
+(** Facade of the observability layer.
+
+    Two global flags gate every instrument site in the simulator; both
+    default to off, and the guarded sites are single branches on them, so
+    a disabled run does no observability work and allocates nothing on
+    the hot path. Enable the flags before creating engines: instruments
+    are registered at component-creation time only when the matching flag
+    is already on.
+
+    Each {!create} call makes an independent instance (one registry + one
+    ring); the DES engine owns one per simulation and subsystems reach it
+    through the engine. When either flag is on, instances created on the
+    current domain are also collected into a domain-local list so a
+    campaign worker can snapshot everything its replicate created
+    ({!begin_replicate} / {!replicate_metrics}) and a CLI can export one
+    merged trace ({!write_trace}) — both deterministic regardless of
+    which domain ran which replicate. *)
+
+val metrics_on : bool ref
+val trace_on : bool ref
+
+val enable_metrics : unit -> unit
+
+(** [enable_tracing ?capacity ()] turns tracing on; engines created
+    afterwards carry a ring of [capacity] records (default 65536). *)
+val enable_tracing : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+
+type t = { metrics : Registry.t; ring : Ring.t }
+
+val create : unit -> t
+
+(** Trace-record categories and their exported labels. *)
+module Cat : sig
+  val des : int
+  val noc_link : int
+  val noc_drop : int
+  val repl : int
+  val fault : int
+  val label : int -> string
+end
+
+(** Protocol-phase codes packed into the low 3 bits of [Cat.repl] ids. *)
+val code_request : int
+
+val code_pre_prepare : int
+val code_prepare : int
+val code_commit : int
+val code_reply : int
+val code_view_change : int
+val code_new_view : int
+
+(** Async-span id for one client request at one replica. *)
+val repl_request_span : replica:int -> client:int -> rid:int -> int
+
+(** Async-span id for one agreement slot (counter / sequence number) at
+    one replica. *)
+val repl_counter_span : replica:int -> counter:int -> int
+
+(** Id for instant protocol events (prepare broadcast, view change). *)
+val repl_event : replica:int -> code:int -> int
+
+(** Default (category, id) -> event-name resolver for {!Chrome}. *)
+val default_name : cat:int -> id:int -> string
+
+(** Forget the instances collected on this domain so far. *)
+val begin_replicate : unit -> unit
+
+(** Instances created on this domain since {!begin_replicate}, oldest
+    first. *)
+val domain_instances : unit -> t list
+
+(** Merged scalar snapshot of this domain's instances as
+    [("obs." ^ name, value)] pairs: counters and histogram count/sum
+    cells are summed across instances, gauges take the latest value. *)
+val replicate_metrics : unit -> (string * float) list
+
+(** Merged scalar snapshot as a JSON object keyed by metric name. *)
+val metrics_json : unit -> string
+
+(** Export every ring collected on this domain to [path] as Chrome
+    [trace_event] JSON. *)
+val write_trace : string -> unit

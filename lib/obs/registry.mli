@@ -1,0 +1,67 @@
+(** Metrics registry: int counters, gauges, and fixed-bucket histograms
+    registered by dotted name and backed by one flat int array.
+
+    Registration (cold path) returns a cell index — or, for histograms, a
+    small handle holding the bucket bounds — and is idempotent: registering
+    an existing name with the same kind returns the original cells, so
+    several instances of a subsystem on one engine share instruments.
+    Updates (hot path) are single int-array stores with no allocation. *)
+
+type t
+
+type kind = Counter | Gauge | Histogram of int array
+
+type histogram = private { h_base : int; bounds : int array }
+
+val create : unit -> t
+
+(** [counter t name] registers (or finds) an int counter; returns its cell. *)
+val counter : t -> string -> int
+
+(** [gauge t name] registers (or finds) an int gauge; returns its cell. *)
+val gauge : t -> string -> int
+
+(** [counter_block t ~n ~name] registers [n] counters named [name 0] ..
+    [name (n-1)] in consecutive cells and returns the first cell, so a
+    dense integer id (e.g. a NoC link id) indexes its counter as
+    [base + id]. Idempotent on [name 0]. *)
+val counter_block : t -> n:int -> name:(int -> string) -> int
+
+(** [histogram t name ~bounds] registers a fixed-bucket histogram with
+    inclusive upper [bounds] (strictly increasing) plus an overflow
+    bucket. *)
+val histogram : t -> string -> bounds:int array -> histogram
+
+(** Placeholder handle for disabled instrument sites; never observe it. *)
+val null_histogram : histogram
+
+val incr : t -> int -> unit
+val add : t -> int -> int -> unit
+val set : t -> int -> int -> unit
+val get : t -> int -> int
+
+(** [observe t h v] increments the bucket for [v] and adds [v] to the sum. *)
+val observe : t -> histogram -> int -> unit
+
+val hist_count : t -> histogram -> int
+val hist_sum : t -> histogram -> int
+
+(** [hist_bucket t h i] reads bucket [i]; bucket [Array.length bounds] is
+    the overflow bucket. *)
+val hist_bucket : t -> histogram -> int -> int
+
+val n_metrics : t -> int
+
+(** Zero every cell; registrations are kept. *)
+val reset : t -> unit
+
+(** Scalar view in registration order: counters and gauges by name,
+    histograms flattened to [name ^ ".count"] and [name ^ ".sum"].
+    [gauge:true] marks values that must overwrite (not sum) on merge. *)
+val iter_scalars : t -> (string -> gauge:bool -> int -> unit) -> unit
+
+(** Full snapshot as [resoc-obs/1] JSON, histogram buckets included. *)
+val to_json : t -> string
+
+(** Snapshot as CSV with header [name,kind,field,value]. *)
+val to_csv : t -> string

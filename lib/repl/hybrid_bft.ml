@@ -5,6 +5,9 @@ module Keychain = Resoc_crypto.Keychain
 module Behavior = Resoc_fault.Behavior
 module Usig = Resoc_hybrid.Usig
 module Register = Resoc_hw.Register
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+module Ring = Resoc_obs.Ring
 
 module type HYBRID = sig
   type t
@@ -144,6 +147,9 @@ module Make (H : HYBRID) = struct
     mutable gap_drops : int;
     mutable batch_buffer : Types.request list;  (* reversed; primary only *)
     mutable flush_scheduled : bool;
+    obs : Obs.t;
+    obs_batch : Registry.histogram;
+    obs_vc : int;
   }
 
   type t = {
@@ -232,6 +238,10 @@ module Make (H : HYBRID) = struct
     let digest = Types.request_digest request in
     Hashtbl.remove r.pending digest;
     cancel_request_timer r digest;
+    if !Obs.trace_on then
+      Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
+        ~arg:0;
     reply_to_client r request result
 
   let rec try_execute r =
@@ -240,6 +250,10 @@ module Make (H : HYBRID) = struct
     | Some ({ executed = false; _ } as e) when Hashtbl.length e.commit_votes >= r.f + 1 ->
       e.executed <- true;
       r.last_exec_counter <- next;
+      if !Obs.trace_on then
+        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_counter_span ~replica:r.id ~counter:(Int64.to_int next))
+          ~arg:(List.length e.requests);
       List.iter (execute_one r) e.requests;
       Hashtbl.remove r.log (Int64.sub next log_retention);
       try_execute r
@@ -282,6 +296,10 @@ module Make (H : HYBRID) = struct
       | None ->
         let e = { requests; commit_votes = Hashtbl.create 4; executed = false } in
         Hashtbl.replace r.log counter e;
+        if !Obs.trace_on then
+          Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+            ~id:(Obs.repl_counter_span ~replica:r.id ~counter:(Int64.to_int counter))
+            ~arg:(List.length requests);
         e
     in
     Hashtbl.replace entry.commit_votes voter ();
@@ -306,6 +324,12 @@ module Make (H : HYBRID) = struct
       | Error _ -> ()  (* hybrid fail-stop: the group will time out on us *)
       | Ok cert ->
         List.iter (fun req -> Hashtbl.replace r.ordered (Types.request_digest req) ()) requests;
+        let nbatch = List.length requests in
+        if !Obs.metrics_on then Registry.observe r.obs.Obs.metrics r.obs_batch nbatch;
+        if !Obs.trace_on then
+          Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+            ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_prepare)
+            ~arg:nbatch;
         ignore (note_entry r ~counter:(H.cert_counter cert) ~requests ~voter:r.id);
         let equivocating =
           match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
@@ -427,6 +451,11 @@ module Make (H : HYBRID) = struct
         end;
         if primary_of ~view:new_view ~n:r.n = r.id then begin
           r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+          if !Obs.metrics_on then Registry.incr r.obs.Obs.metrics r.obs_vc;
+          if !Obs.trace_on then
+            Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+              ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_view_change)
+              ~arg:new_view;
           become_primary r ~view:new_view
         end
       end
@@ -439,6 +468,10 @@ module Make (H : HYBRID) = struct
     | Some (last_rid, cached) when request.Types.rid <= last_rid ->
       reply_to_client r request cached
     | Some _ | None ->
+      if !Obs.trace_on && not (Hashtbl.mem r.pending digest) then
+        Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
+          ~arg:0;
       Hashtbl.replace r.pending digest request;
       if is_primary r then order_request r request
       else begin
@@ -511,6 +544,13 @@ module Make (H : HYBRID) = struct
     let hybrid_instance =
       H.make ~id ~key:(Keychain.component keychain id) ~protection:config.usig_protection
     in
+    let obs = Engine.obs engine in
+    let obs_batch, obs_vc =
+      if !Obs.metrics_on then
+        ( Registry.histogram obs.Obs.metrics "repl.batch_size" ~bounds:[| 1; 2; 4; 8; 16; 32 |],
+          Registry.counter obs.Obs.metrics "repl.view_changes" )
+      else (Registry.null_histogram, 0)
+    in
     {
       id;
       n = n_replicas config;
@@ -539,6 +579,9 @@ module Make (H : HYBRID) = struct
       gap_drops = 0;
       batch_buffer = [];
       flush_scheduled = false;
+      obs;
+      obs_batch;
+      obs_vc;
     }
 
   let start engine fabric config ?behaviors () =

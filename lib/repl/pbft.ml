@@ -1,6 +1,9 @@
 module Engine = Resoc_des.Engine
 module Hash = Resoc_crypto.Hash
 module Behavior = Resoc_fault.Behavior
+module Obs = Resoc_obs.Obs
+module Registry = Resoc_obs.Registry
+module Ring = Resoc_obs.Ring
 
 type msg =
   | Request of Types.request
@@ -49,6 +52,8 @@ type replica = {
   timers : (Hash.t, Engine.handle) Hashtbl.t;
   vc_votes : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* view -> voter -> last_exec *)
   mutable vc_voted : int;  (* highest view we voted for *)
+  obs : Obs.t;
+  obs_vc : int;
 }
 
 type t = {
@@ -109,6 +114,10 @@ let entry_for r ~view ~seq ~digest =
       }
     in
     Hashtbl.replace r.log seq e;
+    if !Obs.trace_on then
+      Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_counter_span ~replica:r.id ~counter:seq)
+        ~arg:0;
     Some e
 
 let cancel_request_timer r digest =
@@ -139,6 +148,10 @@ let rec try_execute r =
   | Some ({ committed = true; executed = false; request = Some request; _ } as e) ->
     e.executed <- true;
     r.last_exec <- r.last_exec + 1;
+    if !Obs.trace_on then
+      Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
+        ~arg:0;
     let client = request.Types.client and rid = request.Types.rid in
     let result =
       match Hashtbl.find_opt r.rid_table client with
@@ -151,6 +164,10 @@ let rec try_execute r =
     let digest = Types.request_digest request in
     Hashtbl.remove r.pending digest;
     cancel_request_timer r digest;
+    if !Obs.trace_on then
+      Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
+        ~arg:0;
     reply_to_client r request result;
     Hashtbl.remove r.log (r.last_exec - log_retention);
     try_execute r
@@ -194,6 +211,10 @@ let order_request r (request : Types.request) =
     let seq = r.next_seq in
     r.next_seq <- r.next_seq + 1;
     Hashtbl.replace r.ordered digest seq;
+    if !Obs.trace_on then
+      Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_pre_prepare)
+        ~arg:seq;
     let equivocating =
       match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
       | Some Behavior.Equivocate -> true
@@ -269,6 +290,11 @@ let on_view_change r ~src ~new_view ~last_exec =
     if voters >= (2 * r.f) + 1 && primary_of ~view:new_view ~n:r.n = r.id then begin
       let max_exec = Hashtbl.fold (fun _ le acc -> max le acc) votes r.last_exec in
       r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
+      if !Obs.metrics_on then Registry.incr r.obs.Obs.metrics r.obs_vc;
+      if !Obs.trace_on then
+        Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_view_change)
+          ~arg:new_view;
       become_primary r ~view:new_view ~start_seq:(max_exec + 1)
     end
   end
@@ -283,6 +309,10 @@ let on_request r (request : Types.request) =
     (* Already executed: re-send the cached reply. *)
     reply_to_client r request cached
   | Some _ | None ->
+    if !Obs.trace_on && not (Hashtbl.mem r.pending digest) then
+      Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
+        ~arg:0;
     Hashtbl.replace r.pending digest request;
     if is_primary r then order_request r request
     else begin
@@ -350,6 +380,10 @@ let handle (r : replica) ~src msg =
 (* --- system assembly --- *)
 
 let make_replica engine fabric config stats ~id ~behavior =
+  let obs = Engine.obs engine in
+  let obs_vc =
+    if !Obs.metrics_on then Registry.counter obs.Obs.metrics "repl.view_changes" else 0
+  in
   {
     id;
     n = n_replicas config;
@@ -371,6 +405,8 @@ let make_replica engine fabric config stats ~id ~behavior =
     timers = Hashtbl.create 16;
     vc_votes = Hashtbl.create 4;
     vc_voted = 0;
+    obs;
+    obs_vc;
   }
 
 let start engine fabric config ?behaviors () =
