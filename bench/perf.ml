@@ -1,14 +1,18 @@
 (* Self-timing harness for the simulator hot path.
 
-   Three canonical workloads, each a deterministic simulation whose wall
+   Five canonical workloads, each a deterministic simulation whose wall
    clock and allocation rate are measured end to end:
 
-   - [churn]   pure-engine event churn: 64 self-rescheduling actors, no
-               protocol logic, so the engine's queue discipline dominates;
-   - [e3mesh]  the E3 kernel: a MinBFT group on a 4x4 mesh NoC serving a
-               client burst — heap + NoC link model + protocol timers;
-   - [e2seu]   the E2 kernel: one SEU-campaign replicate (MinBFT over the
-               hub transport with SEU injection and periodic scrubbing).
+   - [churn]    pure-engine event churn: 64 self-rescheduling actors, no
+                protocol logic, so the engine's queue discipline dominates;
+   - [e3mesh]   the E3 kernel: a MinBFT group on a 4x4 mesh NoC serving a
+                client burst — heap + NoC link model + protocol timers;
+   - [e2seu]    the E2 kernel: one SEU-campaign replicate (MinBFT over the
+                hub transport with SEU injection and periodic scrubbing);
+   - [pbftkern] a PBFT group on the zero-cost hub transport serving a
+                client burst — no NoC, no faults, so the replication
+                layer's own data structures dominate;
+   - [paxoskern] the same shape for the crash-fault Paxos group.
 
    Each workload runs [runs] times; we report the best wall time (least
    noisy) and the minimum allocated bytes per event (steady-state floor).
@@ -26,6 +30,8 @@ module Seu = Resoc_fault.Seu
 module Usig = Resoc_hybrid.Usig
 module Transport = Resoc_repl.Transport
 module Minbft = Resoc_repl.Minbft
+module Pbft = Resoc_repl.Pbft
+module Paxos = Resoc_repl.Paxos
 module Soc = Resoc_core.Soc
 module Group = Resoc_core.Group
 module Generator = Resoc_workload.Generator
@@ -97,8 +103,47 @@ let e2_seu_once ~horizon ~seed =
 
 let e2_seu ~horizon ~repeat () =
   let total = ref 0 in
-  for i = 1 to repeat do
-    total := !total + e2_seu_once ~horizon ~seed:(Int64.of_int (0x5EED + i))
+  (* Replicate seeds follow the campaign seed-tree convention: leaf [i]
+     of the root seed, addressed in O(1) (see Rng.derive). *)
+  for i = 0 to repeat - 1 do
+    total := !total + e2_seu_once ~horizon ~seed:(Rng.derive 0x5EEDL i)
+  done;
+  !total
+
+(* Replication-layer kernels: a BFT (PBFT) and a crash-fault (Paxos) group
+   on the hub transport — constant-latency message passing, no NoC link
+   model, no fault injection — serving a closed-loop client burst. Nearly
+   every simulated event is a protocol message, so these isolate the cost
+   of the agreement data structures (quorum tracking, agreement logs,
+   broadcast fan-out). *)
+
+let pbft_kern ~requests ~repeat () =
+  let total = ref 0 in
+  for i = 0 to repeat - 1 do
+    let engine = Engine.create ~seed:(Rng.derive 0xBF7L i) () in
+    let config = { Pbft.default_config with f = 1; n_clients = 2 } in
+    let n = Pbft.n_replicas config in
+    let fabric = Transport.hub engine ~n:(n + 2) () in
+    let sys = Pbft.start engine fabric config () in
+    Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:(fun ~client ~payload ->
+        Pbft.submit sys ~client ~payload);
+    Engine.run ~until:2_000_000 engine;
+    total := !total + Engine.events_processed engine
+  done;
+  !total
+
+let paxos_kern ~requests ~repeat () =
+  let total = ref 0 in
+  for i = 0 to repeat - 1 do
+    let engine = Engine.create ~seed:(Rng.derive 0xBA05L i) () in
+    let config = { Paxos.default_config with f = 1; n_clients = 2 } in
+    let n = Paxos.n_replicas config in
+    let fabric = Transport.hub engine ~n:(n + 2) () in
+    let sys = Paxos.start engine fabric config () in
+    Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:(fun ~client ~payload ->
+        Paxos.submit sys ~client ~payload);
+    Engine.run ~until:2_000_000 engine;
+    total := !total + Engine.events_processed engine
   done;
   !total
 
@@ -172,12 +217,16 @@ let run ~quick ~json_dir ~progress () =
         ("churn", churn ~events:400_000);
         ("e3mesh", e3_mesh ~requests:100 ~repeat:4);
         ("e2seu", e2_seu ~horizon:100_000 ~repeat:4);
+        ("pbftkern", pbft_kern ~requests:100 ~repeat:6);
+        ("paxoskern", paxos_kern ~requests:100 ~repeat:6);
       ]
     else
       [
         ("churn", churn ~events:2_000_000);
         ("e3mesh", e3_mesh ~requests:200 ~repeat:25);
         ("e2seu", e2_seu ~horizon:250_000 ~repeat:25);
+        ("pbftkern", pbft_kern ~requests:200 ~repeat:30);
+        ("paxoskern", paxos_kern ~requests:200 ~repeat:30);
       ]
   in
   let results =

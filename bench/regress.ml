@@ -238,22 +238,56 @@ let () =
     exit 2
   | base, cur ->
     let regressed = ref false in
+    (* One row per baseline workload: (id, verdict, detail columns). *)
+    let rows =
+      List.map
+        (fun b ->
+          match List.find_opt (fun c -> c.id = b.id) cur with
+          | None ->
+            regressed := true;
+            (b.id, "MISSING", "-", "-", "-", "-")
+          | Some c ->
+            let speed_ratio = c.events_per_sec /. b.events_per_sec in
+            let alloc_delta = c.alloc_bytes_per_event -. b.alloc_bytes_per_event in
+            let alloc_ceiling = (b.alloc_bytes_per_event *. !max_alloc_ratio) +. alloc_slack in
+            let speed_ok = speed_ratio >= !min_ratio in
+            let alloc_ok = c.alloc_bytes_per_event <= alloc_ceiling in
+            let verdict =
+              if speed_ok && alloc_ok then "ok"
+              else if not speed_ok then "REGRESSION: events/sec below floor"
+              else "REGRESSION: allocations grew"
+            in
+            if not (speed_ok && alloc_ok) then regressed := true;
+            ( b.id,
+              verdict,
+              Printf.sprintf "%.0f" c.events_per_sec,
+              Printf.sprintf "%.2fx" speed_ratio,
+              Printf.sprintf "%.1f" c.alloc_bytes_per_event,
+              Printf.sprintf "%+.1f" alloc_delta ))
+        base
+    in
     List.iter
-      (fun b ->
-        match List.find_opt (fun c -> c.id = b.id) cur with
-        | None ->
-          Printf.printf "%-8s MISSING from current run\n" b.id;
-          regressed := true
-        | Some c ->
-          let speed_ratio = c.events_per_sec /. b.events_per_sec in
-          let alloc_ceiling = (b.alloc_bytes_per_event *. !max_alloc_ratio) +. alloc_slack in
-          let speed_ok = speed_ratio >= !min_ratio in
-          let alloc_ok = c.alloc_bytes_per_event <= alloc_ceiling in
-          Printf.printf "%-8s %10.0f ev/s (%.2fx base)  %8.1f allocB/ev (base %.1f)  %s\n" c.id
-            c.events_per_sec speed_ratio c.alloc_bytes_per_event b.alloc_bytes_per_event
-            (if speed_ok && alloc_ok then "ok"
-             else if not speed_ok then "REGRESSION: events/sec below floor"
-             else "REGRESSION: allocations grew");
-          if not (speed_ok && alloc_ok) then regressed := true)
-      base;
+      (fun (id, verdict, evs, ratio, alloc, delta) ->
+        Printf.printf "%-10s %12s ev/s  %8s vs base  %10s allocB/ev (%s)  %s\n" id evs ratio
+          alloc delta verdict)
+      rows;
+    (* Mirror the table as markdown into the CI job summary when running
+       under GitHub Actions. *)
+    (match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+    | Some path when path <> "" ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc "### Perf regression gate\n\n";
+          output_string oc
+            "| workload | events/sec | vs baseline | allocB/ev | alloc delta | verdict |\n";
+          output_string oc "|---|---:|---:|---:|---:|---|\n";
+          List.iter
+            (fun (id, verdict, evs, ratio, alloc, delta) ->
+              Printf.fprintf oc "| %s | %s | %s | %s | %s | %s |\n" id evs ratio alloc delta
+                verdict)
+            rows;
+          output_string oc "\n")
+    | Some _ | None -> ());
     if !regressed then exit 1

@@ -44,11 +44,19 @@ let default_config =
 let n_replicas config = (2 * config.f) + 1
 let n_active_initial config = config.f + 1
 
+(* Pooled in the slot ring, reset in place per counter; commit votes are
+   a quorum bitset. *)
 type entry = {
-  request : Types.request;
-  commit_votes : (int, unit) Hashtbl.t;
+  mutable request : Types.request;
+  mutable commit_votes : Quorum.t;
   mutable executed : bool;
 }
+
+let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
+
+let fresh_entry _ = { request = no_request; commit_votes = Quorum.empty; executed = false }
+
+let log_retention = 256
 
 type replica = {
   id : int;
@@ -66,15 +74,20 @@ type replica = {
   mutable is_active : bool;
   mutable transitioned : bool;
   mutable last_exec_counter : int64;
-  log : (int64, entry) Hashtbl.t;
-  ordered : (Hash.t, unit) Hashtbl.t;
+  log : entry Slot_ring.t;
+  ordered : int Digest_map.t;
   pending : (Hash.t, Types.request) Hashtbl.t;
-  rid_table : (int, int * int64) Hashtbl.t;
-  timers : (Hash.t, Engine.handle) Hashtbl.t;
+  mutable rid_last : int array;  (* client -> last rid, min_int = none *)
+  mutable rid_result : int64 array;
+  timers : Engine.handle Digest_map.t;
   mono : Monotonic.checker;
-  baseline_pending : (int, unit) Hashtbl.t;  (* counter resync after transition *)
-  vc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  baseline_pending : bool array;  (* per-signer counter resync after transition *)
+  vc_rounds : Quorum.Rounds.t;
   mutable vc_voted : int;
+  all_ids : int array;
+  all_others : int array;  (* everyone but self *)
+  initial_active_others : int array;  (* ids 0..f minus self *)
+  initial_passive : int array;  (* ids f+1..n-1 *)
   mutable gap_drops : int;
   mutable last_shipped : int64;
   repeat_counts : (int * int, int) Hashtbl.t;  (* (client, rid) -> cached-reply resends *)
@@ -102,18 +115,14 @@ let primary_of ~view ~n = view mod n
 
 let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
 
-let replica_ids (r : replica) = List.init r.n Fun.id
+let empty_ids : int array = [||]
 
 (* The replicas that participate in agreement right now: the initial f+1
    active ones, or everyone after a transition. Activeness is tracked per
    replica, so views during/after the transition stay consistent. *)
-let active_ids (r : replica) =
-  if r.transitioned then replica_ids r else List.init (r.f + 1) Fun.id
+let active_others r = if r.transitioned then r.all_others else r.initial_active_others
 
-let active_others r = List.filter (fun i -> i <> r.id) (active_ids r)
-
-let passive_ids (r : replica) =
-  if r.transitioned then [] else List.filter (fun i -> i > r.f) (replica_ids r)
+let passive_ids (r : replica) = if r.transitioned then empty_ids else r.initial_passive
 
 (* Fault-free quorum: every active replica (f+1 of f+1). After a
    transition: f+1 of 2f+1. Either way the count is f+1. *)
@@ -130,28 +139,31 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
-let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+let broadcast r ~to_ msg =
+  for i = 0 to Array.length to_ - 1 do
+    send r ~dst:(Array.unsafe_get to_ i) msg
+  done
 
 let cancel_request_timer r digest =
-  match Hashtbl.find_opt r.timers digest with
-  | Some h ->
-    Engine.cancel r.engine h;
-    Hashtbl.remove r.timers digest
-  | None -> ()
+  let i = Digest_map.index r.timers digest in
+  if i >= 0 then begin
+    Engine.cancel r.engine (Digest_map.value_at r.timers i);
+    Digest_map.remove_at r.timers i
+  end
 
 (* Any replica that sees a request starve votes to transition/rotate. *)
 let start_vc_timer r digest =
-  if not (Hashtbl.mem r.timers digest) then
-    Hashtbl.replace r.timers digest
+  if not (Digest_map.mem r.timers digest) then
+    Digest_map.set r.timers digest
       (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
-           Hashtbl.remove r.timers digest;
+           Digest_map.remove r.timers digest;
            if Hashtbl.mem r.pending digest then begin
              (* Escalate past views whose primary never answered: repeated
                 timeouts propose ever-higher views until a live primary is
                 reached. *)
              let new_view = max r.view r.vc_voted + 1 in
              r.vc_voted <- new_view;
-             broadcast r ~to_:(replica_ids r) (Activate { new_view })
+             broadcast r ~to_:r.all_ids (Activate { new_view })
            end))
 
 let reply_to_client r (request : Types.request) result =
@@ -164,29 +176,60 @@ let reply_to_client r (request : Types.request) result =
   send r ~dst:request.Types.client
     (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
 
+let rid_slot r client =
+  let len = Array.length r.rid_last in
+  if client >= len then begin
+    let ncap = ref (max 8 (2 * len)) in
+    while client >= !ncap do
+      ncap := 2 * !ncap
+    done;
+    let nlast = Array.make !ncap min_int in
+    Array.blit r.rid_last 0 nlast 0 len;
+    let nresult = Array.make !ncap 0L in
+    Array.blit r.rid_result 0 nresult 0 len;
+    r.rid_last <- nlast;
+    r.rid_result <- nresult
+  end;
+  client
+
+let rid_reset r = Array.fill r.rid_last 0 (Array.length r.rid_last) min_int
+
+let rid_table_list r =
+  let acc = ref [] in
+  for c = Array.length r.rid_last - 1 downto 0 do
+    if r.rid_last.(c) <> min_int then acc := (c, (r.rid_last.(c), r.rid_result.(c))) :: !acc
+  done;
+  !acc
+
 let rec try_execute r =
   let next = Int64.add r.last_exec_counter 1L in
-  match Hashtbl.find_opt r.log next with
-  | Some ({ executed = false; _ } as e) when Hashtbl.length e.commit_votes >= commit_quorum r ->
-    e.executed <- true;
-    r.last_exec_counter <- next;
-    let request = e.request in
-    let client = request.Types.client and rid = request.Types.rid in
-    let result =
-      match Hashtbl.find_opt r.rid_table client with
-      | Some (last_rid, cached) when rid <= last_rid -> cached
-      | Some _ | None ->
-        let result = App.execute r.app request.Types.payload in
-        Hashtbl.replace r.rid_table client (rid, result);
-        result
-    in
-    let digest = Types.request_digest request in
-    Hashtbl.remove r.pending digest;
-    cancel_request_timer r digest;
-    reply_to_client r request result;
-    Hashtbl.remove r.log (Int64.sub next 256L);
-    try_execute r
-  | Some _ | None -> ()
+  let next_i = Int64.to_int next in
+  let slot = Slot_ring.slot r.log next_i in
+  if slot >= 0 then begin
+    let e = Slot_ring.entry r.log slot in
+    if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(commit_quorum r) then begin
+      e.executed <- true;
+      r.last_exec_counter <- next;
+      let request = e.request in
+      let client = request.Types.client and rid = request.Types.rid in
+      let c = rid_slot r client in
+      let result =
+        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+        else begin
+          let result = App.execute r.app request.Types.payload in
+          r.rid_last.(c) <- rid;
+          r.rid_result.(c) <- result;
+          result
+        end
+      in
+      let digest = Types.request_digest request in
+      Hashtbl.remove r.pending digest;
+      cancel_request_timer r digest;
+      reply_to_client r request result;
+      Slot_ring.release r.log (next_i - log_retention);
+      try_execute r
+    end
+  end
 
 let attestation_digest digest = Hash.combine (Hash.of_string "cheap-stmt") digest
 
@@ -203,9 +246,9 @@ let verify_cert (r : replica) ~digest (a : Trinc.attestation) =
   && Int64.equal a.Trinc.current (Int64.add a.Trinc.previous 1L)
 
 let continuity_ok r ~signer ~counter =
-  if Hashtbl.mem r.baseline_pending signer then begin
+  if r.baseline_pending.(signer) then begin
     (* First attestation since the transition: adopt it as the baseline. *)
-    Hashtbl.remove r.baseline_pending signer;
+    r.baseline_pending.(signer) <- false;
     Monotonic.force r.mono ~signer ~counter;
     true
   end
@@ -218,15 +261,13 @@ let continuity_ok r ~signer ~counter =
       false
 
 let note_entry r ~counter ~request ~voter =
-  let entry =
-    match Hashtbl.find_opt r.log counter with
-    | Some e -> e
-    | None ->
-      let e = { request; commit_votes = Hashtbl.create 4; executed = false } in
-      Hashtbl.replace r.log counter e;
-      e
-  in
-  Hashtbl.replace entry.commit_votes voter ();
+  let entry, fresh = Slot_ring.bind r.log (Int64.to_int counter) in
+  if fresh then begin
+    entry.request <- request;
+    entry.commit_votes <- Quorum.empty;
+    entry.executed <- false
+  end;
+  entry.commit_votes <- Quorum.add entry.commit_votes voter;
   entry
 
 let send_own_commit r ~view ~request ~(primary_cert : Trinc.attestation) =
@@ -240,11 +281,11 @@ let send_own_commit r ~view ~request ~(primary_cert : Trinc.attestation) =
 
 let order_request r (request : Types.request) =
   let digest = Types.request_digest request in
-  if not (Hashtbl.mem r.ordered digest) then
+  if not (Digest_map.mem r.ordered digest) then
     match make_cert r digest with
     | Error _ -> ()
     | Ok cert ->
-      Hashtbl.replace r.ordered digest ();
+      Digest_map.set r.ordered digest 0;
       ignore (note_entry r ~counter:cert.Trinc.current ~request ~voter:r.id);
       broadcast r ~to_:(active_others r) (Prepare { view = r.view; request; cert });
       try_execute r
@@ -255,13 +296,12 @@ let ship_updates r =
   if is_primary r && (not r.transitioned) && Int64.compare r.last_exec_counter r.last_shipped > 0
   then begin
     r.last_shipped <- r.last_exec_counter;
-    let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
-    List.iter
-      (fun dst ->
-        send r ~dst
-          (Update
-             { view = r.view; upto = r.last_exec_counter; state = App.state r.app; rid_table }))
-      (passive_ids r)
+    let rid_table = rid_table_list r in
+    let passive = passive_ids r in
+    for i = 0 to Array.length passive - 1 do
+      send r ~dst:passive.(i)
+        (Update { view = r.view; upto = r.last_exec_counter; state = App.state r.app; rid_table })
+    done
   end
 
 let adopt_new_view r ~view ~base ~state ~rid_table =
@@ -269,24 +309,28 @@ let adopt_new_view r ~view ~base ~state ~rid_table =
   r.vc_voted <- max r.vc_voted view;
   r.transitioned <- true;
   r.is_active <- true;
-  Hashtbl.reset r.log;
-  Hashtbl.reset r.ordered;
+  Slot_ring.reset r.log;
+  Digest_map.reset r.ordered;
   App.set_state r.app state;
   r.last_exec_counter <- base;
-  Hashtbl.reset r.rid_table;
-  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-  Hashtbl.reset r.timers;
-  List.iter (fun signer -> Hashtbl.replace r.baseline_pending signer ()) (replica_ids r);
+  rid_reset r;
+  List.iter
+    (fun (client, (rid, result)) ->
+      let c = rid_slot r client in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result)
+    rid_table;
+  Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+  Digest_map.reset r.timers;
+  Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
   Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
 
 let become_primary r ~view =
-  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let rid_table = rid_table_list r in
   let state = App.state r.app in
   let base = fst (Resoc_hw.Register.read (Trinc.counter_register r.trinc)) in
   adopt_new_view r ~view ~base ~state ~rid_table;
-  broadcast r ~to_:(List.filter (fun i -> i <> r.id) (replica_ids r))
-    (New_view { view; base; state; rid_table });
+  broadcast r ~to_:r.all_others (New_view { view; base; state; rid_table });
   let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
   let pending =
     List.sort
@@ -298,19 +342,13 @@ let become_primary r ~view =
 
 let on_activate r ~src ~new_view =
   if new_view > r.view then begin
-    let votes =
-      match Hashtbl.find_opt r.vc_votes new_view with
-      | Some v -> v
-      | None ->
-        let v = Hashtbl.create 4 in
-        Hashtbl.replace r.vc_votes new_view v;
-        v
+    let voters =
+      Quorum.Rounds.note r.vc_rounds ~current:r.view ~view:new_view ~voter:src ~value:0
     in
-    Hashtbl.replace votes src ();
-    if Hashtbl.length votes >= r.f + 1 then begin
+    if voters >= r.f + 1 then begin
       if r.vc_voted < new_view then begin
         r.vc_voted <- new_view;
-        broadcast r ~to_:(replica_ids r) (Activate { new_view })
+        broadcast r ~to_:r.all_ids (Activate { new_view })
       end;
       if primary_of ~view:new_view ~n:r.n = r.id then begin
         r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
@@ -330,18 +368,19 @@ let note_repeat r ~client ~rid =
     let new_view = r.view + 1 in
     if new_view > r.vc_voted then begin
       r.vc_voted <- new_view;
-      broadcast r ~to_:(replica_ids r) (Activate { new_view })
+      broadcast r ~to_:r.all_ids (Activate { new_view })
     end
   end
 
 let on_request r (request : Types.request) =
   let digest = Types.request_digest request in
   let client = request.Types.client in
-  match Hashtbl.find_opt r.rid_table client with
-  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+  let c = rid_slot r client in
+  if r.rid_last.(c) <> min_int && request.Types.rid <= r.rid_last.(c) then begin
     note_repeat r ~client ~rid:request.Types.rid;
-    reply_to_client r request cached
-  | Some _ | None ->
+    reply_to_client r request r.rid_result.(c)
+  end
+  else begin
     Hashtbl.replace r.pending digest request;
     (* Every replica — the primary included — watches the request: in the
        all-active configuration a single silent active denies the quorum,
@@ -349,6 +388,7 @@ let on_request r (request : Types.request) =
     start_vc_timer r digest;
     if is_primary r && r.is_active then order_request r request
     else send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request)
+  end
 
 let on_prepare r ~src ~view ~request ~(cert : Trinc.attestation) =
   if view = r.view && r.is_active && src = primary_of ~view ~n:r.n
@@ -385,13 +425,17 @@ let on_update r ~view ~upto ~state ~rid_table =
   if (not r.is_active) && view >= r.view && Int64.compare upto r.last_exec_counter > 0 then begin
     r.last_exec_counter <- upto;
     App.set_state r.app state;
-    Hashtbl.reset r.rid_table;
-    List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+    rid_reset r;
+    List.iter
+      (fun (client, (rid, result)) ->
+        let c = rid_slot r client in
+        r.rid_last.(c) <- rid;
+        r.rid_result.(c) <- result)
+      rid_table;
     (* Requests the actives already served are no longer pending here. *)
     let served (req : Types.request) =
-      match Hashtbl.find_opt r.rid_table req.Types.client with
-      | Some (last_rid, _) -> req.Types.rid <= last_rid
-      | None -> false
+      let c = req.Types.client in
+      c < Array.length r.rid_last && r.rid_last.(c) <> min_int && req.Types.rid <= r.rid_last.(c)
     in
     let stale =
       Hashtbl.fold (fun digest req acc -> if served req then digest :: acc else acc) r.pending []
@@ -421,10 +465,12 @@ let handle (r : replica) ~src msg =
     | Reply _ -> ()
 
 let make_replica engine fabric config keychain stats ~id ~behavior =
+  let n = n_replicas config in
+  let f = config.f in
   {
     id;
-    n = n_replicas config;
-    f = config.f;
+    n;
+    f;
     engine;
     fabric;
     config;
@@ -438,22 +484,30 @@ let make_replica engine fabric config keychain stats ~id ~behavior =
     is_active = id <= config.f;
     transitioned = false;
     last_exec_counter = 0L;
-    log = Hashtbl.create 64;
-    ordered = Hashtbl.create 64;
+    log = Slot_ring.create ~capacity:(2 * log_retention) ~fresh:fresh_entry;
+    ordered = Digest_map.create ~capacity:64 ();
     pending = Hashtbl.create 16;
-    rid_table = Hashtbl.create 8;
-    timers = Hashtbl.create 16;
+    rid_last = Array.make (n + config.n_clients) min_int;
+    rid_result = Array.make (n + config.n_clients) 0L;
+    timers = Digest_map.create ~capacity:16 ();
     mono = Monotonic.create ();
-    baseline_pending = Hashtbl.create 8;
-    vc_votes = Hashtbl.create 4;
+    baseline_pending = Array.make n false;
+    vc_rounds = Quorum.Rounds.create ~n ();
     vc_voted = 0;
     gap_drops = 0;
     last_shipped = 0L;
     repeat_counts = Hashtbl.create 8;
+    all_ids = Array.init n Fun.id;
+    all_others = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+    initial_active_others =
+      (let act = List.filter (fun i -> i <> id) (List.init (f + 1) Fun.id) in
+       Array.of_list act);
+    initial_passive = Array.init (n - f - 1) (fun i -> f + 1 + i);
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
+  Quorum.check_n n "Cheapbft.start";
   let behaviors =
     match behaviors with
     | Some b ->

@@ -1,96 +1,118 @@
 module Engine = Resoc_des.Engine
 module Histogram = Resoc_des.Metrics.Histogram
 
-type 'msg inflight = {
-  request : Types.request;
-  submitted_at : int;
-  votes : (int, int64) Hashtbl.t;
-  mutable timer : Engine.handle option;
-}
-
+(* One request is in flight at a time, so its state lives directly on
+   the client and is reset in place per request: no inflight record, no
+   fresh votes table, no queue-list reversal. The retransmission timer
+   guards on the request id instead of physical equality — rids are
+   unique per client, so the checks are equivalent. *)
 type 'msg t = {
   engine : Engine.t;
   fabric : 'msg Transport.fabric;
   id : int;
   n_replicas : int;
+  replica_ids : int array;
   quorum : int;
   retry_timeout : int;
   stats : Stats.t;
   to_msg : Types.request -> 'msg;
   on_complete : (Types.reply -> unit) option;
   mutable next_rid : int;
-  mutable inflight : 'msg inflight option;
-  mutable queue : int64 list;  (* reversed *)
+  (* pooled in-flight state; valid while [inflight] *)
+  mutable inflight : bool;
+  mutable request : Types.request;
+  mutable submitted_at : int;
+  votes : (int, int64) Hashtbl.t;
+  mutable timer : Engine.handle option;
+  (* FIFO payload queue: a circular buffer of unboxed int64s *)
+  mutable queue : int64 array;
+  mutable queue_head : int;
+  mutable queue_len : int;
   mutable stopped : bool;
 }
 
-let replica_ids t = List.init t.n_replicas Fun.id
+let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
 
-let cancel_timer t fl =
-  match fl.timer with
+let cancel_timer t =
+  match t.timer with
   | Some h ->
     Engine.cancel t.engine h;
-    fl.timer <- None
+    t.timer <- None
   | None -> ()
 
-let rec arm_timer t fl =
-  fl.timer <-
+let broadcast_request t request =
+  let msg = t.to_msg request in
+  for i = 0 to Array.length t.replica_ids - 1 do
+    t.fabric.Transport.send ~src:t.id ~dst:(Array.unsafe_get t.replica_ids i) msg
+  done
+
+let rec arm_timer t rid =
+  t.timer <-
     Some
       (Engine.schedule t.engine ~delay:t.retry_timeout (fun () ->
-           let still_inflight = match t.inflight with Some cur -> cur == fl | None -> false in
-           if (not t.stopped) && still_inflight then begin
+           if (not t.stopped) && t.inflight && t.request.Types.rid = rid then begin
              t.stats.Stats.retransmissions <- t.stats.Stats.retransmissions + 1;
-             Transport.broadcast t.fabric ~src:t.id ~to_:(replica_ids t) (t.to_msg fl.request);
-             arm_timer t fl
+             broadcast_request t t.request;
+             arm_timer t rid
            end))
 
 let start_request t payload =
   t.next_rid <- t.next_rid + 1;
   let request = Types.make_request ~client:t.id ~rid:t.next_rid ~payload in
-  let fl =
-    { request; submitted_at = Engine.now t.engine; votes = Hashtbl.create 8; timer = None }
-  in
-  t.inflight <- Some fl;
+  t.inflight <- true;
+  t.request <- request;
+  t.submitted_at <- Engine.now t.engine;
+  Hashtbl.reset t.votes;
+  t.timer <- None;
   t.stats.Stats.submitted <- t.stats.Stats.submitted + 1;
-  Transport.broadcast t.fabric ~src:t.id ~to_:(replica_ids t) (t.to_msg request);
-  arm_timer t fl
+  broadcast_request t request;
+  arm_timer t request.Types.rid
 
-let complete t fl (reply : Types.reply) =
-  cancel_timer t fl;
-  t.inflight <- None;
+let queue_push t payload =
+  let cap = Array.length t.queue in
+  if t.queue_len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nq = Array.make ncap 0L in
+    for i = 0 to t.queue_len - 1 do
+      nq.(i) <- t.queue.((t.queue_head + i) land (cap - 1))
+    done;
+    t.queue <- nq;
+    t.queue_head <- 0
+  end;
+  let cap = Array.length t.queue in
+  t.queue.((t.queue_head + t.queue_len) land (cap - 1)) <- payload;
+  t.queue_len <- t.queue_len + 1
+
+let queue_pop t =
+  let payload = t.queue.(t.queue_head) in
+  t.queue_head <- (t.queue_head + 1) land (Array.length t.queue - 1);
+  t.queue_len <- t.queue_len - 1;
+  payload
+
+let complete t (reply : Types.reply) =
+  cancel_timer t;
+  t.inflight <- false;
   t.stats.Stats.completed <- t.stats.Stats.completed + 1;
-  Histogram.add t.stats.Stats.latency (float_of_int (Engine.now t.engine - fl.submitted_at));
+  Histogram.add t.stats.Stats.latency (float_of_int (Engine.now t.engine - t.submitted_at));
   let dissent =
     Hashtbl.fold
       (fun _ result acc -> if Int64.equal result reply.Types.result then acc else acc + 1)
-      fl.votes 0
+      t.votes 0
   in
   t.stats.Stats.wrong_replies <- t.stats.Stats.wrong_replies + dissent;
   (match t.on_complete with Some k -> k reply | None -> ());
-  match t.queue with
-  | [] -> ()
-  | payload :: rest ->
-    (* queue is reversed; take from the tail for FIFO order *)
-    let rec split acc = function
-      | [ last ] -> (last, List.rev acc)
-      | x :: rest -> split (x :: acc) rest
-      | [] -> assert false
-    in
-    let next, remaining = split [] (payload :: rest) in
-    t.queue <- List.rev remaining;
-    start_request t next
+  if t.queue_len > 0 then start_request t (queue_pop t)
 
 let on_reply t (reply : Types.reply) =
-  match t.inflight with
-  | Some fl when reply.Types.rid = fl.request.Types.rid ->
-    Hashtbl.replace fl.votes reply.Types.replica reply.Types.result;
+  if t.inflight && reply.Types.rid = t.request.Types.rid then begin
+    Hashtbl.replace t.votes reply.Types.replica reply.Types.result;
     let matching =
       Hashtbl.fold
         (fun _ result acc -> if Int64.equal result reply.Types.result then acc + 1 else acc)
-        fl.votes 0
+        t.votes 0
     in
-    if matching >= t.quorum then complete t fl reply
-  | Some _ | None -> ()
+    if matching >= t.quorum then complete t reply
+  end
 
 let create engine fabric ~id ~n_replicas ~quorum ~retry_timeout ~stats ~to_msg ~of_msg
     ?on_complete () =
@@ -102,14 +124,21 @@ let create engine fabric ~id ~n_replicas ~quorum ~retry_timeout ~stats ~to_msg ~
       fabric;
       id;
       n_replicas;
+      replica_ids = Array.init n_replicas Fun.id;
       quorum;
       retry_timeout;
       stats;
       to_msg;
       on_complete;
       next_rid = 0;
-      inflight = None;
-      queue = [];
+      inflight = false;
+      request = no_request;
+      submitted_at = 0;
+      votes = Hashtbl.create 8;
+      timer = None;
+      queue = [||];
+      queue_head = 0;
+      queue_len = 0;
       stopped = false;
     }
   in
@@ -120,20 +149,17 @@ let create engine fabric ~id ~n_replicas ~quorum ~retry_timeout ~stats ~to_msg ~
 
 let submit t ~payload =
   if not t.stopped then
-    match t.inflight with
-    | None -> start_request t payload
-    | Some _ -> t.queue <- payload :: t.queue
+    if t.inflight then queue_push t payload else start_request t payload
 
 let id t = t.id
 
-let outstanding t = t.inflight <> None
+let outstanding t = t.inflight
 
-let queued t = List.length t.queue
+let queued t = t.queue_len
 
 let shutdown t =
   t.stopped <- true;
-  match t.inflight with
-  | Some fl ->
-    cancel_timer t fl;
-    t.inflight <- None
-  | None -> ()
+  if t.inflight then begin
+    cancel_timer t;
+    t.inflight <- false
+  end

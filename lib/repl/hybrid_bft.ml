@@ -113,11 +113,15 @@ module Make (H : HYBRID) = struct
 
   let n_replicas config = (2 * config.f) + 1
 
+  (* Pooled in the slot ring, reset in place when a counter claims the
+     slot; commit votes are a quorum bitset. *)
   type entry = {
-    requests : Types.request list;  (* the batch bound to this counter *)
-    commit_votes : (int, unit) Hashtbl.t;  (* replicas vouching for this counter *)
+    mutable requests : Types.request list;  (* the batch bound to this counter *)
+    mutable commit_votes : Quorum.t;  (* replicas vouching for this counter *)
     mutable executed : bool;
   }
+
+  let fresh_entry _ = { requests = []; commit_votes = Quorum.empty; executed = false }
 
   type replica = {
     id : int;
@@ -134,15 +138,18 @@ module Make (H : HYBRID) = struct
     mutable online : bool;
     mutable view : int;
     mutable last_exec_counter : int64;  (* primary counters up to here executed *)
-    log : (int64, entry) Hashtbl.t;  (* primary counter -> entry (current view) *)
-    ordered : (Hash.t, unit) Hashtbl.t;  (* digests this primary already assigned *)
+    log : entry Slot_ring.t;  (* primary counter -> entry (current view) *)
+    ordered : int Digest_map.t;  (* digests this primary already assigned *)
     pending : (Hash.t, Types.request) Hashtbl.t;
-    rid_table : (int, int * int64) Hashtbl.t;
-    timers : (Hash.t, Engine.handle) Hashtbl.t;
+    mutable rid_last : int array;  (* client -> last rid, min_int = none *)
+    mutable rid_result : int64 array;
+    timers : Engine.handle Digest_map.t;
     mono : Usig.Monotonic.checker;  (* per-sender UI continuity *)
-    baseline_pending : (int, unit) Hashtbl.t;  (* resync after rejoin *)
-    vc_votes : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+    baseline_pending : bool array;  (* per-sender resync after rejoin *)
+    vc_rounds : Quorum.Rounds.t;
     mutable vc_voted : int;
+    all_ids : int array;
+    peer_ids : int array;
     mutable own_commits_sent : int;
     mutable gap_drops : int;
     mutable batch_buffer : Types.request list;  (* reversed; primary only *)
@@ -179,9 +186,6 @@ module Make (H : HYBRID) = struct
 
   let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
 
-  let replica_ids (r : replica) = List.init r.n Fun.id
-
-  let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
 
   let send (r : replica) ~dst msg =
     let now = Engine.now r.engine in
@@ -194,25 +198,28 @@ module Make (H : HYBRID) = struct
       | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
         r.fabric.Transport.send ~src:r.id ~dst msg
 
-  let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+  let broadcast r ~to_ msg =
+    for i = 0 to Array.length to_ - 1 do
+      send r ~dst:(Array.unsafe_get to_ i) msg
+    done
 
   let cancel_request_timer r digest =
-    match Hashtbl.find_opt r.timers digest with
-    | Some h ->
-      Engine.cancel r.engine h;
-      Hashtbl.remove r.timers digest
-    | None -> ()
+    let i = Digest_map.index r.timers digest in
+    if i >= 0 then begin
+      Engine.cancel r.engine (Digest_map.value_at r.timers i);
+      Digest_map.remove_at r.timers i
+    end
 
   let start_vc_timer r digest =
-    if not (Hashtbl.mem r.timers digest) then
-      Hashtbl.replace r.timers digest
+    if not (Digest_map.mem r.timers digest) then
+      Digest_map.set r.timers digest
         (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
-             Hashtbl.remove r.timers digest;
+             Digest_map.remove r.timers digest;
              if r.online && Hashtbl.mem r.pending digest then begin
                (* Escalate past views whose primary never answered. *)
                let new_view = max r.view r.vc_voted + 1 in
                r.vc_voted <- new_view;
-               broadcast r ~to_:(replica_ids r) (Req_view_change { new_view })
+               broadcast r ~to_:r.all_ids (Req_view_change { new_view })
              end))
 
   let reply_to_client r (request : Types.request) result =
@@ -225,15 +232,42 @@ module Make (H : HYBRID) = struct
     send r ~dst:request.Types.client
       (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
 
+  let rid_slot r client =
+    let len = Array.length r.rid_last in
+    if client >= len then begin
+      let ncap = ref (max 8 (2 * len)) in
+      while client >= !ncap do
+        ncap := 2 * !ncap
+      done;
+      let nlast = Array.make !ncap min_int in
+      Array.blit r.rid_last 0 nlast 0 len;
+      let nresult = Array.make !ncap 0L in
+      Array.blit r.rid_result 0 nresult 0 len;
+      r.rid_last <- nlast;
+      r.rid_result <- nresult
+    end;
+    client
+
+  let rid_reset r = Array.fill r.rid_last 0 (Array.length r.rid_last) min_int
+
+  let rid_table_list r =
+    let acc = ref [] in
+    for c = Array.length r.rid_last - 1 downto 0 do
+      if r.rid_last.(c) <> min_int then acc := (c, (r.rid_last.(c), r.rid_result.(c))) :: !acc
+    done;
+    !acc
+
   let execute_one r (request : Types.request) =
     let client = request.Types.client and rid = request.Types.rid in
+    let c = rid_slot r client in
     let result =
-      match Hashtbl.find_opt r.rid_table client with
-      | Some (last_rid, cached) when rid <= last_rid -> cached
-      | Some _ | None ->
+      if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+      else begin
         let result = App.execute r.app request.Types.payload in
-        Hashtbl.replace r.rid_table client (rid, result);
+        r.rid_last.(c) <- rid;
+        r.rid_result.(c) <- result;
         result
+      end
     in
     let digest = Types.request_digest request in
     Hashtbl.remove r.pending digest;
@@ -246,26 +280,30 @@ module Make (H : HYBRID) = struct
 
   let rec try_execute r =
     let next = Int64.add r.last_exec_counter 1L in
-    match Hashtbl.find_opt r.log next with
-    | Some ({ executed = false; _ } as e) when Hashtbl.length e.commit_votes >= r.f + 1 ->
-      e.executed <- true;
-      r.last_exec_counter <- next;
-      if !Obs.trace_on then
-        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-          ~id:(Obs.repl_counter_span ~replica:r.id ~counter:(Int64.to_int next))
-          ~arg:(List.length e.requests);
-      List.iter (execute_one r) e.requests;
-      Hashtbl.remove r.log (Int64.sub next log_retention);
-      try_execute r
-    | Some _ | None -> ()
+    let next_i = Int64.to_int next in
+    let slot = Slot_ring.slot r.log next_i in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(r.f + 1) then begin
+        e.executed <- true;
+        r.last_exec_counter <- next;
+        if !Obs.trace_on then
+          Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+            ~id:(Obs.repl_counter_span ~replica:r.id ~counter:next_i)
+            ~arg:(List.length e.requests);
+        List.iter (execute_one r) e.requests;
+        Slot_ring.release r.log (next_i - Int64.to_int log_retention);
+        try_execute r
+      end
+    end
 
   (* UI continuity: exact next counter per sender, with a one-shot baseline
      resync after this replica rejoined (it missed intermediate counters). *)
   let continuity_ok r ~signer ~counter =
-    if Hashtbl.mem r.baseline_pending signer then begin
+    if r.baseline_pending.(signer) then begin
       (* First UI from this sender since we (re)joined: adopt its counter as
          the new baseline — we cannot tell which counters we missed. *)
-      Hashtbl.remove r.baseline_pending signer;
+      r.baseline_pending.(signer) <- false;
       Usig.Monotonic.force r.mono ~signer ~counter;
       true
     end
@@ -290,19 +328,17 @@ module Make (H : HYBRID) = struct
   (* Record the authenticated (request, counter) binding from the primary and
      add [voter]'s commit vote. *)
   let note_entry r ~counter ~requests ~voter =
-    let entry =
-      match Hashtbl.find_opt r.log counter with
-      | Some e -> e
-      | None ->
-        let e = { requests; commit_votes = Hashtbl.create 4; executed = false } in
-        Hashtbl.replace r.log counter e;
-        if !Obs.trace_on then
-          Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-            ~id:(Obs.repl_counter_span ~replica:r.id ~counter:(Int64.to_int counter))
-            ~arg:(List.length requests);
-        e
-    in
-    Hashtbl.replace entry.commit_votes voter ();
+    let entry, fresh = Slot_ring.bind r.log (Int64.to_int counter) in
+    if fresh then begin
+      entry.requests <- requests;
+      entry.commit_votes <- Quorum.empty;
+      entry.executed <- false;
+      if !Obs.trace_on then
+        Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_counter_span ~replica:r.id ~counter:(Int64.to_int counter))
+          ~arg:(List.length requests)
+    end;
+    entry.commit_votes <- Quorum.add entry.commit_votes voter;
     entry
 
   let send_own_commit r ~view ~requests ~primary_cert =
@@ -311,19 +347,19 @@ module Make (H : HYBRID) = struct
     | Ok cert ->
       r.own_commits_sent <- r.own_commits_sent + 1;
       ignore (note_entry r ~counter:(H.cert_counter primary_cert) ~requests ~voter:r.id);
-      broadcast r ~to_:(others r) (Commit { view; requests; primary_cert; cert });
+      broadcast r ~to_:r.peer_ids (Commit { view; requests; primary_cert; cert });
       try_execute r
 
   (* Order one batch under the next certificate. *)
   let order_batch (r : replica) requests =
     let requests =
-      List.filter (fun req -> not (Hashtbl.mem r.ordered (Types.request_digest req))) requests
+      List.filter (fun req -> not (Digest_map.mem r.ordered (Types.request_digest req))) requests
     in
     if requests <> [] then begin
       match H.create_cert r.hybrid_instance (batch_digest requests) with
       | Error _ -> ()  (* hybrid fail-stop: the group will time out on us *)
       | Ok cert ->
-        List.iter (fun req -> Hashtbl.replace r.ordered (Types.request_digest req) ()) requests;
+        List.iter (fun req -> Digest_map.set r.ordered (Types.request_digest req) 0) requests;
         let nbatch = List.length requests in
         if !Obs.metrics_on then Registry.observe r.obs.Obs.metrics r.obs_batch nbatch;
         if !Obs.trace_on then
@@ -347,12 +383,12 @@ module Make (H : HYBRID) = struct
                 ~rid:(sample.Types.rid + 1_000_000) ~payload:0L ]
           in
           match H.create_cert r.hybrid_instance (batch_digest fake) with
-          | Error _ -> broadcast r ~to_:(others r) (Prepare { view = r.view; requests; cert })
+          | Error _ -> broadcast r ~to_:r.peer_ids (Prepare { view = r.view; requests; cert })
           | Ok fake_cert ->
             ignore (note_entry r ~counter:(H.cert_counter fake_cert) ~requests:fake ~voter:r.id);
-            let backups = others r in
-            let half = List.length backups / 2 in
-            List.iteri
+            let backups = r.peer_ids in
+            let half = Array.length backups / 2 in
+            Array.iteri
               (fun i dst ->
                 if i < half then begin
                   send r ~dst (Prepare { view = r.view; requests = fake; cert = fake_cert });
@@ -364,7 +400,7 @@ module Make (H : HYBRID) = struct
                 end)
               backups
         end
-        else broadcast r ~to_:(others r) (Prepare { view = r.view; requests; cert });
+        else broadcast r ~to_:r.peer_ids (Prepare { view = r.view; requests; cert });
         try_execute r
     end
 
@@ -392,26 +428,31 @@ module Make (H : HYBRID) = struct
   let adopt_new_view r ~view ~base ~state ~rid_table =
     r.view <- view;
     r.vc_voted <- max r.vc_voted view;
-    Hashtbl.reset r.log;
-    Hashtbl.reset r.ordered;
+    Slot_ring.reset r.log;
+    Digest_map.reset r.ordered;
     App.set_state r.app state;
     r.last_exec_counter <- base;
-    Hashtbl.reset r.rid_table;
-    List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-    Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-    Hashtbl.reset r.timers;
+    rid_reset r;
+    List.iter
+      (fun (client, (rid, result)) ->
+        let c = rid_slot r client in
+        r.rid_last.(c) <- rid;
+        r.rid_result.(c) <- result)
+      rid_table;
+    Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+    Digest_map.reset r.timers;
     r.batch_buffer <- [];
     r.flush_scheduled <- false;
     (* Counter expectations restart from whatever peers send next. *)
-    List.iter (fun peer -> Hashtbl.replace r.baseline_pending peer ()) (replica_ids r);
+    Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
     Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
 
   let become_primary r ~view =
-    let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+    let rid_table = rid_table_list r in
     let state = App.state r.app in
     let base = H.current_counter r.hybrid_instance in
     adopt_new_view r ~view ~base ~state ~rid_table;
-    broadcast r ~to_:(others r) (New_view { view; base; state; rid_table });
+    broadcast r ~to_:r.peer_ids (New_view { view; base; state; rid_table });
     let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
     let pending =
       List.sort
@@ -434,20 +475,13 @@ module Make (H : HYBRID) = struct
 
   let on_req_view_change r ~src ~new_view =
     if new_view > r.view then begin
-      let votes =
-        match Hashtbl.find_opt r.vc_votes new_view with
-        | Some v -> v
-        | None ->
-          let v = Hashtbl.create 4 in
-          Hashtbl.replace r.vc_votes new_view v;
-          v
+      let voters =
+        Quorum.Rounds.note r.vc_rounds ~current:r.view ~view:new_view ~voter:src ~value:0
       in
-      Hashtbl.replace votes src ();
-      let voters = Hashtbl.length votes in
       if voters >= r.f + 1 then begin
         if r.vc_voted < new_view then begin
           r.vc_voted <- new_view;
-          broadcast r ~to_:(replica_ids r) (Req_view_change { new_view })
+          broadcast r ~to_:r.all_ids (Req_view_change { new_view })
         end;
         if primary_of ~view:new_view ~n:r.n = r.id then begin
           r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
@@ -464,10 +498,10 @@ module Make (H : HYBRID) = struct
   let on_request r (request : Types.request) =
     let digest = Types.request_digest request in
     let client = request.Types.client in
-    match Hashtbl.find_opt r.rid_table client with
-    | Some (last_rid, cached) when request.Types.rid <= last_rid ->
-      reply_to_client r request cached
-    | Some _ | None ->
+    let c = rid_slot r client in
+    if r.rid_last.(c) <> min_int && request.Types.rid <= r.rid_last.(c) then
+      reply_to_client r request r.rid_result.(c)
+    else begin
       if !Obs.trace_on && not (Hashtbl.mem r.pending digest) then
         Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
           ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
@@ -478,6 +512,7 @@ module Make (H : HYBRID) = struct
         send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
         start_vc_timer r digest
       end
+    end
 
   let on_prepare r ~src ~view ~requests ~cert =
     if view = r.view && src = primary_of ~view ~n:r.n && H.cert_signer cert = src
@@ -551,9 +586,10 @@ module Make (H : HYBRID) = struct
           Registry.counter obs.Obs.metrics "repl.view_changes" )
       else (Registry.null_histogram, 0)
     in
+    let n = n_replicas config in
     {
       id;
-      n = n_replicas config;
+      n;
       f = config.f;
       engine;
       fabric;
@@ -566,15 +602,18 @@ module Make (H : HYBRID) = struct
       online = true;
       view = 0;
       last_exec_counter = 0L;
-      log = Hashtbl.create 64;
-      ordered = Hashtbl.create 64;
+      log = Slot_ring.create ~capacity:(2 * Int64.to_int log_retention) ~fresh:fresh_entry;
+      ordered = Digest_map.create ~capacity:64 ();
       pending = Hashtbl.create 16;
-      rid_table = Hashtbl.create 8;
-      timers = Hashtbl.create 16;
+      rid_last = Array.make (n + config.n_clients) min_int;
+      rid_result = Array.make (n + config.n_clients) 0L;
+      timers = Digest_map.create ~capacity:16 ();
       mono = Usig.Monotonic.create ();
-      baseline_pending = Hashtbl.create 8;
-      vc_votes = Hashtbl.create 4;
+      baseline_pending = Array.make n false;
+      vc_rounds = Quorum.Rounds.create ~n ();
       vc_voted = 0;
+      all_ids = Array.init n Fun.id;
+      peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
       own_commits_sent = 0;
       gap_drops = 0;
       batch_buffer = [];
@@ -586,6 +625,7 @@ module Make (H : HYBRID) = struct
 
   let start engine fabric config ?behaviors () =
     let n = n_replicas config in
+    Quorum.check_n n "Hybrid_bft.start";
     let behaviors =
       match behaviors with
       | Some b ->
@@ -635,8 +675,8 @@ module Make (H : HYBRID) = struct
   let set_offline t ~replica =
     let r = t.replicas.(replica) in
     r.online <- false;
-    Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-    Hashtbl.reset r.timers
+    Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+    Digest_map.reset r.timers
 
   let set_online t ~replica =
     let r = t.replicas.(replica) in
@@ -656,12 +696,18 @@ module Make (H : HYBRID) = struct
         r.vc_voted <- max r.vc_voted peer.view;
         r.last_exec_counter <- peer.last_exec_counter;
         App.set_state r.app (App.state peer.app);
-        Hashtbl.reset r.rid_table;
-        Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
-        Hashtbl.reset r.log;
-        Hashtbl.reset r.ordered;
+        rid_reset r;
+        for c = 0 to Array.length peer.rid_last - 1 do
+          if peer.rid_last.(c) <> min_int then begin
+            let i = rid_slot r c in
+            r.rid_last.(i) <- peer.rid_last.(c);
+            r.rid_result.(i) <- peer.rid_result.(c)
+          end
+        done;
+        Slot_ring.reset r.log;
+        Digest_map.reset r.ordered;
         Hashtbl.reset r.pending;
-        List.iter (fun p -> Hashtbl.replace r.baseline_pending p ()) (replica_ids r)
+        Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true
       | None -> ()
     end
 

@@ -17,12 +17,19 @@ let default_config = { f = 1; n_clients = 2; request_timeout = 4000; election_ti
 
 let n_replicas config = (2 * config.f) + 1
 
+(* Pooled in the slot ring and reset in place per sequence number; the
+   ack set is a quorum bitset, so an entry costs no allocation after the
+   ring warms up. *)
 type entry = {
-  request : Types.request;
-  acks : (int, unit) Hashtbl.t;
+  mutable request : Types.request;
+  mutable acks : Quorum.t;
   mutable committed : bool;
   mutable executed : bool;
 }
+
+let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
+
+let fresh_entry _ = { request = no_request; acks = Quorum.empty; committed = false; executed = false }
 
 type replica = {
   id : int;
@@ -38,13 +45,16 @@ type replica = {
   mutable term : int;
   mutable next_seq : int;
   mutable last_exec : int;
-  log : (int, entry) Hashtbl.t;
-  ordered : (Hash.t, unit) Hashtbl.t;
+  log : entry Slot_ring.t;
+  ordered : int Digest_map.t;
   pending : (Hash.t, Types.request) Hashtbl.t;
-  rid_table : (int, int * int64) Hashtbl.t;
-  timers : (Hash.t, Engine.handle) Hashtbl.t;
-  election_votes : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable rid_last : int array;  (* client -> last rid, min_int = none *)
+  mutable rid_result : int64 array;
+  timers : Engine.handle Digest_map.t;
+  election_rounds : Quorum.Rounds.t;  (* term -> voter -> last_exec *)
   mutable voted : int;
+  all_ids : int array;
+  peer_ids : int array;
 }
 
 type t = {
@@ -68,10 +78,6 @@ let leader_of ~term ~n = term mod n
 
 let is_leader (r : replica) = leader_of ~term:r.term ~n:r.n = r.id
 
-let replica_ids (r : replica) = List.init r.n Fun.id
-
-let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
-
 (* Crash faults only: Byzantine strategies other than Silent degrade to
    honest behaviour here (the protocol has no notion of them), except
    Corrupt_execution which corrupts replies — unchecked by crash clients,
@@ -87,26 +93,47 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
-let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+let broadcast r ~to_ msg =
+  for i = 0 to Array.length to_ - 1 do
+    send r ~dst:(Array.unsafe_get to_ i) msg
+  done
 
 let cancel_request_timer r digest =
-  match Hashtbl.find_opt r.timers digest with
-  | Some h ->
-    Engine.cancel r.engine h;
-    Hashtbl.remove r.timers digest
-  | None -> ()
+  let i = Digest_map.index r.timers digest in
+  if i >= 0 then begin
+    Engine.cancel r.engine (Digest_map.value_at r.timers i);
+    Digest_map.remove_at r.timers i
+  end
 
 let start_election_timer r digest =
-  if not (Hashtbl.mem r.timers digest) then
-    Hashtbl.replace r.timers digest
+  if not (Digest_map.mem r.timers digest) then
+    Digest_map.set r.timers digest
       (Engine.schedule r.engine ~delay:r.config.election_timeout (fun () ->
-           Hashtbl.remove r.timers digest;
+           Digest_map.remove r.timers digest;
            if r.online && Hashtbl.mem r.pending digest then begin
              (* Escalate past terms whose leader never answered. *)
              let new_term = max r.term r.voted + 1 in
              r.voted <- new_term;
-             broadcast r ~to_:(replica_ids r) (Term_change { new_term; last_exec = r.last_exec })
+             broadcast r ~to_:r.all_ids (Term_change { new_term; last_exec = r.last_exec })
            end))
+
+let rid_slot r client =
+  let len = Array.length r.rid_last in
+  if client >= len then begin
+    let ncap = ref (max 8 (2 * len)) in
+    while client >= !ncap do
+      ncap := 2 * !ncap
+    done;
+    let nlast = Array.make !ncap min_int in
+    Array.blit r.rid_last 0 nlast 0 len;
+    let nresult = Array.make !ncap 0L in
+    Array.blit r.rid_result 0 nresult 0 len;
+    r.rid_last <- nlast;
+    r.rid_result <- nresult
+  end;
+  client
+
+let rid_reset r = Array.fill r.rid_last 0 (Array.length r.rid_last) min_int
 
 let reply_to_client r (request : Types.request) result =
   let corrupt =
@@ -121,59 +148,81 @@ let reply_to_client r (request : Types.request) result =
 let log_retention = 256
 
 let rec try_execute r =
-  match Hashtbl.find_opt r.log (r.last_exec + 1) with
-  | Some ({ committed = true; executed = false; _ } as e) ->
-    e.executed <- true;
-    r.last_exec <- r.last_exec + 1;
-    let request = e.request in
-    let client = request.Types.client and rid = request.Types.rid in
-    let result =
-      match Hashtbl.find_opt r.rid_table client with
-      | Some (last_rid, cached) when rid <= last_rid -> cached
-      | Some _ | None ->
-        let result = App.execute r.app request.Types.payload in
-        Hashtbl.replace r.rid_table client (rid, result);
-        result
-    in
-    let digest = Types.request_digest request in
-    Hashtbl.remove r.pending digest;
-    cancel_request_timer r digest;
-    reply_to_client r request result;
-    Hashtbl.remove r.log (r.last_exec - log_retention);
-    try_execute r
-  | Some _ | None -> ()
+  let slot = Slot_ring.slot r.log (r.last_exec + 1) in
+  if slot >= 0 then begin
+    let e = Slot_ring.entry r.log slot in
+    if e.committed && not e.executed then begin
+      e.executed <- true;
+      r.last_exec <- r.last_exec + 1;
+      let request = e.request in
+      let client = request.Types.client and rid = request.Types.rid in
+      let c = rid_slot r client in
+      let result =
+        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+        else begin
+          let result = App.execute r.app request.Types.payload in
+          r.rid_last.(c) <- rid;
+          r.rid_result.(c) <- result;
+          result
+        end
+      in
+      let digest = Types.request_digest request in
+      Hashtbl.remove r.pending digest;
+      cancel_request_timer r digest;
+      reply_to_client r request result;
+      Slot_ring.release r.log (r.last_exec - log_retention);
+      try_execute r
+    end
+  end
 
 let order_request r (request : Types.request) =
   let digest = Types.request_digest request in
-  if not (Hashtbl.mem r.ordered digest) then begin
+  if not (Digest_map.mem r.ordered digest) then begin
     let seq = r.next_seq in
     r.next_seq <- r.next_seq + 1;
-    Hashtbl.replace r.ordered digest ();
-    let e = { request; acks = Hashtbl.create 4; committed = false; executed = false } in
-    Hashtbl.replace r.log seq e;
-    Hashtbl.replace e.acks r.id ();
-    broadcast r ~to_:(others r) (Accept { term = r.term; seq; request })
+    Digest_map.set r.ordered digest seq;
+    let e, fresh = Slot_ring.bind r.log seq in
+    if fresh then begin
+      e.request <- request;
+      e.acks <- Quorum.empty;
+      e.committed <- false;
+      e.executed <- false
+    end;
+    e.acks <- Quorum.add e.acks r.id;
+    broadcast r ~to_:r.peer_ids (Accept { term = r.term; seq; request })
   end
 
 let adopt_new_term r ~term ~start_seq ~state ~rid_table =
   r.term <- term;
   r.voted <- max r.voted term;
-  Hashtbl.reset r.log;
-  Hashtbl.reset r.ordered;
+  Slot_ring.reset r.log;
+  Digest_map.reset r.ordered;
   App.set_state r.app state;
   r.last_exec <- start_seq - 1;
   r.next_seq <- start_seq;
-  Hashtbl.reset r.rid_table;
-  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
-  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-  Hashtbl.reset r.timers;
+  rid_reset r;
+  List.iter
+    (fun (client, (rid, result)) ->
+      let c = rid_slot r client in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result)
+    rid_table;
+  Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+  Digest_map.reset r.timers;
   Hashtbl.iter (fun digest _ -> start_election_timer r digest) r.pending
 
+let rid_table_list r =
+  let acc = ref [] in
+  for c = Array.length r.rid_last - 1 downto 0 do
+    if r.rid_last.(c) <> min_int then acc := (c, (r.rid_last.(c), r.rid_result.(c))) :: !acc
+  done;
+  !acc
+
 let become_leader r ~term ~start_seq =
-  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let rid_table = rid_table_list r in
   let state = App.state r.app in
   adopt_new_term r ~term ~start_seq ~state ~rid_table;
-  broadcast r ~to_:(others r) (New_term { term; start_seq; state; rid_table });
+  broadcast r ~to_:r.peer_ids (New_term { term; start_seq; state; rid_table });
   let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
   let pending =
     List.sort
@@ -185,23 +234,17 @@ let become_leader r ~term ~start_seq =
 
 let on_term_change r ~src ~new_term ~last_exec =
   if new_term > r.term then begin
-    let votes =
-      match Hashtbl.find_opt r.election_votes new_term with
-      | Some v -> v
-      | None ->
-        let v = Hashtbl.create 4 in
-        Hashtbl.replace r.election_votes new_term v;
-        v
+    let voters =
+      Quorum.Rounds.note r.election_rounds ~current:r.term ~view:new_term ~voter:src
+        ~value:last_exec
     in
-    Hashtbl.replace votes src last_exec;
-    let voters = Hashtbl.length votes in
     if voters >= 1 && r.voted < new_term then begin
       (* Crash model: one timeout report is credible; join immediately. *)
       r.voted <- new_term;
-      broadcast r ~to_:(replica_ids r) (Term_change { new_term; last_exec = r.last_exec })
+      broadcast r ~to_:r.all_ids (Term_change { new_term; last_exec = r.last_exec })
     end;
     if voters >= r.f + 1 && leader_of ~term:new_term ~n:r.n = r.id then begin
-      let max_exec = Hashtbl.fold (fun _ le acc -> max le acc) votes r.last_exec in
+      let max_exec = Quorum.Rounds.max_value r.election_rounds ~view:new_term ~default:r.last_exec in
       r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
       become_leader r ~term:new_term ~start_seq:(max_exec + 1)
     end
@@ -210,45 +253,55 @@ let on_term_change r ~src ~new_term ~last_exec =
 let on_request r (request : Types.request) =
   let digest = Types.request_digest request in
   let client = request.Types.client in
-  match Hashtbl.find_opt r.rid_table client with
-  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
-    reply_to_client r request cached
-  | Some _ | None ->
+  let c = rid_slot r client in
+  if r.rid_last.(c) <> min_int && request.Types.rid <= r.rid_last.(c) then
+    reply_to_client r request r.rid_result.(c)
+  else begin
     Hashtbl.replace r.pending digest request;
     if is_leader r then order_request r request
     else begin
       send r ~dst:(leader_of ~term:r.term ~n:r.n) (Request request);
       start_election_timer r digest
     end
+  end
 
 let on_accept r ~src ~term ~seq ~request =
   if term = r.term && src = leader_of ~term ~n:r.n && not (is_leader r) then begin
     Hashtbl.replace r.pending (Types.request_digest request) request;
-    if not (Hashtbl.mem r.log seq) then
-      Hashtbl.replace r.log seq
-        { request; acks = Hashtbl.create 4; committed = false; executed = false };
+    let e, fresh = Slot_ring.bind r.log seq in
+    if fresh then begin
+      e.request <- request;
+      e.acks <- Quorum.empty;
+      e.committed <- false;
+      e.executed <- false
+    end;
     send r ~dst:src (Accepted { term; seq })
   end
 
 let on_accepted r ~src ~term ~seq =
-  if term = r.term && is_leader r then
-    match Hashtbl.find_opt r.log seq with
-    | Some e when not e.committed ->
-      Hashtbl.replace e.acks src ();
-      if Hashtbl.length e.acks >= r.f + 1 then begin
-        e.committed <- true;
-        broadcast r ~to_:(others r) (Commit { term; seq });
-        try_execute r
+  if term = r.term && is_leader r then begin
+    let slot = Slot_ring.slot r.log seq in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if not e.committed then begin
+        e.acks <- Quorum.add e.acks src;
+        if Quorum.reached e.acks ~threshold:(r.f + 1) then begin
+          e.committed <- true;
+          broadcast r ~to_:r.peer_ids (Commit { term; seq });
+          try_execute r
+        end
       end
-    | Some _ | None -> ()
+    end
+  end
 
 let on_commit r ~src ~term ~seq =
-  if term = r.term && src = leader_of ~term ~n:r.n then
-    match Hashtbl.find_opt r.log seq with
-    | Some e ->
-      e.committed <- true;
+  if term = r.term && src = leader_of ~term ~n:r.n then begin
+    let slot = Slot_ring.slot r.log seq in
+    if slot >= 0 then begin
+      (Slot_ring.entry r.log slot).committed <- true;
       try_execute r
-    | None -> ()
+    end
+  end
 
 let on_new_term r ~src ~term ~start_seq ~state ~rid_table =
   if term > r.term && src = leader_of ~term ~n:r.n then
@@ -268,9 +321,10 @@ let handle (r : replica) ~src msg =
     | Reply _ -> ()
 
 let make_replica engine fabric config stats ~id ~behavior =
+  let n = n_replicas config in
   {
     id;
-    n = n_replicas config;
+    n;
     f = config.f;
     engine;
     fabric;
@@ -282,17 +336,21 @@ let make_replica engine fabric config stats ~id ~behavior =
     term = 0;
     next_seq = 1;
     last_exec = 0;
-    log = Hashtbl.create 64;
-    ordered = Hashtbl.create 64;
+    log = Slot_ring.create ~capacity:(2 * log_retention) ~fresh:fresh_entry;
+    ordered = Digest_map.create ~capacity:64 ();
     pending = Hashtbl.create 16;
-    rid_table = Hashtbl.create 8;
-    timers = Hashtbl.create 16;
-    election_votes = Hashtbl.create 4;
+    rid_last = Array.make (n + config.n_clients) min_int;
+    rid_result = Array.make (n + config.n_clients) 0L;
+    timers = Digest_map.create ~capacity:16 ();
+    election_rounds = Quorum.Rounds.create ~n ();
     voted = 0;
+    all_ids = Array.init n Fun.id;
+    peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
+  Quorum.check_n n "Paxos.start";
   let behaviors =
     match behaviors with
     | Some b ->
@@ -336,8 +394,8 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
-  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-  Hashtbl.reset r.timers
+  Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+  Digest_map.reset r.timers
 
 let set_online t ~replica =
   let r = t.replicas.(replica) in
@@ -358,10 +416,16 @@ let set_online t ~replica =
       r.last_exec <- peer.last_exec;
       r.next_seq <- peer.last_exec + 1;
       App.set_state r.app (App.state peer.app);
-      Hashtbl.reset r.rid_table;
-      Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
-      Hashtbl.reset r.log;
-      Hashtbl.reset r.ordered;
+      rid_reset r;
+      for c = 0 to Array.length peer.rid_last - 1 do
+        if peer.rid_last.(c) <> min_int then begin
+          let i = rid_slot r c in
+          r.rid_last.(i) <- peer.rid_last.(c);
+          r.rid_result.(i) <- peer.rid_result.(c)
+        end
+      done;
+      Slot_ring.reset r.log;
+      Digest_map.reset r.ordered;
       Hashtbl.reset r.pending
     | None -> ()
   end

@@ -20,16 +20,37 @@ let default_config = { f = 1; n_clients = 2; request_timeout = 4000; vc_timeout 
 
 let n_replicas config = (3 * config.f) + 1
 
+(* Entries are pooled in the slot ring and reset in place when a new
+   sequence number claims the slot — every field is mutable and the
+   absent request is a physical sentinel, so steady-state agreement
+   allocates nothing per slot. *)
 type entry = {
-  e_view : int;
-  digest : Hash.t;
-  mutable request : Types.request option;
-  prepares : (int, unit) Hashtbl.t;
-  commits : (int, unit) Hashtbl.t;
+  mutable e_view : int;
+  mutable digest : Hash.t;
+  mutable request : Types.request;  (* == no_request when unknown *)
+  mutable prepares : Quorum.t;
+  mutable commits : Quorum.t;
   mutable sent_commit : bool;
   mutable committed : bool;
   mutable executed : bool;
 }
+
+let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
+
+let fresh_entry _ =
+  {
+    e_view = -1;
+    digest = Hash.zero;
+    request = no_request;
+    prepares = Quorum.empty;
+    commits = Quorum.empty;
+    sent_commit = false;
+    committed = false;
+    executed = false;
+  }
+
+(* Stale-view marker returned by [entry_for]; never stored in a ring. *)
+let null_entry = fresh_entry 0
 
 type replica = {
   id : int;
@@ -45,13 +66,16 @@ type replica = {
   mutable view : int;
   mutable next_seq : int;  (* next sequence number to assign (when primary) *)
   mutable last_exec : int;
-  log : (int, entry) Hashtbl.t;  (* seq -> entry (current view only) *)
-  ordered : (Hash.t, int) Hashtbl.t;  (* digest -> seq, current view *)
+  log : entry Slot_ring.t;  (* seq -> entry (current view only) *)
+  ordered : int Digest_map.t;  (* digest -> seq, current view *)
   pending : (Hash.t, Types.request) Hashtbl.t;  (* seen, not yet executed *)
-  rid_table : (int, int * int64) Hashtbl.t;  (* client -> last rid, result *)
-  timers : (Hash.t, Engine.handle) Hashtbl.t;
-  vc_votes : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* view -> voter -> last_exec *)
+  mutable rid_last : int array;  (* client -> last rid, min_int = none *)
+  mutable rid_result : int64 array;  (* client -> cached result *)
+  timers : Engine.handle Digest_map.t;
+  vc_rounds : Quorum.Rounds.t;  (* view -> voter -> last_exec *)
   mutable vc_voted : int;  (* highest view we voted for *)
+  all_ids : int array;  (* 0 .. n-1 *)
+  peer_ids : int array;  (* 0 .. n-1 minus self *)
   obs : Obs.t;
   obs_vc : int;
 }
@@ -78,10 +102,6 @@ let primary_of ~view ~n = view mod n
 
 let is_primary (r : replica) = primary_of ~view:r.view ~n:r.n = r.id
 
-let replica_ids (r : replica) = List.init r.n Fun.id
-
-let others r = List.filter (fun i -> i <> r.id) (replica_ids r)
-
 (* Sending honours the replica's behaviour: crashed/offline replicas are
    mute; Silent Byzantine replicas too; Delay holds messages back. *)
 let send (r : replica) ~dst msg =
@@ -94,38 +114,60 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
-let broadcast r ~to_ msg = List.iter (fun dst -> send r ~dst msg) to_
+let broadcast r ~to_ msg =
+  for i = 0 to Array.length to_ - 1 do
+    send r ~dst:(Array.unsafe_get to_ i) msg
+  done
 
+(* The entry tracking [seq], creating it (reset in place) on first
+   touch. Returns [null_entry] when the slot holds a stale-view entry;
+   the message is ignored. *)
 let entry_for r ~view ~seq ~digest =
-  match Hashtbl.find_opt r.log seq with
-  | Some e when e.e_view = view -> Some e
-  | Some _ -> None  (* stale view entry at this slot; ignore the message *)
-  | None ->
-    let e =
-      {
-        e_view = view;
-        digest;
-        request = None;
-        prepares = Hashtbl.create 8;
-        commits = Hashtbl.create 8;
-        sent_commit = false;
-        committed = false;
-        executed = false;
-      }
-    in
-    Hashtbl.replace r.log seq e;
+  let e, fresh = Slot_ring.bind r.log seq in
+  if fresh then begin
+    e.e_view <- view;
+    e.digest <- digest;
+    e.request <- no_request;
+    e.prepares <- Quorum.empty;
+    e.commits <- Quorum.empty;
+    e.sent_commit <- false;
+    e.committed <- false;
+    e.executed <- false;
     if !Obs.trace_on then
       Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
         ~id:(Obs.repl_counter_span ~replica:r.id ~counter:seq)
         ~arg:0;
-    Some e
+    e
+  end
+  else if e.e_view = view then e
+  else null_entry  (* stale view entry at this slot; ignore the message *)
 
 let cancel_request_timer r digest =
-  match Hashtbl.find_opt r.timers digest with
-  | Some h ->
-    Engine.cancel r.engine h;
-    Hashtbl.remove r.timers digest
-  | None -> ()
+  let i = Digest_map.index r.timers digest in
+  if i >= 0 then begin
+    Engine.cancel r.engine (Digest_map.value_at r.timers i);
+    Digest_map.remove_at r.timers i
+  end
+
+(* rid bookkeeping lives in parallel arrays indexed by client id; the
+   arrays grow on demand since fabrics number clients after replicas. *)
+let rid_slot r client =
+  let len = Array.length r.rid_last in
+  if client >= len then begin
+    let ncap = ref (max 8 (2 * len)) in
+    while client >= !ncap do
+      ncap := 2 * !ncap
+    done;
+    let nlast = Array.make !ncap min_int in
+    Array.blit r.rid_last 0 nlast 0 len;
+    let nresult = Array.make !ncap 0L in
+    Array.blit r.rid_result 0 nresult 0 len;
+    r.rid_last <- nlast;
+    r.rid_result <- nresult
+  end;
+  client
+
+let rid_reset r = Array.fill r.rid_last 0 (Array.length r.rid_last) min_int
 
 let reply_to_client r (request : Types.request) result =
   let corrupt =
@@ -144,39 +186,46 @@ let log_retention = 256
 (* Execute committed entries in sequence order. The rid table provides
    exactly-once semantics per client and caches the last reply. *)
 let rec try_execute r =
-  match Hashtbl.find_opt r.log (r.last_exec + 1) with
-  | Some ({ committed = true; executed = false; request = Some request; _ } as e) ->
-    e.executed <- true;
-    r.last_exec <- r.last_exec + 1;
-    if !Obs.trace_on then
-      Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-        ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
-        ~arg:0;
-    let client = request.Types.client and rid = request.Types.rid in
-    let result =
-      match Hashtbl.find_opt r.rid_table client with
-      | Some (last_rid, cached) when rid <= last_rid -> cached
-      | Some _ | None ->
-        let result = App.execute r.app request.Types.payload in
-        Hashtbl.replace r.rid_table client (rid, result);
-        result
-    in
-    let digest = Types.request_digest request in
-    Hashtbl.remove r.pending digest;
-    cancel_request_timer r digest;
-    if !Obs.trace_on then
-      Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-        ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
-        ~arg:0;
-    reply_to_client r request result;
-    Hashtbl.remove r.log (r.last_exec - log_retention);
-    try_execute r
-  | Some _ | None -> ()
+  let slot = Slot_ring.slot r.log (r.last_exec + 1) in
+  if slot >= 0 then begin
+    let e = Slot_ring.entry r.log slot in
+    if e.committed && (not e.executed) && e.request != no_request then begin
+      let request = e.request in
+      e.executed <- true;
+      r.last_exec <- r.last_exec + 1;
+      if !Obs.trace_on then
+        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
+          ~arg:0;
+      let client = request.Types.client and rid = request.Types.rid in
+      let c = rid_slot r client in
+      let result =
+        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+        else begin
+          let result = App.execute r.app request.Types.payload in
+          r.rid_last.(c) <- rid;
+          r.rid_result.(c) <- result;
+          result
+        end
+      in
+      let digest = Types.request_digest request in
+      Hashtbl.remove r.pending digest;
+      cancel_request_timer r digest;
+      if !Obs.trace_on then
+        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+          ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
+          ~arg:0;
+      reply_to_client r request result;
+      Slot_ring.release r.log (r.last_exec - log_retention);
+      try_execute r
+    end
+  end
 
 let try_commit r ~seq (e : entry) =
-  if (not e.committed) && Hashtbl.length e.commits >= (2 * r.f) + 1
-     && Hashtbl.length e.prepares >= (2 * r.f) + 1
-     && e.request <> None
+  if (not e.committed)
+     && Quorum.reached e.commits ~threshold:((2 * r.f) + 1)
+     && Quorum.reached e.prepares ~threshold:((2 * r.f) + 1)
+     && e.request != no_request
   then begin
     e.committed <- true;
     ignore seq;
@@ -184,33 +233,35 @@ let try_commit r ~seq (e : entry) =
   end
 
 let send_commit_if_prepared r ~seq (e : entry) =
-  if (not e.sent_commit) && e.request <> None && Hashtbl.length e.prepares >= (2 * r.f) + 1 then begin
+  if (not e.sent_commit) && e.request != no_request
+     && Quorum.reached e.prepares ~threshold:((2 * r.f) + 1)
+  then begin
     e.sent_commit <- true;
-    Hashtbl.replace e.commits r.id ();
-    broadcast r ~to_:(others r) (Commit { view = r.view; seq; digest = e.digest });
+    e.commits <- Quorum.add e.commits r.id;
+    broadcast r ~to_:r.peer_ids (Commit { view = r.view; seq; digest = e.digest });
     try_commit r ~seq e
   end
 
 (* --- view changes --- *)
 
 let start_vc_timer r digest =
-  if not (Hashtbl.mem r.timers digest) then
-    Hashtbl.replace r.timers digest
+  if not (Digest_map.mem r.timers digest) then
+    Digest_map.set r.timers digest
       (Engine.schedule r.engine ~delay:r.config.vc_timeout (fun () ->
-           Hashtbl.remove r.timers digest;
+           Digest_map.remove r.timers digest;
            if r.online && Hashtbl.mem r.pending digest then begin
              (* Escalate past views whose primary never answered. *)
              let new_view = max r.view r.vc_voted + 1 in
              r.vc_voted <- new_view;
-             broadcast r ~to_:(replica_ids r) (View_change { new_view; last_exec = r.last_exec })
+             broadcast r ~to_:r.all_ids (View_change { new_view; last_exec = r.last_exec })
            end))
 
 let order_request r (request : Types.request) =
   let digest = Types.request_digest request in
-  if not (Hashtbl.mem r.ordered digest) then begin
+  if not (Digest_map.mem r.ordered digest) then begin
     let seq = r.next_seq in
     r.next_seq <- r.next_seq + 1;
-    Hashtbl.replace r.ordered digest seq;
+    Digest_map.set r.ordered digest seq;
     if !Obs.trace_on then
       Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
         ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_pre_prepare)
@@ -220,46 +271,57 @@ let order_request r (request : Types.request) =
       | Some Behavior.Equivocate -> true
       | Some _ | None -> false
     in
-    (match entry_for r ~view:r.view ~seq ~digest with
-     | Some e ->
-       e.request <- Some request;
-       Hashtbl.replace e.prepares r.id ()
-     | None -> ());
-    let backups = others r in
+    let e = entry_for r ~view:r.view ~seq ~digest in
+    if e != null_entry then begin
+      e.request <- request;
+      e.prepares <- Quorum.add e.prepares r.id
+    end;
+    let backups = r.peer_ids in
     let lies = r.f + 1 in
-    List.iteri
-      (fun i dst ->
-        let digest' =
-          (* An equivocating primary tells half the backups a different
-             story. The truthful half is too small to form a 2f+1 quorum,
-             so the slot stalls until a view change evicts the primary. *)
-          if equivocating && i < lies then Hash.combine digest (Hash.of_string "lie") else digest
-        in
-        send r ~dst (Pre_prepare { view = r.view; seq; digest = digest'; request }))
-      backups
+    for i = 0 to Array.length backups - 1 do
+      let digest' =
+        (* An equivocating primary tells half the backups a different
+           story. The truthful half is too small to form a 2f+1 quorum,
+           so the slot stalls until a view change evicts the primary. *)
+        if equivocating && i < lies then Hash.combine digest (Hash.of_string "lie") else digest
+      in
+      send r ~dst:backups.(i) (Pre_prepare { view = r.view; seq; digest = digest'; request })
+    done
   end
 
 let adopt_new_view r ~view ~start_seq ~state ~rid_table =
   r.view <- view;
   r.vc_voted <- max r.vc_voted view;
-  Hashtbl.reset r.log;
-  Hashtbl.reset r.ordered;
+  Slot_ring.reset r.log;
+  Digest_map.reset r.ordered;
   App.set_state r.app state;
   r.last_exec <- start_seq - 1;
   r.next_seq <- start_seq;
-  Hashtbl.reset r.rid_table;
-  List.iter (fun (client, entry) -> Hashtbl.replace r.rid_table client entry) rid_table;
+  rid_reset r;
+  List.iter
+    (fun (client, (rid, result)) ->
+      let c = rid_slot r client in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result)
+    rid_table;
   (* Forget cached replies consistent with the transferred state only;
      pending requests restart their patience. *)
-  Hashtbl.iter (fun digest _ -> cancel_request_timer r digest) (Hashtbl.copy r.timers);
-  Hashtbl.reset r.timers;
+  Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+  Digest_map.reset r.timers;
   Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
 
+let rid_table_list r =
+  let acc = ref [] in
+  for c = Array.length r.rid_last - 1 downto 0 do
+    if r.rid_last.(c) <> min_int then acc := (c, (r.rid_last.(c), r.rid_result.(c))) :: !acc
+  done;
+  !acc
+
 let become_primary r ~view ~start_seq =
-  let rid_table = Hashtbl.fold (fun c e acc -> (c, e) :: acc) r.rid_table [] in
+  let rid_table = rid_table_list r in
   let state = App.state r.app in
   adopt_new_view r ~view ~start_seq ~state ~rid_table;
-  broadcast r ~to_:(others r) (New_view { view; start_seq; state; rid_table });
+  broadcast r ~to_:r.peer_ids (New_view { view; start_seq; state; rid_table });
   (* Re-propose everything still pending, deterministically ordered. *)
   let pending = Hashtbl.fold (fun _ req acc -> req :: acc) r.pending [] in
   let pending =
@@ -271,24 +333,17 @@ let become_primary r ~view ~start_seq =
 
 let on_view_change r ~src ~new_view ~last_exec =
   if new_view > r.view then begin
-    let votes =
-      match Hashtbl.find_opt r.vc_votes new_view with
-      | Some v -> v
-      | None ->
-        let v = Hashtbl.create 8 in
-        Hashtbl.replace r.vc_votes new_view v;
-        v
+    let voters =
+      Quorum.Rounds.note r.vc_rounds ~current:r.view ~view:new_view ~voter:src ~value:last_exec
     in
-    Hashtbl.replace votes src last_exec;
-    let voters = Hashtbl.length votes in
     (* Join the view change once f+1 replicas are committed to it: at least
        one of them is honest, so the timeout was genuine. *)
     if voters >= r.f + 1 && r.vc_voted < new_view then begin
       r.vc_voted <- new_view;
-      broadcast r ~to_:(replica_ids r) (View_change { new_view; last_exec = r.last_exec })
+      broadcast r ~to_:r.all_ids (View_change { new_view; last_exec = r.last_exec })
     end;
     if voters >= (2 * r.f) + 1 && primary_of ~view:new_view ~n:r.n = r.id then begin
-      let max_exec = Hashtbl.fold (fun _ le acc -> max le acc) votes r.last_exec in
+      let max_exec = Quorum.Rounds.max_value r.vc_rounds ~view:new_view ~default:r.last_exec in
       r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
       if !Obs.metrics_on then Registry.incr r.obs.Obs.metrics r.obs_vc;
       if !Obs.trace_on then
@@ -304,11 +359,11 @@ let on_view_change r ~src ~new_view ~last_exec =
 let on_request r (request : Types.request) =
   let digest = Types.request_digest request in
   let client = request.Types.client in
-  match Hashtbl.find_opt r.rid_table client with
-  | Some (last_rid, cached) when request.Types.rid <= last_rid ->
+  let c = rid_slot r client in
+  if r.rid_last.(c) <> min_int && request.Types.rid <= r.rid_last.(c) then
     (* Already executed: re-send the cached reply. *)
-    reply_to_client r request cached
-  | Some _ | None ->
+    reply_to_client r request r.rid_result.(c)
+  else begin
     if !Obs.trace_on && not (Hashtbl.mem r.pending digest) then
       Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
         ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
@@ -320,22 +375,23 @@ let on_request r (request : Types.request) =
       send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
       start_vc_timer r digest
     end
+  end
 
 let on_pre_prepare r ~src ~view ~seq ~digest ~request =
   if view = r.view && src = primary_of ~view ~n:r.n && not (is_primary r) then begin
     if Hash.equal digest (Types.request_digest request) then begin
       Hashtbl.replace r.pending (Types.request_digest request) request;
-      match entry_for r ~view ~seq ~digest with
-      | Some e when Hash.equal e.digest digest ->
-        e.request <- Some request;
-        Hashtbl.replace e.prepares src ();
+      let e = entry_for r ~view ~seq ~digest in
+      if e != null_entry && Hash.equal e.digest digest then begin
+        e.request <- request;
+        e.prepares <- Quorum.add e.prepares src;
         (* our own prepare vote *)
-        if not (Hashtbl.mem e.prepares r.id) then begin
-          Hashtbl.replace e.prepares r.id ();
-          broadcast r ~to_:(others r) (Prepare { view; seq; digest })
+        if not (Quorum.mem e.prepares r.id) then begin
+          e.prepares <- Quorum.add e.prepares r.id;
+          broadcast r ~to_:r.peer_ids (Prepare { view; seq; digest })
         end;
         send_commit_if_prepared r ~seq e
-      | Some _ | None -> ()
+      end
     end
     else begin
       (* Digest mismatch: an equivocating or corrupt primary. Keep the
@@ -346,20 +402,22 @@ let on_pre_prepare r ~src ~view ~seq ~digest ~request =
   end
 
 let on_prepare r ~src ~view ~seq ~digest =
-  if view = r.view then
-    match entry_for r ~view ~seq ~digest with
-    | Some e when Hash.equal e.digest digest ->
-      Hashtbl.replace e.prepares src ();
+  if view = r.view then begin
+    let e = entry_for r ~view ~seq ~digest in
+    if e != null_entry && Hash.equal e.digest digest then begin
+      e.prepares <- Quorum.add e.prepares src;
       send_commit_if_prepared r ~seq e
-    | Some _ | None -> ()
+    end
+  end
 
 let on_commit r ~src ~view ~seq ~digest =
-  if view = r.view then
-    match entry_for r ~view ~seq ~digest with
-    | Some e when Hash.equal e.digest digest ->
-      Hashtbl.replace e.commits src ();
+  if view = r.view then begin
+    let e = entry_for r ~view ~seq ~digest in
+    if e != null_entry && Hash.equal e.digest digest then begin
+      e.commits <- Quorum.add e.commits src;
       try_commit r ~seq e
-    | Some _ | None -> ()
+    end
+  end
 
 let on_new_view r ~src ~view ~start_seq ~state ~rid_table =
   if view > r.view && src = primary_of ~view ~n:r.n then adopt_new_view r ~view ~start_seq ~state ~rid_table
@@ -384,9 +442,10 @@ let make_replica engine fabric config stats ~id ~behavior =
   let obs_vc =
     if !Obs.metrics_on then Registry.counter obs.Obs.metrics "repl.view_changes" else 0
   in
+  let n = n_replicas config in
   {
     id;
-    n = n_replicas config;
+    n;
     f = config.f;
     engine;
     fabric;
@@ -398,19 +457,23 @@ let make_replica engine fabric config stats ~id ~behavior =
     view = 0;
     next_seq = 1;
     last_exec = 0;
-    log = Hashtbl.create 64;
-    ordered = Hashtbl.create 64;
+    log = Slot_ring.create ~capacity:(2 * log_retention) ~fresh:fresh_entry;
+    ordered = Digest_map.create ~capacity:64 ();
     pending = Hashtbl.create 16;
-    rid_table = Hashtbl.create 8;
-    timers = Hashtbl.create 16;
-    vc_votes = Hashtbl.create 4;
+    rid_last = Array.make (n + config.n_clients) min_int;
+    rid_result = Array.make (n + config.n_clients) 0L;
+    timers = Digest_map.create ~capacity:16 ();
+    vc_rounds = Quorum.Rounds.create ~n ();
     vc_voted = 0;
+    all_ids = Array.init n Fun.id;
+    peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
     obs;
     obs_vc;
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
+  Quorum.check_n n "Pbft.start";
   let behaviors =
     match behaviors with
     | Some b ->
@@ -454,8 +517,8 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
-  Hashtbl.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-  Hashtbl.reset r.timers
+  Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
+  Digest_map.reset r.timers
 
 let set_online t ~replica =
   let r = t.replicas.(replica) in
@@ -477,10 +540,16 @@ let set_online t ~replica =
       r.last_exec <- peer.last_exec;
       r.next_seq <- peer.last_exec + 1;
       App.set_state r.app (App.state peer.app);
-      Hashtbl.reset r.rid_table;
-      Hashtbl.iter (fun c e -> Hashtbl.replace r.rid_table c e) peer.rid_table;
-      Hashtbl.reset r.log;
-      Hashtbl.reset r.ordered;
+      rid_reset r;
+      for c = 0 to Array.length peer.rid_last - 1 do
+        if peer.rid_last.(c) <> min_int then begin
+          let i = rid_slot r c in
+          r.rid_last.(i) <- peer.rid_last.(c);
+          r.rid_result.(i) <- peer.rid_result.(c)
+        end
+      done;
+      Slot_ring.reset r.log;
+      Digest_map.reset r.ordered;
       Hashtbl.reset r.pending
     | None -> ()
   end

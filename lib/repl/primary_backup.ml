@@ -33,7 +33,9 @@ type replica = {
   mutable epoch : int;
   mutable seq : int;  (* primary: updates shipped; backup: updates applied *)
   mutable last_heartbeat : int;
-  rid_table : (int, int * int64) Hashtbl.t;
+  mutable rid_last : int array;  (* client -> last rid, min_int = none *)
+  mutable rid_result : int64 array;
+  peer_ids : int array;  (* everyone but self *)
 }
 
 type t = {
@@ -67,25 +69,41 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
-let others (r : replica) = List.filter (fun i -> i <> r.id) (List.init r.n Fun.id)
+let rid_slot r client =
+  let len = Array.length r.rid_last in
+  if client >= len then begin
+    let ncap = ref (max 8 (2 * len)) in
+    while client >= !ncap do
+      ncap := 2 * !ncap
+    done;
+    let nlast = Array.make !ncap min_int in
+    Array.blit r.rid_last 0 nlast 0 len;
+    let nresult = Array.make !ncap 0L in
+    Array.blit r.rid_result 0 nresult 0 len;
+    r.rid_last <- nlast;
+    r.rid_result <- nresult
+  end;
+  client
 
 let on_request r (request : Types.request) =
   if is_primary r then begin
     let client = request.Types.client and rid = request.Types.rid in
+    let c = rid_slot r client in
     let result =
-      match Hashtbl.find_opt r.rid_table client with
-      | Some (last_rid, cached) when rid <= last_rid -> cached
-      | Some _ | None ->
+      if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+      else begin
         let result = App.execute r.app request.Types.payload in
-        Hashtbl.replace r.rid_table client (rid, result);
+        r.rid_last.(c) <- rid;
+        r.rid_result.(c) <- result;
         r.seq <- r.seq + 1;
         (* Ship the new state to the standbys. *)
-        List.iter
-          (fun dst ->
-            send r ~dst
-              (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result }))
-          (others r);
+        let peers = r.peer_ids in
+        for i = 0 to Array.length peers - 1 do
+          send r ~dst:peers.(i)
+            (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result })
+        done;
         result
+      end
     in
     let corrupt =
       match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
@@ -101,7 +119,9 @@ let on_update r ~epoch ~seq ~state ~client ~rid ~result =
     r.epoch <- max r.epoch epoch;
     r.seq <- seq;
     App.set_state r.app state;
-    Hashtbl.replace r.rid_table client (rid, result)
+    let c = rid_slot r client in
+    r.rid_last.(c) <- rid;
+    r.rid_result.(c) <- result
   end
 
 let on_heartbeat r ~epoch =
@@ -133,7 +153,11 @@ let handle (r : replica) ~src:_ msg =
 let start_timers (r : replica) =
   Engine.every r.engine ~period:r.config.heartbeat_period (fun () ->
       if alive r then
-        if is_primary r then List.iter (fun dst -> send r ~dst (Heartbeat { epoch = r.epoch })) (others r)
+        if is_primary r then
+          let peers = r.peer_ids in
+          for i = 0 to Array.length peers - 1 do
+            send r ~dst:peers.(i) (Heartbeat { epoch = r.epoch })
+          done
         else begin
           let silence = Engine.now r.engine - r.last_heartbeat in
           (* The smallest future epoch whose primary is this replica; the
@@ -148,14 +172,18 @@ let start_timers (r : replica) =
             r.epoch <- mine;
             r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
             r.last_heartbeat <- Engine.now r.engine;
-            List.iter (fun dst -> send r ~dst (Promote { epoch = mine })) (others r)
+            let peers = r.peer_ids in
+            for i = 0 to Array.length peers - 1 do
+              send r ~dst:peers.(i) (Promote { epoch = mine })
+            done
           end
         end)
 
 let make_replica engine fabric config stats ~id ~behavior =
+  let n = n_replicas config in
   {
     id;
-    n = n_replicas config;
+    n;
     engine;
     fabric;
     config;
@@ -165,7 +193,9 @@ let make_replica engine fabric config stats ~id ~behavior =
     epoch = 0;
     seq = 0;
     last_heartbeat = 0;
-    rid_table = Hashtbl.create 8;
+    rid_last = Array.make (n + config.n_clients) min_int;
+    rid_result = Array.make (n + config.n_clients) 0L;
+    peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
   }
 
 let start engine fabric config ?behaviors () =

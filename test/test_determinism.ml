@@ -1,0 +1,131 @@
+(* Cross-protocol determinism snapshots.
+
+   Every value here was captured from the replication layer as of the
+   slot-ring/bitset rewrite and pinned as an expectation: the E3 (BFT on
+   the NoC), E4 (passive vs active under a primary crash) and E9 (hybrid
+   complexity crossover) summary numbers must stay bit-identical across
+   purely structural changes to lib/repl. Floats are compared by their
+   IEEE-754 bit patterns, so even a 1-ulp drift fails.
+
+   If a PR changes these values it changed protocol behaviour, not just
+   data layout — that needs an explicit expectation refresh plus a
+   CHANGES.md note, never a silent update. *)
+
+module Engine = Resoc_des.Engine
+module Histogram = Resoc_des.Metrics.Histogram
+module Behavior = Resoc_fault.Behavior
+module Complexity = Resoc_hw.Complexity
+module Stats = Resoc_repl.Stats
+module Soc = Resoc_core.Soc
+module Group = Resoc_core.Group
+module Generator = Resoc_workload.Generator
+
+let bits f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+(* --- E3: a BFT group on a 4x4 mesh NoC serving a client burst --- *)
+
+let e3_summary kind =
+  let soc =
+    Soc.create { Soc.default_config with mesh_width = 4; mesh_height = 4; seed = 77L }
+  in
+  let spec = { Group.default_spec with kind; f = 1; n_clients = 2 } in
+  let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
+  Generator.burst ~n_per_client:10 ~n_clients:2 ~submit:group.Group.submit;
+  Engine.run ~until:2_000_000 (Soc.engine soc);
+  let s = group.Group.stats () in
+  Printf.sprintf "completed=%d submitted=%d retx=%d vc=%d msgs=%d bytes=%d mean=%s p99=%s state=%Ld"
+    s.Stats.completed s.Stats.submitted s.Stats.retransmissions s.Stats.view_changes
+    (Soc.noc_messages soc) (Soc.noc_bytes soc)
+    (bits (Histogram.mean s.Stats.latency))
+    (bits (Histogram.percentile s.Stats.latency 99.0))
+    (group.Group.replica_state ~replica:0)
+
+(* --- E4: primary crash at t=50k under a periodic load --- *)
+
+let e4_summary kind =
+  let engine = Engine.create ~seed:42L () in
+  let spec = { Group.default_spec with kind; f = 1; n_clients = 1; request_timeout = 3_000 } in
+  let n = Group.n_replicas_of spec in
+  let behaviors = Array.make n Behavior.honest in
+  behaviors.(0) <- Behavior.crash_at 50_000;
+  let spec = { spec with Group.behaviors = Some behaviors } in
+  let group = Group.build engine (Group.Hub { latency = 5 }) spec in
+  Generator.periodic engine ~period:1_000 ~until:250_000 ~n_clients:1
+    ~submit:group.Group.submit ();
+  Engine.run ~until:300_000 engine;
+  let s = group.Group.stats () in
+  Printf.sprintf "completed=%d submitted=%d retx=%d vc=%d msgs=%d p99=%s max=%s state=%Ld"
+    s.Stats.completed s.Stats.submitted s.Stats.retransmissions s.Stats.view_changes
+    (group.Group.messages ())
+    (bits (Histogram.percentile s.Stats.latency 99.0))
+    (bits (Histogram.max s.Stats.latency))
+    (group.Group.replica_state ~replica:(n - 1))
+
+(* --- E9: hybrid complexity crossover (pure arithmetic) --- *)
+
+let e9_summary () =
+  let p = Complexity.default in
+  let crossover =
+    match Complexity.crossover p ~max_complexity:1000 with Some c -> c | None -> -1
+  in
+  Printf.sprintf "crossover=%d gates=%d pc8=%s ps8=%s" crossover
+    (Complexity.circuit_gates p ~complexity:crossover)
+    (bits (Complexity.p_fail_circuit p ~complexity:8))
+    (bits (Complexity.p_fail_software_hybrid p ~complexity:8))
+
+(* --- pinned expectations --- *)
+
+let expectations =
+  [
+    ( "e3/pbft",
+      (fun () -> e3_summary `Pbft),
+      "completed=20 submitted=20 retx=0 vc=0 msgs=700 bytes=44800 mean=405839999999999a \
+       p99=405e000000000000 state=20" );
+    ( "e3/minbft",
+      (fun () -> e3_summary `Minbft),
+      "completed=20 submitted=20 retx=0 vc=0 msgs=280 bytes=26880 mean=405a000000000000 \
+       p99=4060000000000000 state=20" );
+    ( "e3/a2m_bft",
+      (fun () -> e3_summary `A2m_bft),
+      "completed=20 submitted=20 retx=0 vc=0 msgs=280 bytes=31360 mean=405d400000000000 \
+       p99=4062000000000000 state=20" );
+    ( "e4/primary_backup",
+      (fun () -> e4_summary `Primary_backup),
+      "completed=249 submitted=249 retx=1 vc=1 msgs=1593 p99=4024000000000000 \
+       max=40a7840000000000 state=249" );
+    ( "e4/paxos",
+      (fun () -> e4_summary `Paxos),
+      "completed=249 submitted=249 retx=0 vc=1 msgs=2895 p99=4034000000000000 \
+       max=40a3ba0000000000 state=249" );
+    ( "e4/minbft",
+      (fun () -> e4_summary `Minbft),
+      "completed=249 submitted=249 retx=0 vc=1 msgs=2695 p99=4034000000000000 \
+       max=40a3ba0000000000 state=249" );
+    ( "e4/pbft",
+      (fun () -> e4_summary `Pbft),
+      "completed=249 submitted=249 retx=0 vc=1 msgs=7131 p99=4039000000000000 \
+       max=40a3c40000000000 state=249" );
+    ("e9/crossover", e9_summary, "crossover=14 gates=29500 pc8=3f5ca59d13891c00 ps8=3f66943aedc08600");
+  ]
+
+let test_one (name, compute, expected) () =
+  let actual = compute () in
+  Alcotest.(check string) name expected actual
+
+let () =
+  (* RESOC_SNAPSHOT=1 prints current values in pasteable form instead of
+     testing, for refreshing the expectations after an intentional
+     behavioural change. *)
+  if Sys.getenv_opt "RESOC_SNAPSHOT" <> None then begin
+    List.iter
+      (fun (name, compute, _) -> Printf.printf "%-20s %s\n%!" name (compute ()))
+      expectations;
+    exit 0
+  end;
+  Alcotest.run "determinism"
+    [
+      ( "snapshots",
+        List.map
+          (fun ((name, _, _) as e) -> Alcotest.test_case name `Quick (test_one e))
+          expectations );
+    ]
