@@ -34,6 +34,9 @@ module Generator = Resoc_workload.Generator
 module Campaign = Resoc_campaign.Campaign
 module Cstats = Resoc_campaign.Stats
 module Emit = Resoc_campaign.Emit
+module Check = Resoc_check.Check
+module Inject = Resoc_check.Inject
+module Replay = Resoc_check.Replay
 
 let header title claim =
   Printf.printf "\n=== %s ===\n%s\n\n" title claim
@@ -55,6 +58,8 @@ type run_config = {
   csv : bool;
   root_seed : int64;
   progress : bool;
+  check : bool;  (* reset Resoc_check state per replicate; count failures *)
+  shrink : bool;  (* ddmin failed replicates into FAIL_*.json *)
 }
 
 let run_config =
@@ -66,19 +71,61 @@ let run_config =
       csv = false;
       root_seed = 0x5EEDL;
       progress = true;
+      check = false;
+      shrink = false;
     }
+
+(* When --replay FILE targets a campaign, run_campaign re-executes just that
+   one replicate under the recorded suppression mask and exits: 0 when the
+   failure reproduces, 1 when it does not. *)
+let replay_target : Replay.t option ref = ref None
+
+(* Failed replicates across all checked campaigns this run (drives exit 1). *)
+let total_failures = ref 0
+
+let replay_campaign (rt : Replay.t) cells =
+  let cell =
+    match List.find_opt (fun (c : Campaign.cell) -> c.Campaign.id = rt.cell) cells with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "replay: campaign %s has no cell %s\n" rt.experiment rt.cell;
+      exit 2
+  in
+  Check.begin_replicate ();
+  Inject.begin_replicate ();
+  if !Resoc_obs.Obs.metrics_on then Resoc_obs.Obs.begin_replicate ();
+  Inject.set_mask ~total:rt.total_events rt.keep;
+  match cell.Campaign.run ~seed:rt.seed with
+  | _ ->
+    Printf.printf "replay: %s/%s seed %Ld ran clean — failure NOT reproduced\n" rt.experiment
+      rt.cell rt.seed;
+    exit 1
+  | exception e ->
+    Printf.printf "replay: %s/%s seed %Ld reproduced: %s\n" rt.experiment rt.cell rt.seed
+      (Printexc.to_string e);
+    exit 0
 
 let run_campaign ~id ~title cells =
   let rc = !run_config in
+  (match !replay_target with
+  | Some rt when rt.Replay.experiment = id -> replay_campaign rt cells
+  | Some _ | None -> ());
   let config =
     {
       Campaign.root_seed = rc.root_seed;
       replicates = rc.replicates;
       jobs = rc.jobs;
       progress = rc.progress;
+      check = rc.check;
+      shrink = rc.shrink;
+      fail_dir = rc.json_dir;
     }
   in
   let result = Campaign.run ~config ~id ~title cells in
+  if rc.check then
+    List.iter
+      (fun agg -> total_failures := !total_failures + Campaign.failures agg)
+      result.Campaign.cells;
   (match rc.json_dir with
   | Some dir ->
     ignore (Emit.json_file ~dir result);

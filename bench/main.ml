@@ -29,10 +29,20 @@
    so every ring lives on the main domain. Positional arguments are
    experiment ids, equivalent to --only.
 
+   [--check] turns on the resoc_check invariant checker and injection log;
+   a replicate that trips an invariant is recorded as a failed trial and
+   the run exits 1. [--shrink] additionally ddmin-minimizes every failing
+   replicate's injection schedule into FAIL_<exp>_<seed>.json under
+   --json-dir. [--replay FILE] re-executes the one replicate a FAIL file
+   describes, under its suppression mask: exit 0 when the failure
+   reproduces, 1 when it does not. Checking composes with --jobs: checker
+   state is domain-local.
+
    Usage: main.exe [ids...] [--only <id>[,<id>...]] [--list] [--seeds N]
                    [--jobs N] [--json-dir DIR | --no-json] [--csv]
                    [--root-seed S] [--no-bechamel] [--no-progress]
                    [--progress] [--metrics] [--trace FILE]
+                   [--check] [--shrink] [--replay FILE]
                    [--perf] [--quick] *)
 
 open Bechamel
@@ -163,6 +173,9 @@ let () =
   let quick = ref false in
   let metrics = ref false in
   let trace_file = ref "" in
+  let check = ref false in
+  let shrink = ref false in
+  let replay_file = ref "" in
   let spec =
     [
       ( "--only",
@@ -196,6 +209,15 @@ let () =
       ( "--trace",
         Arg.Set_string trace_file,
         "FILE write a Chrome trace_event JSON of the run (forces --jobs 1)" );
+      ( "--check",
+        Arg.Set check,
+        " enable the resoc_check invariant checker; exit 1 on any failed replicate" );
+      ( "--shrink",
+        Arg.Set shrink,
+        " with --check: minimize failing injection schedules to FAIL_*.json (implies --check)" );
+      ( "--replay",
+        Arg.Set_string replay_file,
+        "FILE re-execute the failing replicate recorded in a FAIL_*.json (implies --check)" );
       ("--perf", Arg.Set perf, " run the hot-path perf harness instead of the experiments");
       ("--quick", Arg.Set quick, " with --perf: sub-10s workloads for CI");
     ]
@@ -208,6 +230,18 @@ let () =
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) Experiments.all;
     exit 0
   end;
+  let replay = ref None in
+  if !replay_file <> "" then begin
+    (match Resoc_check.Replay.read !replay_file with
+    | rt -> replay := Some rt
+    | exception (Sys_error msg | Failure msg) ->
+      Printf.eprintf "--replay %s: %s\n" !replay_file msg;
+      exit 2);
+    check := true;
+    (* A FAIL record pins one replicate of one campaign; run only that. *)
+    only := [ (Option.get !replay).Resoc_check.Replay.experiment ]
+  end;
+  if !shrink then check := true;
   let known = List.map (fun (id, _, _) -> id) Experiments.all in
   let unknown = List.filter (fun id -> not (List.mem id known)) !only in
   if unknown <> [] then begin
@@ -227,7 +261,12 @@ let () =
   if !trace_file <> "" then begin
     (* Rings are domain-local; export from the main domain only. *)
     Resoc_obs.Obs.enable_tracing ();
+    if !jobs <> 1 then Printf.eprintf "--trace: forcing --jobs 1 (trace rings are domain-local)\n%!";
     jobs := 1
+  end;
+  if !check then begin
+    Resoc_check.Check.enable ();
+    Resoc_check.Inject.record ()
   end;
   if not !no_json then begin
     let rec mkdir_p dir =
@@ -255,7 +294,10 @@ let () =
       csv = !csv;
       root_seed = !root_seed;
       progress = !progress;
+      check = !check;
+      shrink = !shrink;
     };
+  Experiments.replay_target := !replay;
   Printf.printf "resoc experiment suite — reproducing the quantitative claims of\n";
   Printf.printf "\"The Path to Fault- and Intrusion-Resilient Manycore Systems on a Chip\" (DSN'23)\n";
   Printf.printf "campaigns: %d replicates/cell, %d worker domain(s), root seed %Ld\n" !seeds
@@ -266,5 +308,10 @@ let () =
   if !trace_file <> "" then begin
     Resoc_obs.Obs.write_trace !trace_file;
     Printf.eprintf "wrote Chrome trace to %s\n%!" !trace_file
+  end;
+  if !check && !Experiments.total_failures > 0 then begin
+    Printf.eprintf "resoc_check: %d replicate(s) failed invariant checking\n"
+      !Experiments.total_failures;
+    exit 1
   end;
   if not !no_bechamel then run_bechamel ()

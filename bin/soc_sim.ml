@@ -13,6 +13,10 @@ module Soc = Resoc_core.Soc
 module Resilient_system = Resoc_core.Resilient_system
 module Scenario = Resoc_workload.Scenario
 module Obs = Resoc_obs.Obs
+module Check = Resoc_check.Check
+module Inject = Resoc_check.Inject
+module Shrink = Resoc_check.Shrink
+module Replay = Resoc_check.Replay
 open Cmdliner
 
 let print_report report =
@@ -37,11 +41,69 @@ let finish_obs ~metrics ~trace =
    | None -> ());
   if metrics then print_string (Obs.metrics_json ())
 
+(* Run [body] — which builds and executes one simulation, printing its report
+   only when [quiet] is false — under the invariant checker. Shrinking
+   re-executes the same configuration many times with [quiet:true], so the
+   body must be re-entrant. Replay re-executes once under the recorded mask;
+   the caller must pass the same configuration flags as the original run. *)
+let checked_run ~check ~shrink ~replay ~cell ~seed body =
+  let check = check || shrink || replay <> None in
+  if not check then body ~quiet:false
+  else begin
+    Check.enable ();
+    Inject.record ();
+    let attempt ~quiet mask =
+      Check.begin_replicate ();
+      Inject.begin_replicate ();
+      if !Obs.metrics_on then Obs.begin_replicate ();
+      (match mask with Some (total, keep) -> Inject.set_mask ~total keep | None -> ());
+      match body ~quiet with () -> None | exception e -> Some (Printexc.to_string e)
+    in
+    match replay with
+    | Some path ->
+      let rt = Replay.read path in
+      (match attempt ~quiet:false (Some (rt.Replay.total_events, rt.Replay.keep)) with
+       | Some err ->
+         Format.printf "replay: reproduced: %s@." err;
+         exit 0
+       | None ->
+         Format.printf "replay: ran clean — failure NOT reproduced@.";
+         exit 1)
+    | None ->
+      (match attempt ~quiet:false None with
+       | None -> ()
+       | Some err ->
+         Format.eprintf "invariant failure: %s@." err;
+         if shrink then begin
+           let total = Inject.count () in
+           let test keep = attempt ~quiet:true (Some (total, keep)) <> None in
+           let keep = List.sort_uniq compare (Shrink.ddmin ~test total) in
+           let error =
+             match attempt ~quiet:true (Some (total, keep)) with Some e -> e | None -> err
+           in
+           let events =
+             List.mapi
+               (fun i (ev : Inject.event) ->
+                 { Replay.kind = ev.kind; time = ev.time; a = ev.a; b = ev.b;
+                   kept = List.mem i keep })
+               (Inject.events ())
+           in
+           let record =
+             { Replay.experiment = "soc_sim"; cell; seed; error; total_events = total;
+               keep; events }
+           in
+           let out = Replay.write ~dir:"." record in
+           Format.eprintf "shrunk %d -> %d injection events; wrote %s@." total
+             (List.length keep) out
+         end;
+         exit 1)
+  end
+
 (* --- scenario command --- *)
 
 let scenario_names () = List.map (fun s -> s.Scenario.name) (Scenario.all ())
 
-let run_scenario name horizon_override show_event_log metrics trace =
+let run_scenario name horizon_override show_event_log metrics trace check shrink replay =
   match List.find_opt (fun s -> s.Scenario.name = name) (Scenario.all ()) with
   | None ->
     Format.eprintf "unknown scenario %S; available: %s@." name
@@ -53,13 +115,17 @@ let run_scenario name horizon_override show_event_log metrics trace =
       match horizon_override with Some h -> h | None -> scenario.Scenario.horizon
     in
     setup_obs ~metrics ~trace;
-    let sys = Resilient_system.create scenario.Scenario.config in
-    let report =
-      Resilient_system.run sys ~horizon ~workload_period:scenario.Scenario.workload_period
-    in
-    print_report report;
-    if show_event_log then print_event_log sys;
-    finish_obs ~metrics ~trace
+    let seed = scenario.Scenario.config.Resilient_system.soc.Soc.seed in
+    checked_run ~check ~shrink ~replay ~cell:("scenario/" ^ name) ~seed (fun ~quiet ->
+        let sys = Resilient_system.create scenario.Scenario.config in
+        let report =
+          Resilient_system.run sys ~horizon ~workload_period:scenario.Scenario.workload_period
+        in
+        if not quiet then begin
+          print_report report;
+          if show_event_log then print_event_log sys;
+          finish_obs ~metrics ~trace
+        end)
 
 let event_log_flag =
   Arg.(value & flag & info [ "event-log" ] ~doc:"Print the resilience event trace.")
@@ -71,6 +137,23 @@ let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace_event JSON of the run to $(docv).")
 
+let check_flag =
+  Arg.(value & flag
+       & info [ "check" ] ~doc:"Enable the resoc_check invariant checker; exit 1 on violation.")
+
+let shrink_flag =
+  Arg.(value & flag
+       & info [ "shrink" ]
+           ~doc:"Minimize a failing injection schedule to FAIL_soc_sim_<seed>.json \
+                 (implies $(b,--check)).")
+
+let replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-execute the run under the suppression mask recorded in $(docv); exit 0 when \
+                 the failure reproduces. Pass the same configuration flags as the original run \
+                 (implies $(b,--check)).")
+
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name.")
@@ -80,7 +163,8 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a packaged domain scenario")
-    Term.(const run_scenario $ name_arg $ horizon_arg $ event_log_flag $ metrics_flag $ trace_arg)
+    Term.(const run_scenario $ name_arg $ horizon_arg $ event_log_flag $ metrics_flag $ trace_arg
+          $ check_flag $ shrink_flag $ replay_arg)
 
 (* --- list command --- *)
 
@@ -112,7 +196,8 @@ let diversity_conv =
     [ ("same", Diversity.Same); ("round-robin", Diversity.Round_robin); ("max", Diversity.Max_diversity) ]
 
 let run_custom protocol f n_clients mesh protection diversity n_variants rejuv_period
-    relocate apt_mean horizon workload_period seed show_event_log metrics trace =
+    relocate apt_mean horizon workload_period seed show_event_log metrics trace check shrink
+    replay =
   let soc_config =
     { Soc.default_config with mesh_width = mesh; mesh_height = mesh; seed = Int64.of_int seed }
   in
@@ -139,11 +224,14 @@ let run_custom protocol f n_clients mesh protection diversity n_variants rejuv_p
     }
   in
   setup_obs ~metrics ~trace;
-  let sys = Resilient_system.create config in
-  let report = Resilient_system.run sys ~horizon ~workload_period in
-  print_report report;
-  if show_event_log then print_event_log sys;
-  finish_obs ~metrics ~trace
+  checked_run ~check ~shrink ~replay ~cell:"run" ~seed:(Int64.of_int seed) (fun ~quiet ->
+      let sys = Resilient_system.create config in
+      let report = Resilient_system.run sys ~horizon ~workload_period in
+      if not quiet then begin
+        print_report report;
+        if show_event_log then print_event_log sys;
+        finish_obs ~metrics ~trace
+      end)
 
 let run_cmd =
   let protocol =
@@ -175,7 +263,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a custom resilient-SoC configuration")
     Term.(const run_custom $ protocol $ f $ n_clients $ mesh $ protection $ diversity $ n_variants
           $ rejuv $ relocate $ apt $ horizon $ period $ seed $ event_log_flag $ metrics_flag
-          $ trace_arg)
+          $ trace_arg $ check_flag $ shrink_flag $ replay_arg)
 
 let main =
   Cmd.group

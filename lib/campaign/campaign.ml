@@ -1,4 +1,8 @@
 module Obs = Resoc_obs.Obs
+module Check = Resoc_check.Check
+module Inject = Resoc_check.Inject
+module Shrink = Resoc_check.Shrink
+module Replay = Resoc_check.Replay
 
 type metrics = (string * float) list
 
@@ -17,9 +21,21 @@ type config = {
   replicates : int;
   jobs : int;
   progress : bool;
+  check : bool;
+  shrink : bool;
+  fail_dir : string option;
 }
 
-let default_config = { root_seed = 0x5EEDL; replicates = 16; jobs = 1; progress = false }
+let default_config =
+  {
+    root_seed = 0x5EEDL;
+    replicates = 16;
+    jobs = 1;
+    progress = false;
+    check = false;
+    shrink = false;
+    fail_dir = None;
+  }
 
 type aggregate = {
   cell_id : string;
@@ -35,6 +51,48 @@ type result = {
   replicates : int;
   cells : aggregate list;
 }
+
+(* Re-execute one failing replicate under suppression masks until ddmin lands
+   on a locally minimal injection schedule, then emit the FAIL record. Runs on
+   the calling domain after the pool has drained; each attempt resets the
+   domain-local checker, injection log and (when live) observability state, so
+   the re-runs see exactly what the worker saw. *)
+let shrink_failure ~fail_dir ~campaign_id (cell : cell) ~seed (f : Pool.failure) =
+  let attempt mask =
+    Check.begin_replicate ();
+    Inject.begin_replicate ();
+    if !Obs.metrics_on then Obs.begin_replicate ();
+    (match mask with Some (total, keep) -> Inject.set_mask ~total keep | None -> ());
+    match cell.run ~seed with _ -> None | exception e -> Some (Printexc.to_string e)
+  in
+  match attempt None with
+  | None ->
+    Printf.eprintf
+      "campaign %s: cell %s seed %Ld failed in the pool but not on re-run; not shrinking\n%!"
+      campaign_id cell.id seed
+  | Some _ ->
+    let total = Inject.count () in
+    let test keep = attempt (Some (total, keep)) <> None in
+    let keep = List.sort_uniq compare (Shrink.ddmin ~test total) in
+    let error = match attempt (Some (total, keep)) with Some e -> e | None -> f.Pool.error in
+    let events =
+      List.mapi
+        (fun i (ev : Inject.event) ->
+          { Replay.kind = ev.kind; time = ev.time; a = ev.a; b = ev.b; kept = List.mem i keep })
+        (Inject.events ())
+    in
+    let record =
+      { Replay.experiment = campaign_id; cell = cell.id; seed; error; total_events = total;
+        keep; events }
+    in
+    (match fail_dir with
+     | Some dir ->
+       let path = Replay.write ~dir record in
+       Printf.eprintf "campaign %s: cell %s seed %Ld shrunk %d -> %d injection events; wrote %s\n%!"
+         campaign_id cell.id seed total (List.length keep) path
+     | None ->
+       Printf.eprintf "campaign %s: cell %s seed %Ld shrunk %d -> %d injection events\n%!"
+         campaign_id cell.id seed total (List.length keep))
 
 let run ?(config = default_config) ~id ~title cells =
   if config.replicates < 1 then invalid_arg "Campaign.run: replicates must be >= 1";
@@ -58,6 +116,10 @@ let run ?(config = default_config) ~id ~title cells =
         (* A replicate runs wholly on one worker domain, so the domain-local
            instance list snapshots exactly this replicate's instruments —
            deterministic whichever worker picked it up. *)
+        if config.check then begin
+          Check.begin_replicate ();
+          Inject.begin_replicate ()
+        end;
         if !Obs.metrics_on then begin
           Obs.begin_replicate ();
           let m = cell.run ~seed:(seed_of index) in
@@ -66,6 +128,18 @@ let run ?(config = default_config) ~id ~title cells =
         else cell.run ~seed:(seed_of index))
   in
   Option.iter Progress.finish progress;
+  if config.check && config.shrink then begin
+    Array.iteri
+      (fun index -> function
+        | Ok _ -> ()
+        | Error f ->
+          shrink_failure ~fail_dir:config.fail_dir ~campaign_id:id grid.(index / reps)
+            ~seed:(seed_of index) f)
+      raw;
+    (* Leave no mask behind for whatever runs next on this domain. *)
+    Check.begin_replicate ();
+    Inject.begin_replicate ()
+  end;
   let cells =
     List.mapi
       (fun c (cell : cell) ->

@@ -34,10 +34,19 @@ type config = {
   replicates : int;  (** trials per cell; must be >= 1 *)
   jobs : int;  (** worker domains; clamped to [1 .. total trials] *)
   progress : bool;  (** stderr progress/timing via {!Progress} *)
+  check : bool;
+      (** reset the domain-local {!Resoc_check} state before every trial
+          (the global [Check.enabled] / [Inject.active] gates must be set by
+          the caller before instruments are created) *)
+  shrink : bool;
+      (** after the pool drains, ddmin-minimize every failed trial's
+          injection schedule; requires [check] *)
+  fail_dir : string option;  (** where shrunk [FAIL_*.json] records land *)
 }
 
 val default_config : config
-(** [{ root_seed = 0x5EED; replicates = 16; jobs = 1; progress = false }] *)
+(** [{ root_seed = 0x5EED; replicates = 16; jobs = 1; progress = false;
+    check = false; shrink = false; fail_dir = None }] *)
 
 type aggregate = {
   cell_id : string;

@@ -1,0 +1,177 @@
+exception Violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Violation msg -> Some ("invariant violation: " ^ msg)
+    | _ -> None)
+
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let violation fmt = Printf.ksprintf (fun msg -> raise (Violation msg)) fmt
+
+type session = {
+  protocol : string;
+  (* (view, seq) -> digest committed there first, plus the committing replica
+     (for the error message when a second replica disagrees). *)
+  agreed : (int * int, int64 * int) Hashtbl.t;
+}
+
+type hybrid = {
+  h_name : string;
+  h_id : int;
+  mutable h_last : int64;  (* last issued counter / A2M position *)
+  mutable h_primed : bool;  (* [h_last] is meaningful *)
+  bound : (int64, int64) Hashtbl.t;  (* counter -> digest it was bound to *)
+}
+
+type net = { mutable injected : int; mutable delivered : int; mutable dropped : int }
+
+type state = {
+  sessions : (int, session) Hashtbl.t;
+  hybrids : (int, hybrid) Hashtbl.t;
+  nets : (int, net) Hashtbl.t;
+  mutable next_id : int;
+  mutable fired : int;
+}
+
+(* Per-domain state: campaign workers check their replicates independently, so
+   [--check] composes with [--jobs n] exactly like the obs metric registry. *)
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sessions = Hashtbl.create 8;
+        hybrids = Hashtbl.create 32;
+        nets = Hashtbl.create 8;
+        next_id = 0;
+        fired = 0;
+      })
+
+let begin_replicate () =
+  let s = Domain.DLS.get state in
+  Hashtbl.reset s.sessions;
+  Hashtbl.reset s.hybrids;
+  Hashtbl.reset s.nets;
+  s.next_id <- 0;
+  s.fired <- 0
+
+let hooks_fired () = (Domain.DLS.get state).fired
+
+let fresh_id s =
+  let id = s.next_id in
+  s.next_id <- id + 1;
+  id
+
+let new_session ~protocol =
+  let s = Domain.DLS.get state in
+  let id = fresh_id s in
+  Hashtbl.replace s.sessions id { protocol; agreed = Hashtbl.create 256 };
+  id
+
+let new_hybrid ~name =
+  let s = Domain.DLS.get state in
+  let id = fresh_id s in
+  Hashtbl.replace s.hybrids id
+    { h_name = name; h_id = id; h_last = 0L; h_primed = false; bound = Hashtbl.create 64 };
+  id
+
+let new_network () =
+  let s = Domain.DLS.get state in
+  let id = fresh_id s in
+  Hashtbl.replace s.nets id { injected = 0; delivered = 0; dropped = 0 };
+  id
+
+(* Ids can outlive a [begin_replicate] when a system created for one replicate
+   leaks into the next; lookups are therefore total and unknown ids ignored. *)
+
+let commit ~session ~replica ~view ~seq ~digest ~signers ~quorum ~faulty =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.sessions session with
+  | None -> ()
+  | Some _ when faulty -> ()
+  | Some ss ->
+    if signers >= 0 && signers < quorum then
+      violation "%s: replica %d committed seq %d (view %d) on %d signers, quorum is %d" ss.protocol
+        replica seq view signers quorum;
+    (match Hashtbl.find_opt ss.agreed (view, seq) with
+    | None -> Hashtbl.add ss.agreed (view, seq) (digest, replica)
+    | Some (prior, first) ->
+      if not (Int64.equal prior digest) then
+        violation "%s: agreement broken at view %d seq %d: replica %d committed %Lx, replica %d %Lx"
+          ss.protocol view seq first prior replica digest)
+
+let counter_issued ~hybrid ~read ~issued ~digest =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.hybrids hybrid with
+  | None -> ()
+  | Some h ->
+    if h.h_primed && not (Int64.equal read h.h_last) then begin
+      (* The counter register no longer holds what the hybrid last issued: a
+         fault injector perturbed it (e.g. an SEU on a Plain USIG register in
+         E2). That is the experiment working as intended, not equivocation —
+         resynchronize and void the previous bindings. *)
+      Hashtbl.reset h.bound;
+      h.h_last <- issued;
+      Hashtbl.replace h.bound issued digest
+    end
+    else begin
+      if h.h_primed && Int64.compare issued h.h_last <= 0 then begin
+        match Hashtbl.find_opt h.bound issued with
+        | Some prior when not (Int64.equal prior digest) ->
+          violation "%s %d: counter %Ld re-issued for a second message (equivocation): %Lx then %Lx"
+            h.h_name h.h_id issued prior digest
+        | _ ->
+          violation "%s %d: counter regression: issued %Ld after %Ld" h.h_name h.h_id issued h.h_last
+      end;
+      h.h_primed <- true;
+      h.h_last <- issued;
+      Hashtbl.replace h.bound issued digest
+    end
+
+let a2m_append ~hybrid ~seq ~digest =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.hybrids hybrid with
+  | None -> ()
+  | Some h ->
+    if h.h_primed && not (Int64.equal seq (Int64.add h.h_last 1L)) then
+      violation "%s %d: log position %Ld appended after %Ld (must grow by one)" h.h_name h.h_id seq
+        h.h_last;
+    (match Hashtbl.find_opt h.bound seq with
+    | Some prior when not (Int64.equal prior digest) ->
+      violation "%s %d: log position %Ld rebound (equivocation): %Lx then %Lx" h.h_name h.h_id seq
+        prior digest
+    | _ -> ());
+    h.h_primed <- true;
+    h.h_last <- seq;
+    Hashtbl.replace h.bound seq digest
+
+let flit_injected ~net =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with None -> () | Some n -> n.injected <- n.injected + 1
+
+let conservation n what =
+  if n.delivered + n.dropped > n.injected then
+    violation "noc: conservation broken on %s: delivered %d + dropped %d > injected %d" what
+      n.delivered n.dropped n.injected
+
+let flit_delivered ~net =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n ->
+    n.delivered <- n.delivered + 1;
+    conservation n "deliver"
+
+let flit_dropped ~net =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n ->
+    n.dropped <- n.dropped + 1;
+    conservation n "drop"

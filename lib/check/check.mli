@@ -1,0 +1,89 @@
+(** Online safety-invariant checker for the replication, hybrid and NoC layers.
+
+    The checker is wired into the hot paths behind the same gate discipline as
+    [Resoc_obs.Obs]: every instrumented site stores an integer checker id at
+    creation time ([-1] when checking is disabled) and guards the hook call
+    with a single [>= 0] branch, so a disabled checker costs one predictable
+    branch and zero allocation, and BENCH output stays byte-identical.
+
+    State is per-domain ([Domain.DLS]), so campaigns can keep [--jobs n]
+    parallelism with the checker enabled: each worker domain checks its own
+    replicates independently. [begin_replicate] must be called at the start of
+    every replicate (the campaign runner does this when checking is on).
+
+    Invariants enforced:
+    - {b Agreement safety}: no two correct replicas of one protocol session
+      commit different request digests at the same (view, sequence) slot.
+      Keying includes the view/term/epoch because the simplified protocols
+      re-base their sequence space on view change (hybrid counters are
+      per-primary instances) and delegate cross-view agreement to state
+      transfer.
+    - {b Quorum-certificate integrity}: every commit reported with a signer
+      count carries at least the protocol's quorum of distinct signers.
+    - {b Counter monotonicity / non-equivocation}: a USIG or TrInc never
+      re-issues a counter value, and never binds one counter to two digests.
+      A register readback that differs from the last issued value is treated
+      as an SEU perturbation and resynchronizes the tracker instead of firing
+      (plain registers in E2 are legitimately corrupted by fault injection).
+    - {b A2M log integrity}: attested sequence numbers grow strictly by one.
+    - {b NoC conservation}: delivered + dropped flits never exceed injected
+      flits (no duplication, no phantom delivery).
+
+    A violated invariant raises {!Violation}; inside a campaign the exception
+    is captured by the worker pool and surfaces as a failed replicate, which
+    the shrinker can then minimize. *)
+
+exception Violation of string
+
+val enabled : bool ref
+(** Master gate consulted at instrumentation-{e creation} sites only. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val begin_replicate : unit -> unit
+(** Reset this domain's checker state. Call before every checked replicate. *)
+
+val hooks_fired : unit -> int
+(** Number of hook invocations seen by this domain since [begin_replicate]
+    (used by the self-tests to prove the checker actually observed traffic). *)
+
+(** {1 Protocol sessions} *)
+
+val new_session : protocol:string -> int
+(** Allocate a checker session for one protocol instance. Call only when
+    {!enabled}; replicas store the id and guard hooks with [chk >= 0]. *)
+
+val commit :
+  session:int ->
+  replica:int ->
+  view:int ->
+  seq:int ->
+  digest:int64 ->
+  signers:int ->
+  quorum:int ->
+  faulty:bool ->
+  unit
+(** Report that [replica] committed [digest] at [(view, seq)]. [signers] is
+    the size of the commit certificate, or [-1] when the protocol commits
+    without a local certificate (e.g. a Paxos follower applying a leader
+    decision); [faulty] replicas are recorded nowhere and checked never —
+    a Byzantine replica is allowed to lie. *)
+
+(** {1 Trusted-component hybrids} *)
+
+val new_hybrid : name:string -> int
+
+val counter_issued : hybrid:int -> read:int64 -> issued:int64 -> digest:int64 -> unit
+(** Report a USIG/TrInc issuance: the hybrid read [read] from its counter
+    register and issued [issued] bound to [digest]. *)
+
+val a2m_append : hybrid:int -> seq:int64 -> digest:int64 -> unit
+(** Report an A2M append that attested [digest] at log position [seq]. *)
+
+(** {1 NoC conservation} *)
+
+val new_network : unit -> int
+val flit_injected : net:int -> unit
+val flit_delivered : net:int -> unit
+val flit_dropped : net:int -> unit

@@ -1,0 +1,79 @@
+type kind = Seu | Trojan | Apt
+
+let kind_name = function Seu -> "seu" | Trojan -> "trojan" | Apt -> "apt"
+
+let kind_of_name = function
+  | "seu" -> Seu
+  | "trojan" -> Trojan
+  | "apt" -> Apt
+  | s -> invalid_arg ("Inject.kind_of_name: " ^ s)
+
+let kind_code = function Seu -> 0 | Trojan -> 1 | Apt -> 2
+let kind_of_code = function 0 -> Seu | 1 -> Trojan | _ -> Apt
+let active = ref false
+let record () = active := true
+let stop () = active := false
+
+(* Four parallel int arrays instead of an event-record list: the log is on the
+   injection path of every SEU at full rate, so appending must not allocate
+   beyond the amortized doubling. *)
+type state = {
+  mutable n : int;
+  mutable kinds : int array;
+  mutable times : int array;
+  mutable a : int array;
+  mutable b : int array;
+  mutable mask : Bytes.t option;  (* '\001' = apply; absent = apply all *)
+}
+
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { n = 0; kinds = [||]; times = [||]; a = [||]; b = [||]; mask = None })
+
+let begin_replicate () =
+  let s = Domain.DLS.get state in
+  s.n <- 0;
+  s.mask <- None
+
+let set_mask ~total keep =
+  let s = Domain.DLS.get state in
+  let m = Bytes.make (max total 0) '\000' in
+  List.iter (fun i -> if i >= 0 && i < total then Bytes.set m i '\001') keep;
+  s.mask <- Some m
+
+let grow s =
+  let cap = max 64 (2 * Array.length s.kinds) in
+  let extend src =
+    let dst = Array.make cap 0 in
+    Array.blit src 0 dst 0 s.n;
+    dst
+  in
+  s.kinds <- extend s.kinds;
+  s.times <- extend s.times;
+  s.a <- extend s.a;
+  s.b <- extend s.b
+
+let permit ~kind ~time ~a ~b =
+  if not !active then true
+  else begin
+    let s = Domain.DLS.get state in
+    let i = s.n in
+    if i >= Array.length s.kinds then grow s;
+    s.kinds.(i) <- kind_code kind;
+    s.times.(i) <- time;
+    s.a.(i) <- a;
+    s.b.(i) <- b;
+    s.n <- i + 1;
+    match s.mask with
+    | None -> true
+    | Some m -> i < Bytes.length m && Bytes.get m i = '\001'
+  end
+
+let count () = (Domain.DLS.get state).n
+
+type event = { kind : kind; time : int; a : int; b : int }
+
+let events () =
+  let s = Domain.DLS.get state in
+  List.init s.n (fun i ->
+      { kind = kind_of_code s.kinds.(i); time = s.times.(i); a = s.a.(i); b = s.b.(i) })

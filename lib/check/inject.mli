@@ -1,0 +1,49 @@
+(** Compact per-replicate injection log with deterministic suppression masks.
+
+    Every fault-injection site (SEU bit flips, trojan triggers, APT
+    compromises) asks {!permit} before applying its effect. When recording is
+    off, [permit] is one branch and always grants. When recording is on, each
+    call is logged as one occurrence — identified purely by its position in
+    the call order, which is deterministic for a fixed seed — and granted
+    unless a suppression mask excludes it.
+
+    Replay therefore needs only the root seed, the occurrence count of the
+    original run and the list of occurrence indices to keep: re-executing the
+    replicate with that mask installed reproduces the minimal failing
+    schedule exactly. The injectors are written so that a suppressed
+    occurrence consumes the same RNG draws as an applied one, keeping the
+    remaining schedule aligned with the original run.
+
+    State is per-domain, like {!Check}. *)
+
+type kind = Seu | Trojan | Apt
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind
+
+val active : bool ref
+(** Gate consulted by every [permit] call (one load + branch when off). *)
+
+val record : unit -> unit
+val stop : unit -> unit
+
+val begin_replicate : unit -> unit
+(** Drop the log and any installed mask. Call before every recorded run. *)
+
+val set_mask : total:int -> int list -> unit
+(** Install a suppression mask for this domain: of a schedule of [total]
+    occurrences, only the listed indices are applied; everything else —
+    including occurrences past [total], should the masked run diverge — is
+    suppressed. *)
+
+val permit : kind:kind -> time:int -> a:int -> b:int -> bool
+(** Log one injection occurrence ([a]/[b] are site-specific coordinates, e.g.
+    register index and bit) and return whether to apply it. *)
+
+val count : unit -> int
+(** Occurrences logged since [begin_replicate]. *)
+
+type event = { kind : kind; time : int; a : int; b : int }
+
+val events : unit -> event list
+(** The logged occurrences, in order. *)

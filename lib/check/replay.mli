@@ -1,0 +1,29 @@
+(** FAIL_<exp>_<seed>.json records: everything needed to re-execute a failing
+    replicate deterministically — the replicate seed, the size of its original
+    injection schedule, the minimized occurrence indices to keep, and the
+    (annotated) event list of the minimal reproduction for human eyes. *)
+
+type event = { kind : Inject.kind; time : int; a : int; b : int; kept : bool }
+
+type t = {
+  experiment : string;
+  cell : string;
+  seed : int64;
+  error : string;  (* the failure the schedule reproduces *)
+  total_events : int;  (* occurrences in the original failing run *)
+  keep : int list;  (* minimal occurrence indices still failing *)
+  events : event list;
+}
+
+val filename : t -> string
+(** [FAIL_<experiment>_<seed>.json]. *)
+
+val to_json : t -> string
+
+val write : dir:string -> t -> string
+(** Serialize under [dir] (created if missing); returns the full path. *)
+
+val of_json : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val read : string -> t

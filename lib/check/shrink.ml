@@ -1,0 +1,39 @@
+let split_chunks lst gran =
+  let arr = Array.of_list lst in
+  let len = Array.length arr in
+  List.init gran (fun g ->
+      let lo = g * len / gran and hi = (g + 1) * len / gran in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+let ddmin ?(max_tests = 512) ~test n =
+  let tests = ref 0 in
+  let run keep =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      test keep
+    end
+  in
+  if n <= 0 then []
+  else if run [] then []
+  else begin
+    let rec go current gran =
+      let len = List.length current in
+      if len <= 1 then current
+      else begin
+        let gran = min gran len in
+        let chunks = List.filter (fun c -> c <> []) (split_chunks current gran) in
+        match List.find_opt run chunks with
+        | Some c -> go c 2
+        | None -> (
+          let complements =
+            if gran <= 2 then []  (* complements duplicate the chunks at granularity 2 *)
+            else List.map (fun c -> List.filter (fun x -> not (List.mem x c)) current) chunks
+          in
+          match List.find_opt run complements with
+          | Some c -> go c (max 2 (gran - 1))
+          | None -> if gran < len then go current (min len (2 * gran)) else current)
+      end
+    in
+    go (List.init n Fun.id) 2
+  end

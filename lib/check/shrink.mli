@@ -1,0 +1,15 @@
+(** Delta-debugging minimization of failing injection schedules.
+
+    [ddmin ~test n] minimizes the index set [{0..n-1}] under [test]: [test
+    keep] must re-run the failing replicate with only the occurrences in
+    [keep] applied and report whether it still fails. The result is a
+    1-minimal failing subset — removing any single chunk at final granularity
+    no longer fails — or the best set found when the trial budget runs out.
+
+    Termination: every recursion step either strictly shrinks the candidate
+    set (reduce-to-subset / reduce-to-complement) or strictly raises the
+    granularity, which is capped by the candidate size; [max_tests] bounds
+    total work regardless. *)
+
+val ddmin : ?max_tests:int -> test:(int list -> bool) -> int -> int list
+(** [max_tests] defaults to 512 re-executions. *)

@@ -1,5 +1,6 @@
 module Engine = Resoc_des.Engine
 module Rng = Resoc_des.Rng
+module Inject = Resoc_check.Inject
 
 type target = {
   id : int;
@@ -102,7 +103,11 @@ let arm t target =
       let handle =
         Engine.at t.engine ~time (fun () ->
             target.pending <- None;
-            if target.active && not target.compromised then begin
+            if
+              target.active && not target.compromised
+              && Inject.permit ~kind:Inject.Apt ~time:(Engine.now t.engine) ~a:target.id
+                   ~b:target.variant
+            then begin
               target.compromised <- true;
               target.on_compromise target.id
             end)

@@ -4,6 +4,7 @@ module Register = Resoc_hw.Register
 module Obs = Resoc_obs.Obs
 module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
+module Inject = Resoc_check.Inject
 
 type t = {
   engine : Engine.t;
@@ -22,7 +23,7 @@ let pick_register t =
   let target = Rng.int t.rng t.total_bits in
   let rec find i acc =
     let bits = Register.stored_bits t.registers.(i) in
-    if target < acc + bits then t.registers.(i) else find (i + 1) (acc + bits)
+    if target < acc + bits then i else find (i + 1) (acc + bits)
   in
   find 0 0
 
@@ -33,12 +34,21 @@ let rec schedule_next t =
     ignore
       (Engine.schedule t.engine ~delay (fun () ->
            if not t.halted then begin
-             Register.inject_upset (pick_register t) t.rng;
-             t.injected <- t.injected + 1;
-             if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_injected;
-             if !Obs.trace_on then
-               Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.fault
-                 ~id:0 ~arg:t.injected;
+             (* Draw the target bit before asking the injection log for
+                permission: a replay that suppresses this upset must still
+                consume the same RNG values, or the rest of the schedule
+                diverges from the recorded run. *)
+             let i = pick_register t in
+             let reg = t.registers.(i) in
+             let bit = Rng.int t.rng (Register.stored_bits reg) in
+             if Inject.permit ~kind:Inject.Seu ~time:(Engine.now t.engine) ~a:i ~b:bit then begin
+               Register.inject_upset_at reg bit;
+               t.injected <- t.injected + 1;
+               if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_injected;
+               if !Obs.trace_on then
+                 Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.fault
+                   ~id:0 ~arg:t.injected
+             end;
              schedule_next t
            end))
   end

@@ -2,6 +2,7 @@ module Engine = Resoc_des.Engine
 module Obs = Resoc_obs.Obs
 module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
+module Inject = Resoc_check.Inject
 
 type effect = Kill_switch | Corrupt_output | Leak_secret
 
@@ -19,8 +20,14 @@ type t = {
   obs_triggered : int;
 }
 
+let effect_code = function Kill_switch -> 0 | Corrupt_output -> 1 | Leak_secret -> 2
+
 let fire t =
-  if t.armed && not t.triggered then begin
+  if
+    t.armed && not t.triggered
+    && Inject.permit ~kind:Inject.Trojan ~time:(Engine.now t.engine) ~a:(effect_code t.effect)
+         ~b:0
+  then begin
     t.triggered <- true;
     if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_triggered;
     if !Obs.trace_on then

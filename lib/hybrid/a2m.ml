@@ -1,13 +1,21 @@
 module Mac = Resoc_crypto.Mac
 module Hash = Resoc_crypto.Hash
+module Check = Resoc_check.Check
 
 type entry = { digest : Hash.t; chain : Hash.t }
 
-type t = { id : int; key : Mac.key; mutable log : entry list (* newest first *); mutable n : int }
+type t = {
+  id : int;
+  key : Mac.key;
+  mutable log : entry list;  (* newest first *)
+  mutable n : int;
+  chk : int;  (* resoc_check hybrid id, -1 when checking is off *)
+}
 
 type attestation = { signer : int; seq : int64; entry : Hash.t; chain : Hash.t; tag : Mac.t }
 
-let create ~id ~key = { id; key; log = []; n = 0 }
+let create ~id ~key =
+  { id; key; log = []; n = 0; chk = (if !Check.enabled then Check.new_hybrid ~name:"a2m" else -1) }
 
 let id t = t.id
 
@@ -25,6 +33,7 @@ let append t digest =
   let chain = Hash.chain prev_chain digest in
   t.log <- { digest; chain } :: t.log;
   t.n <- t.n + 1;
+  if t.chk >= 0 then Check.a2m_append ~hybrid:t.chk ~seq:(Int64.of_int t.n) ~digest;
   make_attestation t ~seq:(Int64.of_int t.n) ~entry:digest ~chain
 
 let nth_entry t seq =

@@ -1,6 +1,7 @@
 module Mac = Resoc_crypto.Mac
 module Hash = Resoc_crypto.Hash
 module Register = Resoc_hw.Register
+module Check = Resoc_check.Check
 
 type t = {
   id : int;
@@ -8,6 +9,7 @@ type t = {
   reg : Register.t;
   mutable issued : int;
   mutable faults_detected : int;
+  chk : int;  (* resoc_check hybrid id, -1 when checking is off *)
 }
 
 type attestation = {
@@ -19,7 +21,14 @@ type attestation = {
 }
 
 let create ~id ~key ~protection =
-  { id; key; reg = Register.create protection 0L; issued = 0; faults_detected = 0 }
+  {
+    id;
+    key;
+    reg = Register.create protection 0L;
+    issued = 0;
+    faults_detected = 0;
+    chk = (if !Check.enabled then Check.new_hybrid ~name:"trinc" else -1);
+  }
 
 let id t = t.id
 
@@ -40,6 +49,8 @@ let attest t ~new_counter ~digest =
     else begin
       Register.write t.reg new_counter;
       t.issued <- t.issued + 1;
+      if t.chk >= 0 then
+        Check.counter_issued ~hybrid:t.chk ~read:previous ~issued:new_counter ~digest;
       let tag =
         Mac.sign t.key (attestation_digest ~signer:t.id ~previous ~current:new_counter digest)
       in

@@ -1,6 +1,12 @@
 module Mac = Resoc_crypto.Mac
 module Hash = Resoc_crypto.Hash
 module Register = Resoc_hw.Register
+module Check = Resoc_check.Check
+
+(* Test-only mutation knob: a broken USIG that re-issues the current counter
+   value instead of stepping it. The resoc_check self-tests flip it to prove
+   the issuance checker catches counter reuse; leave [false] otherwise. *)
+let test_reissue = ref false
 
 type t = {
   id : int;
@@ -10,6 +16,7 @@ type t = {
   mutable faults_detected : int;
   mutable corrections : int;
   mutable failed : bool;
+  chk : int;  (* resoc_check hybrid id, -1 when checking is off *)
 }
 
 type ui = { signer : int; counter : int64; tag : Mac.t }
@@ -23,6 +30,7 @@ let create ~id ~key ~protection =
     faults_detected = 0;
     corrections = 0;
     failed = false;
+    chk = (if !Check.enabled then Check.new_hybrid ~name:"usig" else -1);
   }
 
 let id t = t.id
@@ -50,9 +58,12 @@ let create_ui t digest =
     Error "usig: counter register fault detected"
   | current, status ->
     if status = Register.Corrected then t.corrections <- t.corrections + 1;
-    let next = Int64.add current 1L in
+    let next =
+      if !test_reissue && Int64.compare current 0L > 0 then current else Int64.add current 1L
+    in
     Register.write t.reg next;
     t.issued <- t.issued + 1;
+    if t.chk >= 0 then Check.counter_issued ~hybrid:t.chk ~read:current ~issued:next ~digest;
     let tag = Mac.sign t.key (ui_digest ~signer:t.id ~counter:next digest) in
     Ok { signer = t.id; counter = next; tag }
 

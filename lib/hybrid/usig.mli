@@ -15,6 +15,12 @@
 module Mac = Resoc_crypto.Mac
 module Hash = Resoc_crypto.Hash
 
+val test_reissue : bool ref
+(** Test-only mutation knob: when set, [create_ui] re-issues the current
+    counter value instead of stepping it — a broken hybrid that equivocates.
+    The resoc_check self-tests flip it to prove the issuance checker fires;
+    leave [false] otherwise. *)
+
 type t
 
 type ui = { signer : int; counter : int64; tag : Mac.t }

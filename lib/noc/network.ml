@@ -3,6 +3,7 @@ module Metrics = Resoc_des.Metrics
 module Obs = Resoc_obs.Obs
 module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
+module Check = Resoc_check.Check
 
 type routing = Xy | Xy_with_yx_fallback
 
@@ -52,6 +53,7 @@ type 'msg t = {
   obs_delivered : int;
   obs_dropped : int;
   obs_latency : Registry.histogram;
+  chk : int;  (* resoc_check network id, -1 when checking is off *)
 }
 
 let create engine mesh config =
@@ -95,6 +97,7 @@ let create engine mesh config =
     obs_delivered;
     obs_dropped;
     obs_latency;
+    chk = (if !Check.enabled then Check.new_network () else -1);
   }
 
 let mesh t = t.mesh
@@ -109,6 +112,7 @@ let detach t ~node =
 
 let drop t ~node =
   t.dropped <- t.dropped + 1;
+  if t.chk >= 0 then Check.flit_dropped ~net:t.chk;
   if !Obs.metrics_on then Registry.incr t.obs.Obs.metrics t.obs_dropped;
   if !Obs.trace_on then
     Ring.instant t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.noc_drop ~id:node ~arg:0
@@ -118,6 +122,7 @@ let deliver t ~src ~dst ~start msg =
   | None -> drop t ~node:dst
   | Some handler ->
     t.delivered <- t.delivered + 1;
+    if t.chk >= 0 then Check.flit_delivered ~net:t.chk;
     let lat = Engine.now t.engine - start in
     Metrics.Histogram.add t.latency (float_of_int lat);
     if !Obs.metrics_on then begin
@@ -219,6 +224,7 @@ let alloc_flight t =
 let send t ~src ~dst ~bytes_ msg =
   if bytes_ <= 0 then invalid_arg "Network.send: bytes must be positive";
   t.sent <- t.sent + 1;
+  if t.chk >= 0 then Check.flit_injected ~net:t.chk;
   t.bytes_sent <- t.bytes_sent + bytes_;
   let start = Engine.now t.engine in
   if src = dst then

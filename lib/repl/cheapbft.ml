@@ -5,6 +5,7 @@ module Behavior = Resoc_fault.Behavior
 module Register = Resoc_hw.Register
 module Trinc = Resoc_hybrid.Trinc
 module Monotonic = Resoc_hybrid.Usig.Monotonic
+module Check = Resoc_check.Check
 
 type msg =
   | Request of Types.request
@@ -91,6 +92,7 @@ type replica = {
   mutable gap_drops : int;
   mutable last_shipped : int64;
   repeat_counts : (int * int, int) Hashtbl.t;  (* (client, rid) -> cached-reply resends *)
+  chk : int;  (* resoc_check session, -1 when checking is off *)
 }
 
 type t = {
@@ -210,6 +212,12 @@ let rec try_execute r =
     if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(commit_quorum r) then begin
       e.executed <- true;
       r.last_exec_counter <- next;
+      if r.chk >= 0 then
+        Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
+          ~digest:(Types.request_digest e.request)
+          ~signers:(Quorum.count e.commit_votes)
+          ~quorum:(commit_quorum r)
+          ~faulty:(Behavior.is_faulty r.behavior);
       let request = e.request in
       let client = request.Types.client and rid = request.Types.rid in
       let c = rid_slot r client in
@@ -464,7 +472,7 @@ let handle (r : replica) ~src msg =
     | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
     | Reply _ -> ()
 
-let make_replica engine fabric config keychain stats ~id ~behavior =
+let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
   let n = n_replicas config in
   let f = config.f in
   {
@@ -503,11 +511,13 @@ let make_replica engine fabric config keychain stats ~id ~behavior =
       (let act = List.filter (fun i -> i <> id) (List.init (f + 1) Fun.id) in
        Array.of_list act);
     initial_passive = Array.init (n - f - 1) (fun i -> f + 1 + i);
+    chk;
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
   Quorum.check_n n "Cheapbft.start";
+  let chk = if !Check.enabled then Check.new_session ~protocol:"cheapbft" else -1 in
   let behaviors =
     match behaviors with
     | Some b ->
@@ -521,7 +531,7 @@ let start engine fabric config ?behaviors () =
   let stats = Stats.create () in
   let replicas =
     Array.init n (fun id ->
-        make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id))
+        make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
     (fun r ->

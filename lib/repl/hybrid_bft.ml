@@ -8,6 +8,7 @@ module Register = Resoc_hw.Register
 module Obs = Resoc_obs.Obs
 module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
+module Check = Resoc_check.Check
 
 module type HYBRID = sig
   type t
@@ -157,6 +158,7 @@ module Make (H : HYBRID) = struct
     obs : Obs.t;
     obs_batch : Registry.histogram;
     obs_vc : int;
+    chk : int;  (* resoc_check session, -1 when checking is off *)
   }
 
   type t = {
@@ -278,6 +280,13 @@ module Make (H : HYBRID) = struct
         ~arg:0;
     reply_to_client r request result
 
+  (* One certificate covers a whole batch: the digest chains the requests in
+     order, so verifiers agree on both membership and sequence. *)
+  let batch_digest requests =
+    List.fold_left
+      (fun acc req -> Hash.combine acc (Types.request_digest req))
+      (Hash.of_string "batch") requests
+
   let rec try_execute r =
     let next = Int64.add r.last_exec_counter 1L in
     let next_i = Int64.to_int next in
@@ -287,6 +296,12 @@ module Make (H : HYBRID) = struct
       if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(r.f + 1) then begin
         e.executed <- true;
         r.last_exec_counter <- next;
+        if r.chk >= 0 then
+          Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
+            ~digest:(batch_digest e.requests)
+            ~signers:(Quorum.count e.commit_votes)
+            ~quorum:(r.f + 1)
+            ~faulty:(Behavior.is_faulty r.behavior);
         if !Obs.trace_on then
           Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
             ~id:(Obs.repl_counter_span ~replica:r.id ~counter:next_i)
@@ -317,13 +332,6 @@ module Make (H : HYBRID) = struct
 
   let verify_cert (r : replica) ~digest cert =
     H.verify_cert ~key:(Keychain.component r.keychain (H.cert_signer cert)) ~digest cert
-
-  (* One certificate covers a whole batch: the digest chains the requests in
-     order, so verifiers agree on both membership and sequence. *)
-  let batch_digest requests =
-    List.fold_left
-      (fun acc req -> Hash.combine acc (Types.request_digest req))
-      (Hash.of_string "batch") requests
 
   (* Record the authenticated (request, counter) binding from the primary and
      add [voter]'s commit vote. *)
@@ -575,7 +583,7 @@ module Make (H : HYBRID) = struct
       | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
       | Reply _ -> ()
 
-  let make_replica engine fabric config keychain stats ~id ~behavior =
+  let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
     let hybrid_instance =
       H.make ~id ~key:(Keychain.component keychain id) ~protection:config.usig_protection
     in
@@ -621,11 +629,13 @@ module Make (H : HYBRID) = struct
       obs;
       obs_batch;
       obs_vc;
+      chk;
     }
 
   let start engine fabric config ?behaviors () =
     let n = n_replicas config in
     Quorum.check_n n "Hybrid_bft.start";
+    let chk = if !Check.enabled then Check.new_session ~protocol:H.protocol_name else -1 in
     let behaviors =
       match behaviors with
       | Some b ->
@@ -639,7 +649,7 @@ module Make (H : HYBRID) = struct
     let stats = Stats.create () in
     let replicas =
       Array.init n (fun id ->
-          make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id))
+          make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id) ~chk)
     in
     Array.iter
       (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))

@@ -1,6 +1,7 @@
 module Engine = Resoc_des.Engine
 module Hash = Resoc_crypto.Hash
 module Behavior = Resoc_fault.Behavior
+module Check = Resoc_check.Check
 
 type msg =
   | Request of Types.request
@@ -55,6 +56,7 @@ type replica = {
   mutable voted : int;
   all_ids : int array;
   peer_ids : int array;
+  chk : int;  (* resoc_check session, -1 when checking is off *)
 }
 
 type t = {
@@ -154,6 +156,13 @@ let rec try_execute r =
     if e.committed && not e.executed then begin
       e.executed <- true;
       r.last_exec <- r.last_exec + 1;
+      if r.chk >= 0 then
+        (* [-1] signers: followers apply leader decisions without a local
+           certificate; the leader's quorum is checked in [on_accepted]. *)
+        Check.commit ~session:r.chk ~replica:r.id ~view:r.term ~seq:r.last_exec
+          ~digest:(Types.request_digest e.request)
+          ~signers:(-1) ~quorum:(r.f + 1)
+          ~faulty:(Behavior.is_faulty r.behavior);
       let request = e.request in
       let client = request.Types.client and rid = request.Types.rid in
       let c = rid_slot r client in
@@ -287,6 +296,12 @@ let on_accepted r ~src ~term ~seq =
         e.acks <- Quorum.add e.acks src;
         if Quorum.reached e.acks ~threshold:(r.f + 1) then begin
           e.committed <- true;
+          if r.chk >= 0 then
+            Check.commit ~session:r.chk ~replica:r.id ~view:r.term ~seq
+              ~digest:(Types.request_digest e.request)
+              ~signers:(Quorum.count e.acks)
+              ~quorum:(r.f + 1)
+              ~faulty:(Behavior.is_faulty r.behavior);
           broadcast r ~to_:r.peer_ids (Commit { term; seq });
           try_execute r
         end
@@ -320,7 +335,7 @@ let handle (r : replica) ~src msg =
       on_new_term r ~src ~term ~start_seq ~state ~rid_table
     | Reply _ -> ()
 
-let make_replica engine fabric config stats ~id ~behavior =
+let make_replica engine fabric config stats ~id ~behavior ~chk =
   let n = n_replicas config in
   {
     id;
@@ -346,11 +361,13 @@ let make_replica engine fabric config stats ~id ~behavior =
     voted = 0;
     all_ids = Array.init n Fun.id;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+    chk;
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
   Quorum.check_n n "Paxos.start";
+  let chk = if !Check.enabled then Check.new_session ~protocol:"paxos" else -1 in
   let behaviors =
     match behaviors with
     | Some b ->
@@ -362,7 +379,7 @@ let start engine fabric config ?behaviors () =
     invalid_arg "Paxos.start: fabric too small";
   let stats = Stats.create () in
   let replicas =
-    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
     (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))

@@ -4,6 +4,7 @@ module Behavior = Resoc_fault.Behavior
 module Obs = Resoc_obs.Obs
 module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
+module Check = Resoc_check.Check
 
 type msg =
   | Request of Types.request
@@ -78,6 +79,7 @@ type replica = {
   peer_ids : int array;  (* 0 .. n-1 minus self *)
   obs : Obs.t;
   obs_vc : int;
+  chk : int;  (* resoc_check session, -1 when checking is off *)
 }
 
 type t = {
@@ -228,7 +230,11 @@ let try_commit r ~seq (e : entry) =
      && e.request != no_request
   then begin
     e.committed <- true;
-    ignore seq;
+    if r.chk >= 0 then
+      Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq ~digest:e.digest
+        ~signers:(Quorum.count e.commits)
+        ~quorum:((2 * r.f) + 1)
+        ~faulty:(Behavior.is_faulty r.behavior);
     try_execute r
   end
 
@@ -437,7 +443,7 @@ let handle (r : replica) ~src msg =
 
 (* --- system assembly --- *)
 
-let make_replica engine fabric config stats ~id ~behavior =
+let make_replica engine fabric config stats ~id ~behavior ~chk =
   let obs = Engine.obs engine in
   let obs_vc =
     if !Obs.metrics_on then Registry.counter obs.Obs.metrics "repl.view_changes" else 0
@@ -469,11 +475,13 @@ let make_replica engine fabric config stats ~id ~behavior =
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
     obs;
     obs_vc;
+    chk;
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
   Quorum.check_n n "Pbft.start";
+  let chk = if !Check.enabled then Check.new_session ~protocol:"pbft" else -1 in
   let behaviors =
     match behaviors with
     | Some b ->
@@ -485,7 +493,7 @@ let start engine fabric config ?behaviors () =
     invalid_arg "Pbft.start: fabric too small";
   let stats = Stats.create () in
   let replicas =
-    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
     (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))

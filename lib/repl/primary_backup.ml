@@ -1,5 +1,7 @@
 module Engine = Resoc_des.Engine
 module Behavior = Resoc_fault.Behavior
+module Hash = Resoc_crypto.Hash
+module Check = Resoc_check.Check
 
 type msg =
   | Request of Types.request
@@ -36,6 +38,7 @@ type replica = {
   mutable rid_last : int array;  (* client -> last rid, min_int = none *)
   mutable rid_result : int64 array;
   peer_ids : int array;  (* everyone but self *)
+  chk : int;  (* resoc_check session, -1 when checking is off *)
 }
 
 type t = {
@@ -69,6 +72,13 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
+(* Both ends of an Update derive the same digest from its payload, so the
+   checker can compare primary and backup commits at one (epoch, seq) slot. *)
+let update_digest ~state ~client ~rid ~result =
+  Hash.combine_int
+    (Hash.combine (Hash.combine (Hash.of_string "pb-update") state) result)
+    ((client * 1_000_003) + rid)
+
 let rid_slot r client =
   let len = Array.length r.rid_last in
   if client >= len then begin
@@ -96,6 +106,11 @@ let on_request r (request : Types.request) =
         r.rid_last.(c) <- rid;
         r.rid_result.(c) <- result;
         r.seq <- r.seq + 1;
+        if r.chk >= 0 then
+          Check.commit ~session:r.chk ~replica:r.id ~view:r.epoch ~seq:r.seq
+            ~digest:(update_digest ~state:(App.state r.app) ~client ~rid ~result)
+            ~signers:(-1) ~quorum:1
+            ~faulty:(Behavior.is_faulty r.behavior);
         (* Ship the new state to the standbys. *)
         let peers = r.peer_ids in
         for i = 0 to Array.length peers - 1 do
@@ -119,6 +134,11 @@ let on_update r ~epoch ~seq ~state ~client ~rid ~result =
     r.epoch <- max r.epoch epoch;
     r.seq <- seq;
     App.set_state r.app state;
+    if r.chk >= 0 then
+      Check.commit ~session:r.chk ~replica:r.id ~view:epoch ~seq
+        ~digest:(update_digest ~state ~client ~rid ~result)
+        ~signers:(-1) ~quorum:1
+        ~faulty:(Behavior.is_faulty r.behavior);
     let c = rid_slot r client in
     r.rid_last.(c) <- rid;
     r.rid_result.(c) <- result
@@ -179,7 +199,7 @@ let start_timers (r : replica) =
           end
         end)
 
-let make_replica engine fabric config stats ~id ~behavior =
+let make_replica engine fabric config stats ~id ~behavior ~chk =
   let n = n_replicas config in
   {
     id;
@@ -196,10 +216,12 @@ let make_replica engine fabric config stats ~id ~behavior =
     rid_last = Array.make (n + config.n_clients) min_int;
     rid_result = Array.make (n + config.n_clients) 0L;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+    chk;
   }
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
+  let chk = if !Check.enabled then Check.new_session ~protocol:"primary_backup" else -1 in
   let behaviors =
     match behaviors with
     | Some b ->
@@ -212,7 +234,7 @@ let start engine fabric config ?behaviors () =
     invalid_arg "Primary_backup.start: fabric too small";
   let stats = Stats.create () in
   let replicas =
-    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id))
+    Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
     (fun r ->

@@ -35,7 +35,13 @@ let count t =
   done;
   !c
 
-let reached t ~threshold = count t >= threshold
+(* Test-only mutation knob: a positive slack makes every threshold test
+   accept that many fewer voters (e.g. f+1 where 2f+1 is required). The
+   checker self-tests use it to prove resoc_check catches broken quorums;
+   it must stay 0 everywhere else. *)
+let test_quorum_slack = ref 0
+
+let reached t ~threshold = count t >= threshold - !test_quorum_slack
 
 let check_n n label = if n < 0 || n > max_voters then invalid_arg (label ^ ": need 0 <= n <= 63")
 

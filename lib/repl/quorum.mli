@@ -31,6 +31,12 @@ val count : t -> int
 val reached : t -> threshold:int -> bool
 (** [reached t ~threshold] is [count t >= threshold]. *)
 
+val test_quorum_slack : int ref
+(** Test-only mutation knob: a positive slack weakens every [reached]
+    threshold by that many voters, simulating a protocol bug that
+    accepts sub-quorum certificates. The resoc_check self-tests flip it
+    to prove the checker catches the mutant; leave at [0] otherwise. *)
+
 val check_n : int -> string -> unit
 (** [check_n n label] raises [Invalid_argument] unless [0 <= n <= 63];
     protocols call it once at group construction. *)

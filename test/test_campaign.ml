@@ -113,7 +113,7 @@ let strip (result : Campaign.result) =
 
 let run_toy ~root_seed ~replicates ~jobs =
   Campaign.run
-    ~config:{ Campaign.root_seed; replicates; jobs; progress = false }
+    ~config:{ Campaign.default_config with root_seed; replicates; jobs }
     ~id:"toy" ~title:"toy campaign"
     [ toy_cell "a"; toy_cell "b"; toy_cell "c" ]
 
@@ -154,7 +154,7 @@ let test_failure_capture () =
   let good = toy_cell "good" in
   let result =
     Campaign.run
-      ~config:{ Campaign.root_seed = 0x5EEDL; replicates = 12; jobs = 3; progress = false }
+      ~config:{ Campaign.default_config with root_seed = 0x5EEDL; replicates = 12; jobs = 3 }
       ~id:"fail" ~title:"failure capture" [ bad; good ]
   in
   match result.Campaign.cells with

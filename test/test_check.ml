@@ -1,0 +1,425 @@
+(* Tests for the resoc_check layer: ddmin minimization, injection-log mask
+   semantics, FAIL_*.json round-trips, the invariant checkers themselves,
+   mutation self-tests proving the checkers catch deliberately broken
+   protocols (and pass the unbroken ones), checker transparency (enabling it
+   never changes a run), and the end-to-end campaign auto-shrink path. *)
+
+module Check = Resoc_check.Check
+module Inject = Resoc_check.Inject
+module Shrink = Resoc_check.Shrink
+module Replay = Resoc_check.Replay
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Register = Resoc_hw.Register
+module Seu = Resoc_fault.Seu
+module Transport = Resoc_repl.Transport
+module Quorum = Resoc_repl.Quorum
+module Pbft = Resoc_repl.Pbft
+module Minbft = Resoc_repl.Minbft
+module Stats = Resoc_repl.Stats
+module Usig = Resoc_hybrid.Usig
+module Campaign = Resoc_campaign.Campaign
+module Emit = Resoc_campaign.Emit
+
+(* Gates are global; every test that touches them restores the disabled
+   state so suites cannot contaminate one another. *)
+let with_check f =
+  Fun.protect
+    ~finally:(fun () ->
+      Check.disable ();
+      Inject.stop ();
+      Check.begin_replicate ();
+      Inject.begin_replicate ())
+    (fun () ->
+      Check.enable ();
+      Inject.record ();
+      Check.begin_replicate ();
+      Inject.begin_replicate ();
+      f ())
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- ddmin -------------------------------------------------------------- *)
+
+let test_ddmin_pair () =
+  let tests = ref 0 in
+  let test keep =
+    incr tests;
+    List.mem 3 keep && List.mem 7 keep
+  in
+  let keep = List.sort compare (Shrink.ddmin ~test 12) in
+  Alcotest.(check (list int)) "exact minimal pair" [ 3; 7 ] keep;
+  Alcotest.(check bool) "bounded work" true (!tests <= 512)
+
+let test_ddmin_empty_failing () =
+  Alcotest.(check (list int)) "vacuous failure needs no events" []
+    (Shrink.ddmin ~test:(fun _ -> true) 10)
+
+let test_ddmin_single () =
+  Alcotest.(check (list int)) "single culprit" [ 5 ]
+    (List.sort compare (Shrink.ddmin ~test:(fun keep -> List.mem 5 keep) 9))
+
+let test_ddmin_result_fails () =
+  (* Whatever ddmin returns must itself be a failing schedule, even for
+     awkward predicates and tiny budgets. *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:50 ~name:"ddmin result still fails"
+       QCheck.(pair (int_range 1 20) (list_of_size Gen.(1 -- 4) (int_bound 19)))
+       (fun (n, culprits) ->
+         let culprits = List.filter (fun c -> c < n) culprits in
+         QCheck.assume (culprits <> []);
+         let test keep = List.for_all (fun c -> List.mem c keep) culprits in
+         let keep = Shrink.ddmin ~max_tests:64 ~test n in
+         test keep))
+
+(* --- injection log ------------------------------------------------------ *)
+
+let test_inject_mask () =
+  with_check (fun () ->
+      let permit i = Inject.permit ~kind:Inject.Seu ~time:(10 * i) ~a:i ~b:0 in
+      let granted = List.init 5 permit in
+      Alcotest.(check (list bool)) "no mask grants all" [ true; true; true; true; true ] granted;
+      Alcotest.(check int) "five occurrences logged" 5 (Inject.count ());
+      Inject.begin_replicate ();
+      Inject.set_mask ~total:5 [ 1; 3 ];
+      let granted = List.init 7 permit in
+      Alcotest.(check (list bool))
+        "mask keeps listed indices, suppresses the rest and any overflow"
+        [ false; true; false; true; false; false; false ]
+        granted;
+      Alcotest.(check int) "suppressed occurrences still logged" 7 (Inject.count ());
+      Inject.begin_replicate ();
+      Alcotest.(check int) "begin_replicate drops the log" 0 (Inject.count ());
+      Alcotest.(check bool) "and the mask" true (permit 0))
+
+let test_inject_inactive () =
+  Alcotest.(check bool) "inactive permit grants" true
+    (Inject.permit ~kind:Inject.Trojan ~time:0 ~a:0 ~b:0);
+  Alcotest.(check int) "and logs nothing" 0 (Inject.count ())
+
+(* --- FAIL json round-trip ----------------------------------------------- *)
+
+let sample_record =
+  {
+    Replay.experiment = "e6";
+    cell = "reactive/\"max\"";
+    seed = -3L;
+    error = "invariant violation: agreement at (0,3)\nbacktrace";
+    total_events = 41;
+    keep = [ 2; 17 ];
+    events =
+      [
+        { Replay.kind = Inject.Seu; time = 120; a = 3; b = 17; kept = true };
+        { Replay.kind = Inject.Apt; time = 999; a = 1; b = 0; kept = false };
+        { Replay.kind = Inject.Trojan; time = 1000; a = 2; b = 0; kept = true };
+      ];
+  }
+
+let test_replay_roundtrip () =
+  let rt = Replay.of_json (Replay.to_json sample_record) in
+  Alcotest.(check bool) "round-trips" true (rt = sample_record);
+  Alcotest.(check string) "filename" "FAIL_e6_-3.json" (Replay.filename sample_record)
+
+let test_replay_write_read () =
+  let dir = Filename.temp_file "resoc_check" "" in
+  Sys.remove dir;
+  let path = Replay.write ~dir sample_record in
+  Alcotest.(check bool) "file lands under dir" true (Filename.dirname path = dir);
+  Alcotest.(check bool) "read back equal" true (Replay.read path = sample_record)
+
+(* --- invariant units ---------------------------------------------------- *)
+
+let violates f =
+  match f () with () -> false | exception Check.Violation _ -> true
+
+let test_agreement () =
+  with_check (fun () ->
+      let s = Check.new_session ~protocol:"unit" in
+      let commit ~replica ~view ~seq ~digest =
+        Check.commit ~session:s ~replica ~view ~seq ~digest ~signers:3 ~quorum:3 ~faulty:false
+      in
+      commit ~replica:0 ~view:0 ~seq:1 ~digest:11L;
+      commit ~replica:1 ~view:0 ~seq:1 ~digest:11L;
+      commit ~replica:0 ~view:1 ~seq:1 ~digest:22L;
+      Alcotest.(check bool) "same slot, different digest" true
+        (violates (fun () -> commit ~replica:2 ~view:0 ~seq:1 ~digest:22L));
+      Alcotest.(check bool) "faulty replicas may lie" false
+        (violates (fun () ->
+             Check.commit ~session:s ~replica:3 ~view:0 ~seq:1 ~digest:33L ~signers:3 ~quorum:3
+               ~faulty:true)))
+
+let test_quorum_certificate () =
+  with_check (fun () ->
+      let s = Check.new_session ~protocol:"unit" in
+      Alcotest.(check bool) "thin certificate" true
+        (violates (fun () ->
+             Check.commit ~session:s ~replica:0 ~view:0 ~seq:1 ~digest:1L ~signers:2 ~quorum:3
+               ~faulty:false));
+      Alcotest.(check bool) "certificate-free protocols skip the check" false
+        (violates (fun () ->
+             Check.commit ~session:s ~replica:0 ~view:0 ~seq:2 ~digest:1L ~signers:(-1) ~quorum:3
+               ~faulty:false)))
+
+let test_counter_issuance () =
+  with_check (fun () ->
+      let h = Check.new_hybrid ~name:"usig" in
+      Check.counter_issued ~hybrid:h ~read:0L ~issued:1L ~digest:10L;
+      Check.counter_issued ~hybrid:h ~read:1L ~issued:2L ~digest:20L;
+      Alcotest.(check bool) "re-issue to a different digest is equivocation" true
+        (violates (fun () -> Check.counter_issued ~hybrid:h ~read:2L ~issued:2L ~digest:30L));
+      let h = Check.new_hybrid ~name:"usig" in
+      Check.counter_issued ~hybrid:h ~read:0L ~issued:1L ~digest:10L;
+      Alcotest.(check bool) "regression" true
+        (violates (fun () -> Check.counter_issued ~hybrid:h ~read:1L ~issued:0L ~digest:40L));
+      (* An SEU that corrupts the register shows up as a readback that differs
+         from the last issued value; the tracker resyncs instead of firing. *)
+      let h = Check.new_hybrid ~name:"usig" in
+      Check.counter_issued ~hybrid:h ~read:0L ~issued:1L ~digest:10L;
+      Alcotest.(check bool) "perturbed readback forgiven" false
+        (violates (fun () -> Check.counter_issued ~hybrid:h ~read:9L ~issued:10L ~digest:50L)))
+
+let test_a2m_and_noc () =
+  with_check (fun () ->
+      let h = Check.new_hybrid ~name:"a2m" in
+      Check.a2m_append ~hybrid:h ~seq:1L ~digest:1L;
+      Check.a2m_append ~hybrid:h ~seq:2L ~digest:2L;
+      Alcotest.(check bool) "a2m gap" true
+        (violates (fun () -> Check.a2m_append ~hybrid:h ~seq:4L ~digest:4L));
+      let n = Check.new_network () in
+      Check.flit_injected ~net:n;
+      Check.flit_delivered ~net:n;
+      Alcotest.(check bool) "phantom delivery" true
+        (violates (fun () -> Check.flit_dropped ~net:n)))
+
+(* --- mutation self-tests ------------------------------------------------ *)
+
+let run_pbft () =
+  let engine = Engine.create () in
+  let config = { Pbft.default_config with f = 1; n_clients = 1 } in
+  let fabric = Transport.hub engine ~n:(Pbft.n_replicas config + 1) () in
+  let sys = Pbft.start engine fabric config () in
+  for i = 1 to 4 do
+    Pbft.submit sys ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:200_000 engine;
+  (Pbft.stats sys).Stats.completed
+
+let run_minbft ~seed ~count =
+  let engine = Engine.create ~seed () in
+  let config = { Minbft.default_config with n_clients = 1 } in
+  let n = Minbft.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 1) () in
+  let sys = Minbft.start engine fabric config () in
+  for i = 1 to count do
+    Minbft.submit sys ~client:0 ~payload:(Int64.of_int i)
+  done;
+  Engine.run ~until:200_000 engine;
+  (engine, sys, n)
+
+let test_mutant_broken_quorum () =
+  with_check (fun () ->
+      Alcotest.(check bool) "unmutated pbft passes" true (run_pbft () = 4);
+      Alcotest.(check bool) "checker observed traffic" true (Check.hooks_fired () > 0);
+      Check.begin_replicate ();
+      Fun.protect
+        ~finally:(fun () -> Quorum.test_quorum_slack := 0)
+        (fun () ->
+          (* Accept f+1 commit votes where 2f+1 are required. *)
+          Quorum.test_quorum_slack := 1;
+          match run_pbft () with
+          | _ -> Alcotest.fail "broken quorum not flagged"
+          | exception Check.Violation msg ->
+            Alcotest.(check bool) "names the quorum invariant" true (contains ~sub:"quorum" msg)))
+
+let test_mutant_usig_reissue () =
+  with_check (fun () ->
+      let _, sys, _ = run_minbft ~seed:7L ~count:4 in
+      Alcotest.(check int) "unmutated minbft passes" 4 (Minbft.stats sys).Stats.completed;
+      Alcotest.(check bool) "checker observed traffic" true (Check.hooks_fired () > 0);
+      Check.begin_replicate ();
+      Fun.protect
+        ~finally:(fun () -> Usig.test_reissue := false)
+        (fun () ->
+          Usig.test_reissue := true;
+          match run_minbft ~seed:7L ~count:4 with
+          | _ -> Alcotest.fail "usig counter re-issue not flagged"
+          | exception Check.Violation msg ->
+            Alcotest.(check bool) "names the counter invariant" true
+              (contains ~sub:"counter" msg)))
+
+(* --- transparency ------------------------------------------------------- *)
+
+let minbft_fingerprint ~seed ~count =
+  let engine, sys, n = run_minbft ~seed ~count in
+  ( (Minbft.stats sys).Stats.completed,
+    Engine.events_processed engine,
+    List.init n (fun r -> Minbft.replica_state sys ~replica:r) )
+
+let prop_checking_is_transparent =
+  QCheck.Test.make ~name:"enabling the checker never changes a MinBFT run" ~count:20
+    QCheck.(pair (int_bound 1000) (int_range 1 6))
+    (fun (seed, count) ->
+      let seed = Int64.of_int (seed + 1) in
+      let base = minbft_fingerprint ~seed ~count in
+      let checked = with_check (fun () -> minbft_fingerprint ~seed ~count) in
+      base = checked)
+
+let minbft_cell =
+  Campaign.cell "minbft" (fun ~seed ->
+      let _, sys, _ = run_minbft ~seed ~count:3 in
+      [ ("completed", float_of_int (Minbft.stats sys).Stats.completed) ])
+
+let campaign_json ~check =
+  let dir = Filename.temp_file "resoc_check" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let config = { Campaign.default_config with replicates = 6; jobs = 2; check } in
+  let result = Campaign.run ~config ~id:"chk" ~title:"transparency" [ minbft_cell ] in
+  let path = Emit.json_file ~dir result in
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_bench_json_transparent () =
+  let base = campaign_json ~check:false in
+  let checked = with_check (fun () -> campaign_json ~check:true) in
+  Alcotest.(check string) "BENCH json byte-identical, checker on vs off" base checked
+
+(* --- end-to-end campaign shrink ----------------------------------------- *)
+
+(* A replicate whose only failure mode is SEU corruption of register 0: any
+   single surviving upset on it reproduces, so ddmin must land on one event. *)
+let seu_cell =
+  Campaign.cell "seu" (fun ~seed ->
+      let engine = Engine.create () in
+      let rng = Rng.create seed in
+      let regs = Array.init 8 (fun _ -> Register.create Register.Plain 0L) in
+      let seu = Seu.start engine rng ~rate_per_bit_cycle:1e-5 regs in
+      Engine.run ~until:20_000 engine;
+      Seu.halt seu;
+      (match Register.read regs.(0) with
+      | 0L, _ -> ()
+      | _ -> failwith "register 0 corrupted");
+      [ ("injected", float_of_int (Seu.injected seu)) ])
+
+let test_campaign_shrink () =
+  with_check (fun () ->
+      let dir = Filename.temp_file "resoc_check" "" in
+      Sys.remove dir;
+      let config =
+        {
+          Campaign.default_config with
+          replicates = 4;
+          jobs = 2;
+          check = true;
+          shrink = true;
+          fail_dir = Some dir;
+        }
+      in
+      let result = Campaign.run ~config ~id:"shrinke2e" ~title:"shrink e2e" [ seu_cell ] in
+      let failures =
+        List.fold_left (fun acc agg -> acc + Campaign.failures agg) 0 result.Campaign.cells
+      in
+      Alcotest.(check bool) "some replicate hit register 0" true (failures > 0);
+      let fails =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "FAIL_")
+      in
+      Alcotest.(check int) "one FAIL file per failed replicate" failures (List.length fails);
+      let rt = Replay.read (Filename.concat dir (List.hd fails)) in
+      Alcotest.(check string) "experiment recorded" "shrinke2e" rt.Replay.experiment;
+      Alcotest.(check bool) "shrunk to <= 3 events" true (List.length rt.Replay.keep <= 3);
+      Alcotest.(check bool) "schedule shrank" true
+        (List.length rt.Replay.keep < rt.Replay.total_events);
+      (* The minimal schedule reproduces under its mask. *)
+      Check.begin_replicate ();
+      Inject.begin_replicate ();
+      Inject.set_mask ~total:rt.Replay.total_events rt.Replay.keep;
+      let reproduced =
+        match seu_cell.Campaign.run ~seed:rt.Replay.seed with
+        | _ -> false
+        | exception _ -> true
+      in
+      Alcotest.(check bool) "masked replay reproduces" true reproduced)
+
+(* The broken-quorum mutant through the full campaign path: every replicate
+   is flagged, and since no injection events are involved the schedule
+   shrinks to the empty repro log. *)
+let test_campaign_shrink_quorum_mutant () =
+  with_check (fun () ->
+      let cell =
+        Campaign.cell "broken-quorum" (fun ~seed ->
+            ignore seed;
+            Quorum.test_quorum_slack := 1;
+            Fun.protect
+              ~finally:(fun () -> Quorum.test_quorum_slack := 0)
+              (fun () ->
+                ignore (run_pbft ());
+                [ ("ok", 1.0) ]))
+      in
+      let dir = Filename.temp_file "resoc_check" "" in
+      Sys.remove dir;
+      let config =
+        {
+          Campaign.default_config with
+          replicates = 2;
+          check = true;
+          shrink = true;
+          fail_dir = Some dir;
+        }
+      in
+      let result = Campaign.run ~config ~id:"quorumx" ~title:"quorum mutant" [ cell ] in
+      let failures =
+        List.fold_left (fun acc agg -> acc + Campaign.failures agg) 0 result.Campaign.cells
+      in
+      Alcotest.(check int) "every replicate flagged" 2 failures;
+      let fails = Sys.readdir dir |> Array.to_list in
+      Alcotest.(check int) "FAIL file per replicate" 2 (List.length fails);
+      let rt = Replay.read (Filename.concat dir (List.hd fails)) in
+      Alcotest.(check bool) "error names quorum" true (contains ~sub:"quorum" rt.Replay.error);
+      Alcotest.(check bool) "<= 3-event repro" true (List.length rt.Replay.keep <= 3))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "resoc_check"
+    [
+      ( "ddmin",
+        [
+          Alcotest.test_case "minimal pair" `Quick test_ddmin_pair;
+          Alcotest.test_case "empty failing" `Quick test_ddmin_empty_failing;
+          Alcotest.test_case "single culprit" `Quick test_ddmin_single;
+          Alcotest.test_case "result always fails" `Quick test_ddmin_result_fails;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "mask semantics" `Quick test_inject_mask;
+          Alcotest.test_case "inactive is free" `Quick test_inject_inactive;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "write/read" `Quick test_replay_write_read;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "agreement" `Quick test_agreement;
+          Alcotest.test_case "quorum certificates" `Quick test_quorum_certificate;
+          Alcotest.test_case "counter issuance" `Quick test_counter_issuance;
+          Alcotest.test_case "a2m and noc" `Quick test_a2m_and_noc;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "broken quorum flagged" `Quick test_mutant_broken_quorum;
+          Alcotest.test_case "usig re-issue flagged" `Quick test_mutant_usig_reissue;
+        ] );
+      ( "transparency",
+        [ Alcotest.test_case "BENCH json identical" `Quick test_bench_json_transparent ] );
+      qsuite "transparency-prop" [ prop_checking_is_transparent ];
+      ( "shrink-e2e",
+        [
+          Alcotest.test_case "campaign auto-shrink" `Quick test_campaign_shrink;
+          Alcotest.test_case "quorum mutant shrunk" `Quick test_campaign_shrink_quorum_mutant;
+        ] );
+    ]
