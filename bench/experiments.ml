@@ -1153,6 +1153,77 @@ let a8_batching () =
       row "%-14d %-10d %-14d %-10.1f %-10.0f\n" batch_window completed certs msgs lat)
     [ 0; 50; 200; 500 ]
 
+(* ------------------------------------------------------------------ *)
+(* E10: checkpoint certificates + incremental state transfer           *)
+(* ------------------------------------------------------------------ *)
+
+let e10_state_transfer () =
+  header "E10 Certified checkpoints and rejuvenation state transfer"
+    "Claim (SII.C / DESIGN S8): with checkpoint certificates enabled, a\n\
+     rejuvenated replica restarts wiped and must fetch the latest stable\n\
+     checkpoint plus log suffix over the NoC — so rejuvenation has a\n\
+     measurable transfer cost (bytes, latency) instead of a free state\n\
+     copy. Periodic rejuvenation, no APT, 300k-cycle horizon:";
+  let horizon = 300_000 in
+  let ckpt = Some { Resoc_repl.Checkpoint.interval = 32; window = 8; chunk = 8 } in
+  let base ~kind ~checkpoint seed =
+    {
+      Resilient_system.default_config with
+      soc = { Soc.default_config with seed };
+      group = { Group.default_spec with kind; n_clients = 2; checkpoint };
+      apt = None;
+      rejuvenation = Some { Rejuvenation.period = 10_000; downtime = 1_000 };
+      diversity = Diversity.Max_diversity;
+      relocate_on_rejuvenation = false;
+    }
+  in
+  let cells =
+    List.map
+      (fun (name, kind, checkpoint) ->
+        Campaign.cell
+          ~params:
+            [ ("protocol", name); ("ckpt", if checkpoint = None then "off" else "on") ]
+          (name ^ if checkpoint = None then "/off" else "")
+          (fun ~seed ->
+            let sys = Resilient_system.create (base ~kind ~checkpoint seed) in
+            let r = Resilient_system.run sys ~horizon ~workload_period:500 in
+            [
+              ("completed", float_of_int r.Resilient_system.completed);
+              ("availability", r.Resilient_system.availability);
+              ("rejuvenations", float_of_int r.Resilient_system.rejuvenations);
+              ("checkpoints", float_of_int r.Resilient_system.checkpoints);
+              ("transfers", float_of_int r.Resilient_system.state_transfers);
+              ("transfer_bytes", float_of_int r.Resilient_system.transfer_bytes);
+              ("transfer_cycles", r.Resilient_system.transfer_cycles_mean);
+            ]))
+      [
+        ("pbft", `Pbft, ckpt);
+        ("minbft", `Minbft, ckpt);
+        ("a2m-bft", `A2m_bft, ckpt);
+        ("cheapbft", `Cheapbft, ckpt);
+        ("paxos", `Paxos, ckpt);
+        ("primary-backup", `Primary_backup, ckpt);
+        ("minbft", `Minbft, None);
+      ]
+  in
+  let result =
+    run_campaign ~id:"e10" ~title:"Certified checkpoints and rejuvenation state transfer" cells
+  in
+  row "%-16s %-14s %-13s %-12s %-10s %-16s %-12s\n" "protocol" "availability" "checkpoints"
+    "transfers" "rejuv" "transfer-bytes" "fetch-lat";
+  List.iter
+    (fun agg ->
+      let avail = Campaign.metric agg "availability" in
+      let ckpts = Campaign.metric agg "checkpoints" in
+      let transfers = Campaign.metric agg "transfers" in
+      let rejs = Campaign.metric agg "rejuvenations" in
+      let bytes = Campaign.metric agg "transfer_bytes" in
+      let lat = Campaign.metric agg "transfer_cycles" in
+      row "%-16s %-14.3f %-13.0f %-12.1f %-10.0f %-16.0f %-12.0f\n" agg.Campaign.cell_id
+        avail.Cstats.mean ckpts.Cstats.mean transfers.Cstats.mean rejs.Cstats.mean
+        bytes.Cstats.mean lat.Cstats.mean)
+    result.Campaign.cells
+
 let all =
   [
     ("e1", "gate-level redundancy", e1_gate_redundancy);
@@ -1164,6 +1235,7 @@ let all =
     ("e7", "threat-adaptive f", e7_adaptation);
     ("e8", "reconfiguration governance", e8_reconfig_governance);
     ("e9", "hybrid complexity crossover", e9_hybrid_complexity);
+    ("e10", "checkpoint certificates + state transfer", e10_state_transfer);
     ("f1", "layered stack composition", f1_layered_stack);
     ("a1", "razor timing speculation (ablation)", a1_razor);
     ("a2", "3d multi-vendor stacking (ablation)", a2_vendor_stack);

@@ -101,6 +101,30 @@ let commit ~session ~replica ~view ~seq ~digest ~signers ~quorum ~faulty =
         violation "%s: agreement broken at view %d seq %d: replica %d committed %Lx, replica %d %Lx"
           ss.protocol view seq first prior replica digest)
 
+let exec_window ~session ~replica ~seq ~low ~high ~faulty =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.sessions session with
+  | None -> ()
+  | Some _ when faulty -> ()
+  | Some ss ->
+    if seq <= low || seq > high then
+      violation "%s: replica %d executed seq %d outside its watermark window (%d, %d]" ss.protocol
+        replica seq low high
+
+let transfer_applied ~session ~replica ~seq ~claimed ~actual ~faulty =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.sessions session with
+  | None -> ()
+  | Some _ when faulty -> ()
+  | Some ss ->
+    if not (Int64.equal claimed actual) then
+      violation
+        "%s: replica %d installed a state transfer at seq %d whose digest %Lx does not match the \
+         certificate's %Lx"
+        ss.protocol replica seq actual claimed
+
 let counter_issued ~hybrid ~read ~issued ~digest =
   let s = Domain.DLS.get state in
   s.fired <- s.fired + 1;

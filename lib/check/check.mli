@@ -25,6 +25,11 @@
       A register readback that differs from the last issued value is treated
       as an SEU perturbation and resynchronizes the tracker instead of firing
       (plain registers in E2 are legitimately corrupted by fault injection).
+    - {b Watermark discipline}: with checkpointing enabled, a replica never
+      executes a sequence number outside its (low, high] watermark window.
+    - {b Certified state transfer}: a completed state transfer installs app
+      state whose recomputed digest matches the checkpoint certificate it
+      claimed.
     - {b A2M log integrity}: attested sequence numbers grow strictly by one.
     - {b NoC conservation}: delivered + dropped flits never exceed injected
       flits (no duplication, no phantom delivery).
@@ -69,6 +74,17 @@ val commit :
     without a local certificate (e.g. a Paxos follower applying a leader
     decision); [faulty] replicas are recorded nowhere and checked never —
     a Byzantine replica is allowed to lie. *)
+
+val exec_window :
+  session:int -> replica:int -> seq:int -> low:int -> high:int -> faulty:bool -> unit
+(** Report that [replica] is about to execute [seq] under watermark window
+    [(low, high]]. Fires a violation when [seq] lies outside the window. *)
+
+val transfer_applied :
+  session:int -> replica:int -> seq:int -> claimed:int64 -> actual:int64 -> faulty:bool -> unit
+(** Report that [replica] installed a completed state transfer claiming the
+    checkpoint certificate at [seq] with digest [claimed]; [actual] is the
+    digest recomputed over the received state. Fires on mismatch. *)
 
 (** {1 Trusted-component hybrids} *)
 

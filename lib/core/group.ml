@@ -10,6 +10,7 @@ module A2m_bft = Resoc_repl.A2m_bft
 module Cheapbft = Resoc_repl.Cheapbft
 module Paxos = Resoc_repl.Paxos
 module Primary_backup = Resoc_repl.Primary_backup
+module Checkpoint = Resoc_repl.Checkpoint
 
 type t = {
   protocol : string;
@@ -36,6 +37,7 @@ type spec = {
   vc_timeout : int;
   usig_protection : Register.protection;
   batch_window : int;  (* hybrid-BFT protocols only; 0 = no batching *)
+  checkpoint : Checkpoint.config option;  (* None = legacy fixed-retention model *)
   behaviors : Behavior.t array option;
 }
 
@@ -48,6 +50,7 @@ let default_spec =
     vc_timeout = 2500;
     usig_protection = Register.Secded;
     batch_window = 0;
+    checkpoint = None;
     behaviors = None;
   }
 
@@ -68,26 +71,31 @@ let message_bytes = function
   | `Paxos -> 48
   | `Primary_backup -> 80
 
-let make_fabric engine kind spec ~n_endpoints =
+let make_fabric engine kind ~size_of ~n_endpoints =
   match kind with
   | Hub { latency } -> Transport.hub engine ~n:n_endpoints ~latency ()
   | On_soc soc ->
     let placement = Soc.spread_placement soc ~n:n_endpoints in
-    let bytes = message_bytes spec.kind in
-    Soc.noc_fabric soc ~placement ~size_of:(fun _ -> bytes)
+    Soc.noc_fabric soc ~placement ~size_of
 
 let build engine kind spec =
   let n = n_replicas_of spec in
   let n_endpoints = n + spec.n_clients in
   match spec.kind with
   | `Pbft ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | Pbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         Pbft.f = spec.f;
         n_clients = spec.n_clients;
         request_timeout = spec.request_timeout;
         vc_timeout = spec.vc_timeout;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = Pbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -106,7 +114,12 @@ let build engine kind spec =
       usig_of = None;
     }
   | `Minbft ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | Minbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         Minbft.f = spec.f;
@@ -117,6 +130,7 @@ let build engine kind spec =
         keychain_master = 0xC0FFEEL;
         batch_window = spec.batch_window;
         max_batch = 16;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = Minbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -135,7 +149,12 @@ let build engine kind spec =
       usig_of = Some (fun ~replica -> Minbft.usig sys ~replica);
     }
   | `A2m_bft ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | A2m_bft.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         A2m_bft.f = spec.f;
@@ -146,6 +165,7 @@ let build engine kind spec =
         keychain_master = 0xC0FFEEL;
         batch_window = spec.batch_window;
         max_batch = 16;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = A2m_bft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -164,7 +184,12 @@ let build engine kind spec =
       usig_of = None;
     }
   | `Cheapbft ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | Cheapbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         Cheapbft.f = spec.f;
@@ -174,6 +199,7 @@ let build engine kind spec =
         update_period = 2_000;
         trinc_protection = spec.usig_protection;
         keychain_master = 0x17E4C0L;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = Cheapbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -185,20 +211,32 @@ let build engine kind spec =
       stats = (fun () -> Cheapbft.stats sys);
       replica_state = (fun ~replica -> Cheapbft.replica_state sys ~replica);
       set_replica_state = (fun ~replica:_ _ -> ());
-      set_offline = (fun ~replica:_ -> ());
-      set_online = (fun ~replica:_ -> ());
+      set_offline =
+        (match spec.checkpoint with
+        | Some _ -> fun ~replica -> Cheapbft.set_offline sys ~replica
+        | None -> fun ~replica:_ -> ());
+      set_online =
+        (match spec.checkpoint with
+        | Some _ -> fun ~replica -> Cheapbft.set_online sys ~replica
+        | None -> fun ~replica:_ -> ());
       messages = fabric.Transport.messages_sent;
       bytes = fabric.Transport.bytes_sent;
       usig_of = None;
     }
   | `Paxos ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | Paxos.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         Paxos.f = spec.f;
         n_clients = spec.n_clients;
         request_timeout = spec.request_timeout;
         election_timeout = spec.vc_timeout;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = Paxos.start engine fabric config ?behaviors:spec.behaviors () in
@@ -217,7 +255,12 @@ let build engine kind spec =
       usig_of = None;
     }
   | `Primary_backup ->
-    let fabric = make_fabric engine kind spec ~n_endpoints in
+    let bytes = message_bytes spec.kind in
+    let size_of = function
+      | Primary_backup.State_chunk c -> Checkpoint.chunk_bytes c
+      | _ -> bytes
+    in
+    let fabric = make_fabric engine kind ~size_of ~n_endpoints in
     let config =
       {
         Primary_backup.n_backups = spec.f;
@@ -225,6 +268,7 @@ let build engine kind spec =
         request_timeout = spec.request_timeout;
         heartbeat_period = max 1 (spec.vc_timeout / 5);
         detection_timeout = spec.vc_timeout;
+        checkpoint = spec.checkpoint;
       }
     in
     let sys = Primary_backup.start engine fabric config ?behaviors:spec.behaviors () in
@@ -236,8 +280,14 @@ let build engine kind spec =
       stats = (fun () -> Primary_backup.stats sys);
       replica_state = (fun ~replica -> Primary_backup.replica_state sys ~replica);
       set_replica_state = (fun ~replica v -> Primary_backup.set_replica_state sys ~replica v);
-      set_offline = (fun ~replica:_ -> ());
-      set_online = (fun ~replica:_ -> ());
+      set_offline =
+        (match spec.checkpoint with
+        | Some _ -> fun ~replica -> Primary_backup.set_offline sys ~replica
+        | None -> fun ~replica:_ -> ());
+      set_online =
+        (match spec.checkpoint with
+        | Some _ -> fun ~replica -> Primary_backup.set_online sys ~replica
+        | None -> fun ~replica:_ -> ());
       messages = fabric.Transport.messages_sent;
       bytes = fabric.Transport.bytes_sent;
       usig_of = None;

@@ -41,6 +41,14 @@ type spec = {
   batch_window : int;
       (** Hybrid-BFT protocols only: primary-side batching window in cycles
           (0 = order immediately). *)
+  checkpoint : Resoc_repl.Checkpoint.config option;
+      (** Certified checkpointing + incremental state transfer (DESIGN.md
+          §8), wired through every protocol. [None] (the default) keeps
+          the legacy model — fixed-retention logs, and rejuvenation
+          restores state for free (or, for CheapBFT / primary-backup,
+          invisibly). State-transfer chunks are the one message class
+          whose NoC size is computed from content rather than the nominal
+          per-protocol constant. *)
   behaviors : Behavior.t array option;
 }
 

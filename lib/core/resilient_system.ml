@@ -72,6 +72,10 @@ type report = {
   messages : int;
   bytes : int;
   rejuvenations : int;
+  checkpoints : int;
+  state_transfers : int;
+  transfer_bytes : int;
+  transfer_cycles_mean : float;
   compromises : int;
   compromised_peak : int;
   failed_at : int option;
@@ -81,11 +85,12 @@ let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>horizon        %d cycles@,completed      %d/%d (availability %.3f)@,throughput     \
      %.2f req/kcycle@,latency        mean %.0f p99 %.0f cycles@,view changes   %d@,wrong \
-     replies  %d@,noc messages   %d (%d bytes)@,rejuvenations  %d@,compromises    %d (peak \
-     simultaneous %d)@,safety         %s@]"
+     replies  %d@,noc messages   %d (%d bytes)@,rejuvenations  %d@,checkpoints    %d@,state \
+     transfers %d (%d bytes, mean %.0f cycles)@,compromises    %d (peak simultaneous \
+     %d)@,safety         %s@]"
     r.horizon r.completed r.submitted r.availability r.throughput_kcycle r.latency_mean
-    r.latency_p99 r.view_changes r.wrong_replies r.messages r.bytes r.rejuvenations r.compromises
-    r.compromised_peak
+    r.latency_p99 r.view_changes r.wrong_replies r.messages r.bytes r.rejuvenations r.checkpoints
+    r.state_transfers r.transfer_bytes r.transfer_cycles_mean r.compromises r.compromised_peak
     (match r.failed_at with
      | None -> "held for the whole run"
      | Some t -> Printf.sprintf "LOST at cycle %d (more than f compromised)" t)
@@ -299,6 +304,12 @@ let run t ~horizon ~workload_period =
     messages = t.group.Group.messages ();
     bytes = t.group.Group.bytes ();
     rejuvenations;
+    checkpoints = stats.Stats.checkpoints;
+    state_transfers = stats.Stats.state_transfers;
+    transfer_bytes = stats.Stats.transfer_bytes;
+    transfer_cycles_mean =
+      (if stats.Stats.state_transfers = 0 then 0.0
+       else float_of_int stats.Stats.transfer_cycles /. float_of_int stats.Stats.state_transfers);
     compromises = t.compromises;
     compromised_peak = t.compromised_peak;
     failed_at = t.failed_at;

@@ -58,6 +58,10 @@ type report = {
   messages : int;
   bytes : int;
   rejuvenations : int;
+  checkpoints : int;  (** Stable-checkpoint certificates formed (group-wide). *)
+  state_transfers : int;  (** Certified transfers installed by rejoiners. *)
+  transfer_bytes : int;  (** Nominal NoC bytes spent on transfer chunks. *)
+  transfer_cycles_mean : float;  (** Mean fetch-to-install latency. *)
   compromises : int;  (** Total compromise events (incl. re-compromises). *)
   compromised_peak : int;  (** Max simultaneously-compromised replicas. *)
   failed_at : int option;  (** First instant more than f replicas were

@@ -20,6 +20,9 @@ type msg =
   | Activate of { new_view : int }
   | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
   | Reply of Types.reply
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
 type config = {
   f : int;
@@ -29,6 +32,7 @@ type config = {
   update_period : int;
   trinc_protection : Register.protection;
   keychain_master : int64;
+  checkpoint : Checkpoint.config option;
 }
 
 let default_config =
@@ -40,6 +44,7 @@ let default_config =
     update_period = 2_000;
     trinc_protection = Register.Secded;
     keychain_master = 0x17E4C0L;
+    checkpoint = None;
   }
 
 let n_replicas config = (2 * config.f) + 1
@@ -93,6 +98,9 @@ type replica = {
   mutable last_shipped : int64;
   repeat_counts : (int * int, int) Hashtbl.t;  (* (client, rid) -> cached-reply resends *)
   chk : int;  (* resoc_check session, -1 when checking is off *)
+  mutable online : bool;
+  cp : Checkpoint.t option;  (* active-set checkpoint certificates, None = legacy *)
+  mutable recover_timer : Engine.handle option;
 }
 
 type t = {
@@ -112,6 +120,13 @@ let message_name = function
   | Activate _ -> "activate"
   | New_view _ -> "new-view"
   | Reply _ -> "reply"
+  | Checkpoint_vote _ -> "checkpoint-vote"
+  | Fetch_state _ -> "fetch-state"
+  | State_chunk _ -> "state-chunk"
+
+(* Forward bound for overflow pruning on the legacy path: anything this far
+   past the execution frontier is an outlier that will never execute. *)
+let prune_margin = 1 lsl 15
 
 let primary_of ~view ~n = view mod n
 
@@ -132,7 +147,7 @@ let commit_quorum (r : replica) = r.f + 1
 
 let send (r : replica) ~dst msg =
   let now = Engine.now r.engine in
-  if not (Behavior.is_crashed r.behavior ~now) then
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
     match Behavior.active_strategy r.behavior ~now with
     | Some Behavior.Silent -> ()
     | Some (Behavior.Delay d) ->
@@ -206,12 +221,23 @@ let rid_table_list r =
 let rec try_execute r =
   let next = Int64.add r.last_exec_counter 1L in
   let next_i = Int64.to_int next in
+  let gate_ok =
+    match r.cp with
+    | Some cp when not !Checkpoint.test_ignore_watermarks -> next_i <= Checkpoint.high cp
+    | Some _ | None -> true
+  in
   let slot = Slot_ring.slot r.log next_i in
-  if slot >= 0 then begin
+  if gate_ok && slot >= 0 then begin
     let e = Slot_ring.entry r.log slot in
     if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(commit_quorum r) then begin
       e.executed <- true;
       r.last_exec_counter <- next;
+      (match r.cp with
+      | Some cp when r.chk >= 0 ->
+        Check.exec_window ~session:r.chk ~replica:r.id ~seq:next_i ~low:(Checkpoint.low cp)
+          ~high:(Checkpoint.high cp)
+          ~faulty:(Behavior.is_faulty r.behavior)
+      | Some _ | None -> ());
       if r.chk >= 0 then
         Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
           ~digest:(Types.request_digest e.request)
@@ -234,10 +260,172 @@ let rec try_execute r =
       Hashtbl.remove r.pending digest;
       cancel_request_timer r digest;
       reply_to_client r request result;
-      Slot_ring.release r.log (next_i - log_retention);
+      (match r.cp with
+      | None ->
+        Slot_ring.release r.log (next_i - log_retention);
+        Slot_ring.prune_outside r.log ~low:(next_i - log_retention) ~high:(next_i + prune_margin)
+      | Some cp -> (
+        match
+          Checkpoint.note_exec cp ~seq:next_i ~state:(App.state r.app) ~rid_last:r.rid_last
+            ~rid_result:r.rid_result
+        with
+        | None -> ()
+        | Some d ->
+          broadcast r ~to_:(active_others r) (Checkpoint_vote { seq = next_i; digest = d });
+          on_cp_advance r cp (Checkpoint.note_vote cp ~seq:next_i ~digest:d ~voter:r.id)));
       try_execute r
     end
   end
+
+(* A new stable checkpoint: truncate the log below the low watermark (the
+   certificate now proves everything up to it) and retry execution in case
+   the high watermark was the only obstacle. *)
+and on_cp_advance r cp prev =
+  if prev >= 0 then begin
+    let lo = Checkpoint.low cp in
+    for seq = prev + 1 to lo do
+      Slot_ring.release r.log seq
+    done;
+    Slot_ring.prune_outside r.log ~low:(lo + 1) ~high:(Checkpoint.high cp + prune_margin);
+    r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+    try_execute r
+  end
+
+let cancel_recover_timer r =
+  match r.recover_timer with
+  | Some h ->
+    Engine.cancel r.engine h;
+    r.recover_timer <- None
+  | None -> ()
+
+(* Fetch the latest certified checkpoint from the peers, re-asking on a
+   request-timeout cadence until a transfer installs. Only actives hold
+   stable certificates, but the rejoiner does not know who is active, so
+   it asks everyone; passives simply have nothing to serve. *)
+let start_recovery (r : replica) cp =
+  Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
+  let rec arm () =
+    cancel_recover_timer r;
+    r.recover_timer <-
+      Some
+        (Engine.schedule r.engine ~delay:r.config.request_timeout (fun () ->
+             r.recover_timer <- None;
+             if r.online && Checkpoint.recovering cp then begin
+               broadcast r ~to_:r.all_others (Fetch_state { have = Checkpoint.low cp });
+               arm ()
+             end))
+  in
+  broadcast r ~to_:r.all_others (Fetch_state { have = Checkpoint.low cp });
+  arm ()
+
+let maybe_catchup r cp =
+  if Checkpoint.needs_catchup cp && not (Checkpoint.recovering cp) then start_recovery r cp
+
+(* The executed log suffix strictly above [from], ascending and gapless;
+   stops early at the first missing or unexecuted counter. *)
+let log_suffix (r : replica) ~from =
+  let acc = ref [] in
+  let seq = ref (from + 1) in
+  let continue = ref true in
+  while !continue && !seq <= Int64.to_int r.last_exec_counter do
+    let slot = Slot_ring.slot r.log !seq in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if e.executed && e.request != no_request then begin
+        acc := (!seq, [ e.request ]) :: !acc;
+        incr seq
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  List.rev !acc
+
+let on_fetch_state r ~src ~have =
+  match r.cp with
+  | None -> ()
+  | Some cp when r.is_active -> (
+    match Checkpoint.serve cp ~view:r.view ~have ~suffix:(log_suffix r ~from:(Checkpoint.low cp)) with
+    | Some chunks -> List.iter (fun c -> send r ~dst:src (State_chunk c)) chunks
+    | None -> ())
+  | Some _ -> ()
+
+let on_checkpoint_vote r ~src ~seq ~digest =
+  match r.cp with
+  | None -> ()
+  | Some cp when r.is_active ->
+    let prev = Checkpoint.note_vote cp ~seq ~digest ~voter:src in
+    on_cp_advance r cp prev;
+    maybe_catchup r cp
+  | Some _ -> ()
+
+(* Install a completed, verified transfer: adopt the certified state and
+   reply cache, replay the log suffix (no client replies — the group
+   already answered), and rejoin in the role the serving view implies:
+   after a transition everyone is active, before it the initial split
+   stands. The TrInc counter is trusted hardware and survived the wipe,
+   so peers re-baseline this signer instead of seeing a replay. *)
+let install_transfer (r : replica) cp (c : Checkpoint.completion) =
+  cancel_recover_timer r;
+  let prev_low = Checkpoint.low cp in
+  r.view <- max r.view c.Checkpoint.c_view;
+  r.vc_voted <- max r.vc_voted r.view;
+  if c.Checkpoint.c_view > 0 then begin
+    r.transitioned <- true;
+    r.is_active <- true
+  end;
+  App.set_state r.app c.Checkpoint.c_state;
+  rid_reset r;
+  List.iter
+    (fun (client, rid, result) ->
+      let i = rid_slot r client in
+      r.rid_last.(i) <- rid;
+      r.rid_result.(i) <- result)
+    c.Checkpoint.c_rids;
+  r.last_exec_counter <- Int64.of_int c.Checkpoint.c_cert.Checkpoint.cp_seq;
+  Checkpoint.install cp c;
+  List.iter
+    (fun (seq, reqs) ->
+      List.iter
+        (fun (req : Types.request) ->
+          let i = rid_slot r req.Types.client in
+          if not (r.rid_last.(i) <> min_int && req.Types.rid <= r.rid_last.(i)) then begin
+            let result = App.execute r.app req.Types.payload in
+            r.rid_last.(i) <- req.Types.rid;
+            r.rid_result.(i) <- result
+          end)
+        reqs;
+      r.last_exec_counter <- Int64.of_int seq)
+    c.Checkpoint.c_suffix;
+  r.last_shipped <- r.last_exec_counter;
+  for s = prev_low + 1 to Int64.to_int r.last_exec_counter do
+    Slot_ring.release r.log s
+  done;
+  Slot_ring.prune_outside r.log ~low:(Checkpoint.low cp + 1)
+    ~high:(Checkpoint.high cp + prune_margin);
+  Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
+  r.stats.Stats.state_transfers <- r.stats.Stats.state_transfers + 1;
+  r.stats.Stats.transfer_bytes <- r.stats.Stats.transfer_bytes + c.Checkpoint.c_bytes;
+  r.stats.Stats.transfer_cycles <- r.stats.Stats.transfer_cycles + c.Checkpoint.c_elapsed;
+  try_execute r
+
+let on_state_chunk r ~src chunk =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match Checkpoint.feed cp ~src ~now:(Engine.now r.engine) chunk with
+    | None -> ()
+    | Some c ->
+      if r.chk >= 0 then
+        Check.transfer_applied ~session:r.chk ~replica:r.id
+          ~seq:c.Checkpoint.c_cert.Checkpoint.cp_seq
+          ~claimed:c.Checkpoint.c_cert.Checkpoint.cp_digest ~actual:c.Checkpoint.c_actual
+          ~faulty:(Behavior.is_faulty r.behavior);
+      if
+        (c.Checkpoint.c_valid || !Checkpoint.test_unverified_transfer)
+        && Int64.compare (Int64.of_int c.Checkpoint.c_cert.Checkpoint.cp_seq) r.last_exec_counter
+           > 0
+      then install_transfer r cp c)
 
 let attestation_digest digest = Hash.combine (Hash.of_string "cheap-stmt") digest
 
@@ -313,6 +501,11 @@ let ship_updates r =
   end
 
 let adopt_new_view r ~view ~base ~state ~rid_table =
+  (match r.cp with
+  | Some cp ->
+    cancel_recover_timer r;
+    Checkpoint.rebase cp ~seq:(Int64.to_int base)
+  | None -> ());
   r.view <- view;
   r.vc_voted <- max r.vc_voted view;
   r.transitioned <- true;
@@ -461,7 +654,7 @@ let on_new_view r ~src ~view ~base ~state ~rid_table =
 
 let handle (r : replica) ~src msg =
   let now = Engine.now r.engine in
-  if not (Behavior.is_crashed r.behavior ~now) then
+  if r.online && not (Behavior.is_crashed r.behavior ~now) then
     match msg with
     | Request request -> on_request r request
     | Prepare { view; request; cert } -> on_prepare r ~src ~view ~request ~cert
@@ -471,6 +664,9 @@ let handle (r : replica) ~src msg =
     | Activate { new_view } -> on_activate r ~src ~new_view
     | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
     | Reply _ -> ()
+    | Checkpoint_vote { seq; digest } -> on_checkpoint_vote r ~src ~seq ~digest
+    | Fetch_state { have } -> on_fetch_state r ~src ~have
+    | State_chunk chunk -> on_state_chunk r ~src chunk
 
 let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
   let n = n_replicas config in
@@ -512,6 +708,12 @@ let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
        Array.of_list act);
     initial_passive = Array.init (n - f - 1) (fun i -> f + 1 + i);
     chk;
+    online = true;
+    cp =
+      (match config.checkpoint with
+      | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:(config.f + 1))
+      | None -> None);
+    recover_timer = None;
   }
 
 let start engine fabric config ?behaviors () =
@@ -560,3 +762,74 @@ let replica_state t ~replica = App.state t.replicas.(replica).app
 let active t ~replica = t.replicas.(replica).is_active
 let transitioned t = Array.exists (fun r -> r.transitioned) t.replicas
 let trinc t ~replica = t.replicas.(replica).trinc
+
+let replica_online t ~replica = t.replicas.(replica).online
+
+let set_offline t ~replica =
+  let r = t.replicas.(replica) in
+  if r.online then begin
+    r.online <- false;
+    cancel_recover_timer r;
+    Digest_map.iter (fun _ h -> Engine.cancel t.engine h) r.timers;
+    Digest_map.reset r.timers
+  end
+
+(* Legacy model: free state copy from the most advanced online peer. *)
+let legacy_rejoin t (r : replica) =
+  let best = ref None in
+  Array.iter
+    (fun (peer : replica) ->
+      if peer.id <> r.id && peer.online then
+        match !best with
+        | Some (b : replica) when Int64.compare b.last_exec_counter peer.last_exec_counter >= 0 ->
+          ()
+        | Some _ | None -> best := Some peer)
+    t.replicas;
+  match !best with
+  | Some peer ->
+    r.view <- peer.view;
+    r.vc_voted <- max r.vc_voted peer.view;
+    r.transitioned <- peer.transitioned;
+    r.is_active <- (if peer.transitioned then true else r.id <= r.f);
+    r.last_exec_counter <- peer.last_exec_counter;
+    App.set_state r.app (App.state peer.app);
+    rid_reset r;
+    for c = 0 to Array.length peer.rid_last - 1 do
+      if peer.rid_last.(c) <> min_int then begin
+        let i = rid_slot r c in
+        r.rid_last.(i) <- peer.rid_last.(c);
+        r.rid_result.(i) <- peer.rid_result.(c)
+      end
+    done;
+    Slot_ring.reset r.log;
+    Digest_map.reset r.ordered;
+    Hashtbl.reset r.pending;
+    Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true
+  | None -> ()
+
+let set_online t ~replica =
+  let r = t.replicas.(replica) in
+  if not r.online then begin
+    r.online <- true;
+    match r.cp with
+    | Some cp ->
+      (* Rejuvenation wiped the replica's untrusted state (the TrInc
+         counter is hardware and persists): rejoin by certified
+         transfer instead of a free peer copy. *)
+      r.view <- 0;
+      r.vc_voted <- 0;
+      r.transitioned <- false;
+      r.is_active <- r.id <= r.f;
+      r.last_exec_counter <- 0L;
+      r.last_shipped <- 0L;
+      App.set_state r.app 0L;
+      rid_reset r;
+      Slot_ring.reset r.log;
+      Digest_map.reset r.ordered;
+      Hashtbl.reset r.pending;
+      Hashtbl.reset r.repeat_counts;
+      Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
+      Checkpoint.reset cp;
+      start_recovery r cp
+    | None -> legacy_rejoin t r
+  end

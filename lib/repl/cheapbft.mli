@@ -33,6 +33,9 @@ type msg =
       (** Transition vote: activate the passive set / rotate the primary. *)
   | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
   | Reply of Types.reply
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
 type config = {
   f : int;  (** The group has 2f+1 replicas, f+1 of them initially active. *)
@@ -42,6 +45,12 @@ type config = {
   update_period : int;  (** How often actives ship state to passives. *)
   trinc_protection : Register.protection;
   keychain_master : int64;
+  checkpoint : Checkpoint.config option;
+      (** Certified checkpointing + state transfer among the {e active}
+          replicas (f+1 matching votes — the executing set; passives
+          neither vote nor serve). [None] (the default) keeps the legacy
+          fixed-retention model, where rejuvenation is invisible to the
+          protocol. *)
 }
 
 val default_config : config
@@ -66,5 +75,17 @@ val transitioned : t -> bool
 (** Whether the passive set has been activated. *)
 
 val trinc : t -> replica:int -> Trinc.t
+
+val replica_online : t -> replica:int -> bool
+
+val set_offline : t -> replica:int -> unit
+(** Tile powered down (e.g. for rejuvenation): drops all traffic. *)
+
+val set_online : t -> replica:int -> unit
+(** Rejoin after rejuvenation. With checkpointing enabled the replica
+    restarts wiped (only its TrInc counter, being trusted hardware,
+    survives) and fetches the latest certified checkpoint plus log
+    suffix from the active replicas; without it, legacy behaviour: a
+    free state copy from the most advanced online replica. *)
 
 val message_name : msg -> string

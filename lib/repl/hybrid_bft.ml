@@ -39,6 +39,9 @@ module type S = sig
         state : int64;
         rid_table : (int * (int * int64)) list;
       }
+    | Checkpoint_vote of { seq : int; digest : Resoc_crypto.Hash.t }
+    | Fetch_state of { have : int }
+    | State_chunk of Checkpoint.chunk
 
   type config = {
     f : int;
@@ -49,6 +52,7 @@ module type S = sig
     keychain_master : int64;
     batch_window : int;
     max_batch : int;
+    checkpoint : Checkpoint.config option;
   }
 
   val default_config : config
@@ -88,6 +92,9 @@ module Make (H : HYBRID) = struct
     | Reply of Types.reply
     | Req_view_change of { new_view : int }
     | New_view of { view : int; base : int64; state : int64; rid_table : (int * (int * int64)) list }
+    | Checkpoint_vote of { seq : int; digest : Resoc_crypto.Hash.t }
+    | Fetch_state of { have : int }
+    | State_chunk of Checkpoint.chunk
 
   type config = {
     f : int;
@@ -98,6 +105,7 @@ module Make (H : HYBRID) = struct
     keychain_master : int64;
     batch_window : int;  (* 0 = order immediately; >0 = buffer this long *)
     max_batch : int;  (* flush early when the buffer reaches this size *)
+    checkpoint : Checkpoint.config option;  (* None = legacy retention GC *)
   }
 
   let default_config =
@@ -110,6 +118,7 @@ module Make (H : HYBRID) = struct
       keychain_master = 0xC0FFEEL;
       batch_window = 0;
       max_batch = 16;
+      checkpoint = None;
     }
 
   let n_replicas config = (2 * config.f) + 1
@@ -159,6 +168,8 @@ module Make (H : HYBRID) = struct
     obs_batch : Registry.histogram;
     obs_vc : int;
     chk : int;  (* resoc_check session, -1 when checking is off *)
+    cp : Checkpoint.t option;  (* None = checkpointing disabled (default) *)
+    mutable recover_timer : Engine.handle option;
   }
 
   type t = {
@@ -171,10 +182,14 @@ module Make (H : HYBRID) = struct
     keychain : Keychain.t;
   }
 
-  (* Executed entries older than this many slots are pruned: checkpointing
-     reduced to its garbage-collection effect (certificates are not needed
-     retrospectively in this simulation; see DESIGN.md). *)
+  (* Without checkpointing, executed entries older than this many slots
+     are pruned on a fixed retention window; with [config.checkpoint]
+     set, truncation follows the stable-checkpoint low watermark instead
+     so the suffix can be served to recovering replicas (DESIGN.md §8). *)
   let log_retention = 256L
+
+  (* Outlier bound for overflow pruning; see Pbft.prune_margin. *)
+  let prune_margin = 1 lsl 15
 
   let message_name = function
     | Request _ -> "request"
@@ -183,6 +198,9 @@ module Make (H : HYBRID) = struct
     | Reply _ -> "reply"
     | Req_view_change _ -> "req-view-change"
     | New_view _ -> "new-view"
+    | Checkpoint_vote _ -> "checkpoint-vote"
+    | Fetch_state _ -> "fetch-state"
+    | State_chunk _ -> "state-chunk"
 
   let primary_of ~view ~n = view mod n
 
@@ -290,27 +308,190 @@ module Make (H : HYBRID) = struct
   let rec try_execute r =
     let next = Int64.add r.last_exec_counter 1L in
     let next_i = Int64.to_int next in
-    let slot = Slot_ring.slot r.log next_i in
-    if slot >= 0 then begin
-      let e = Slot_ring.entry r.log slot in
-      if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(r.f + 1) then begin
-        e.executed <- true;
-        r.last_exec_counter <- next;
-        if r.chk >= 0 then
-          Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
-            ~digest:(batch_digest e.requests)
-            ~signers:(Quorum.count e.commit_votes)
-            ~quorum:(r.f + 1)
-            ~faulty:(Behavior.is_faulty r.behavior);
-        if !Obs.trace_on then
-          Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-            ~id:(Obs.repl_counter_span ~replica:r.id ~counter:next_i)
-            ~arg:(List.length e.requests);
-        List.iter (execute_one r) e.requests;
-        Slot_ring.release r.log (next_i - Int64.to_int log_retention);
-        try_execute r
+    let gate_ok =
+      match r.cp with
+      | Some cp when not !Checkpoint.test_ignore_watermarks -> next_i <= Checkpoint.high cp
+      | Some _ | None -> true
+    in
+    if gate_ok then begin
+      let slot = Slot_ring.slot r.log next_i in
+      if slot >= 0 then begin
+        let e = Slot_ring.entry r.log slot in
+        if (not e.executed) && Quorum.reached e.commit_votes ~threshold:(r.f + 1) then begin
+          (match r.cp with
+          | Some cp when r.chk >= 0 ->
+            Check.exec_window ~session:r.chk ~replica:r.id ~seq:next_i ~low:(Checkpoint.low cp)
+              ~high:(Checkpoint.high cp)
+              ~faulty:(Behavior.is_faulty r.behavior)
+          | Some _ | None -> ());
+          e.executed <- true;
+          r.last_exec_counter <- next;
+          if r.chk >= 0 then
+            Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
+              ~digest:(batch_digest e.requests)
+              ~signers:(Quorum.count e.commit_votes)
+              ~quorum:(r.f + 1)
+              ~faulty:(Behavior.is_faulty r.behavior);
+          if !Obs.trace_on then
+            Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+              ~id:(Obs.repl_counter_span ~replica:r.id ~counter:next_i)
+              ~arg:(List.length e.requests);
+          List.iter (execute_one r) e.requests;
+          (match r.cp with
+          | None ->
+            Slot_ring.release r.log (next_i - Int64.to_int log_retention);
+            Slot_ring.prune_outside r.log
+              ~low:(next_i - Int64.to_int log_retention)
+              ~high:(next_i + prune_margin)
+          | Some cp -> (
+            match
+              Checkpoint.note_exec cp ~seq:next_i ~state:(App.state r.app) ~rid_last:r.rid_last
+                ~rid_result:r.rid_result
+            with
+            | Some d ->
+              broadcast r ~to_:r.peer_ids (Checkpoint_vote { seq = next_i; digest = d });
+              let prev = Checkpoint.note_vote cp ~seq:next_i ~digest:d ~voter:r.id in
+              on_cp_advance r cp prev
+            | None -> ()));
+          try_execute r
+        end
       end
     end
+
+  (* Stable checkpoint advanced from [prev]: truncate the covered log
+     prefix, sweep overflow outliers, resume a parked execution. *)
+  and on_cp_advance r cp prev =
+    if prev >= 0 then begin
+      let lo = Checkpoint.low cp in
+      for s = prev + 1 to lo do
+        Slot_ring.release r.log s
+      done;
+      Slot_ring.prune_outside r.log ~low:(lo + 1) ~high:(Checkpoint.high cp + prune_margin);
+      r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+      try_execute r
+    end
+
+  (* --- certified state transfer (see Checkpoint, DESIGN.md §8) --- *)
+
+  let cancel_recover_timer r =
+    match r.recover_timer with
+    | Some h ->
+      Engine.cancel r.engine h;
+      r.recover_timer <- None
+    | None -> ()
+
+  let start_recovery (r : replica) cp =
+    Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
+    let rec arm () =
+      cancel_recover_timer r;
+      r.recover_timer <-
+        Some
+          (Engine.schedule r.engine ~delay:r.config.request_timeout (fun () ->
+               r.recover_timer <- None;
+               if r.online && Checkpoint.recovering cp then begin
+                 broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+                 arm ()
+               end))
+    in
+    broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+    arm ()
+
+  let maybe_catchup r cp =
+    if Checkpoint.needs_catchup cp && not (Checkpoint.recovering cp) then start_recovery r cp
+
+  (* Executed batches strictly above [from], ascending, stop at a gap. *)
+  let log_suffix (r : replica) ~from =
+    let acc = ref [] in
+    let seq = ref (from + 1) in
+    let continue = ref true in
+    while !continue && !seq <= Int64.to_int r.last_exec_counter do
+      let slot = Slot_ring.slot r.log !seq in
+      if slot >= 0 then begin
+        let e = Slot_ring.entry r.log slot in
+        if e.executed && e.requests <> [] then begin
+          acc := (!seq, e.requests) :: !acc;
+          incr seq
+        end
+        else continue := false
+      end
+      else continue := false
+    done;
+    List.rev !acc
+
+  let on_fetch_state r ~src ~have =
+    match r.cp with
+    | None -> ()
+    | Some cp -> (
+      match
+        Checkpoint.serve cp ~view:r.view ~have ~suffix:(log_suffix r ~from:(Checkpoint.low cp))
+      with
+      | Some chunks -> List.iter (fun c -> send r ~dst:src (State_chunk c)) chunks
+      | None -> ())
+
+  let on_checkpoint_vote r ~src ~seq ~digest =
+    match r.cp with
+    | None -> ()
+    | Some cp ->
+      let prev = Checkpoint.note_vote cp ~seq ~digest ~voter:src in
+      on_cp_advance r cp prev;
+      maybe_catchup r cp
+
+  let install_transfer (r : replica) cp (c : Checkpoint.completion) =
+    cancel_recover_timer r;
+    let prev_low = Checkpoint.low cp in
+    r.view <- max r.view c.Checkpoint.c_view;
+    r.vc_voted <- max r.vc_voted r.view;
+    App.set_state r.app c.Checkpoint.c_state;
+    rid_reset r;
+    List.iter
+      (fun (client, rid, result) ->
+        let i = rid_slot r client in
+        r.rid_last.(i) <- rid;
+        r.rid_result.(i) <- result)
+      c.Checkpoint.c_rids;
+    r.last_exec_counter <- Int64.of_int c.Checkpoint.c_cert.Checkpoint.cp_seq;
+    Checkpoint.install cp c;
+    List.iter
+      (fun (seq, reqs) ->
+        List.iter
+          (fun (req : Types.request) ->
+            let i = rid_slot r req.Types.client in
+            if not (r.rid_last.(i) <> min_int && req.Types.rid <= r.rid_last.(i)) then begin
+              let result = App.execute r.app req.Types.payload in
+              r.rid_last.(i) <- req.Types.rid;
+              r.rid_result.(i) <- result
+            end)
+          reqs;
+        r.last_exec_counter <- Int64.of_int seq)
+      c.Checkpoint.c_suffix;
+    for s = prev_low + 1 to Int64.to_int r.last_exec_counter do
+      Slot_ring.release r.log s
+    done;
+    Slot_ring.prune_outside r.log ~low:(Checkpoint.low cp + 1)
+      ~high:(Checkpoint.high cp + prune_margin);
+    (* We missed every hybrid counter issued during the outage. *)
+    Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
+    r.stats.Stats.state_transfers <- r.stats.Stats.state_transfers + 1;
+    r.stats.Stats.transfer_bytes <- r.stats.Stats.transfer_bytes + c.Checkpoint.c_bytes;
+    r.stats.Stats.transfer_cycles <- r.stats.Stats.transfer_cycles + c.Checkpoint.c_elapsed;
+    try_execute r
+
+  let on_state_chunk r ~src chunk =
+    match r.cp with
+    | None -> ()
+    | Some cp -> (
+      match Checkpoint.feed cp ~src ~now:(Engine.now r.engine) chunk with
+      | None -> ()
+      | Some c ->
+        if r.chk >= 0 then
+          Check.transfer_applied ~session:r.chk ~replica:r.id
+            ~seq:c.Checkpoint.c_cert.Checkpoint.cp_seq
+            ~claimed:c.Checkpoint.c_cert.Checkpoint.cp_digest ~actual:c.Checkpoint.c_actual
+            ~faulty:(Behavior.is_faulty r.behavior);
+        if
+          (c.Checkpoint.c_valid || !Checkpoint.test_unverified_transfer)
+          && c.Checkpoint.c_cert.Checkpoint.cp_seq > Int64.to_int r.last_exec_counter
+        then install_transfer r cp c)
 
   (* UI continuity: exact next counter per sender, with a one-shot baseline
      resync after this replica rejoined (it missed intermediate counters). *)
@@ -453,6 +634,11 @@ module Make (H : HYBRID) = struct
     r.flush_scheduled <- false;
     (* Counter expectations restart from whatever peers send next. *)
     Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
+    (match r.cp with
+    | Some cp ->
+      cancel_recover_timer r;
+      Checkpoint.rebase cp ~seq:(Int64.to_int base)
+    | None -> ());
     Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
 
   let become_primary r ~view =
@@ -581,6 +767,9 @@ module Make (H : HYBRID) = struct
         on_commit r ~src ~view ~requests ~primary_cert ~cert
       | Req_view_change { new_view } -> on_req_view_change r ~src ~new_view
       | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
+      | Checkpoint_vote { seq; digest } -> on_checkpoint_vote r ~src ~seq ~digest
+      | Fetch_state { have } -> on_fetch_state r ~src ~have
+      | State_chunk chunk -> on_state_chunk r ~src chunk
       | Reply _ -> ()
 
   let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
@@ -630,6 +819,11 @@ module Make (H : HYBRID) = struct
       obs_batch;
       obs_vc;
       chk;
+      cp =
+        (match config.checkpoint with
+        | Some c -> Some (Checkpoint.create c ~obs ~quorum:(config.f + 1))
+        | None -> None);
+      recover_timer = None;
     }
 
   let start engine fabric config ?behaviors () =
@@ -686,39 +880,61 @@ module Make (H : HYBRID) = struct
     let r = t.replicas.(replica) in
     r.online <- false;
     Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-    Digest_map.reset r.timers
+    Digest_map.reset r.timers;
+    cancel_recover_timer r
+
+  (* Legacy model: free state copy from the most advanced online peer. *)
+  let legacy_rejoin t r =
+    let best = ref None in
+    Array.iter
+      (fun peer ->
+        if peer.id <> r.id && peer.online then
+          match !best with
+          | Some b when Int64.compare b.last_exec_counter peer.last_exec_counter >= 0 -> ()
+          | Some _ | None -> best := Some peer)
+      t.replicas;
+    match !best with
+    | Some peer ->
+      r.view <- peer.view;
+      r.vc_voted <- max r.vc_voted peer.view;
+      r.last_exec_counter <- peer.last_exec_counter;
+      App.set_state r.app (App.state peer.app);
+      rid_reset r;
+      for c = 0 to Array.length peer.rid_last - 1 do
+        if peer.rid_last.(c) <> min_int then begin
+          let i = rid_slot r c in
+          r.rid_last.(i) <- peer.rid_last.(c);
+          r.rid_result.(i) <- peer.rid_result.(c)
+        end
+      done;
+      Slot_ring.reset r.log;
+      Digest_map.reset r.ordered;
+      Hashtbl.reset r.pending;
+      Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true
+    | None -> ()
 
   let set_online t ~replica =
     let r = t.replicas.(replica) in
     if not r.online then begin
       r.online <- true;
-      let best = ref None in
-      Array.iter
-        (fun peer ->
-          if peer.id <> r.id && peer.online then
-            match !best with
-            | Some b when Int64.compare b.last_exec_counter peer.last_exec_counter >= 0 -> ()
-            | Some _ | None -> best := Some peer)
-        t.replicas;
-      match !best with
-      | Some peer ->
-        r.view <- peer.view;
-        r.vc_voted <- max r.vc_voted peer.view;
-        r.last_exec_counter <- peer.last_exec_counter;
-        App.set_state r.app (App.state peer.app);
+      match r.cp with
+      | Some cp ->
+        (* Rejuvenation wiped the replica: rejoin by certified transfer
+           instead of a free peer copy. *)
+        r.view <- 0;
+        r.vc_voted <- 0;
+        r.last_exec_counter <- 0L;
+        App.set_state r.app 0L;
         rid_reset r;
-        for c = 0 to Array.length peer.rid_last - 1 do
-          if peer.rid_last.(c) <> min_int then begin
-            let i = rid_slot r c in
-            r.rid_last.(i) <- peer.rid_last.(c);
-            r.rid_result.(i) <- peer.rid_result.(c)
-          end
-        done;
         Slot_ring.reset r.log;
         Digest_map.reset r.ordered;
         Hashtbl.reset r.pending;
-        Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true
-      | None -> ()
+        r.batch_buffer <- [];
+        r.flush_scheduled <- false;
+        Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
+        Checkpoint.reset cp;
+        start_recovery r cp
+      | None -> legacy_rejoin t r
     end
 
 end

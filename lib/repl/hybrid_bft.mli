@@ -61,6 +61,9 @@ module type S = sig
         state : int64;
         rid_table : (int * (int * int64)) list;
       }
+    | Checkpoint_vote of { seq : int; digest : Resoc_crypto.Hash.t }
+    | Fetch_state of { have : int }
+    | State_chunk of Checkpoint.chunk
 
   type config = {
     f : int;  (** Tolerated faults; the group has 2f+1 replicas. *)
@@ -77,6 +80,12 @@ module type S = sig
             [max_batch]) and certifies the whole batch with ONE certificate
             — the standard BFT throughput lever (ablation A8). *)
     max_batch : int;
+    checkpoint : Checkpoint.config option;
+        (** Certified checkpointing + state transfer with an f+1 quorum
+            (the hybrid prevents equivocation, so f+1 matching votes
+            contain at least one from a correct replica — same argument
+            that shrinks the commit quorum). [None] (the default) keeps
+            the legacy fixed-retention / free-state-copy model. *)
   }
 
   val default_config : config
@@ -110,7 +119,12 @@ module type S = sig
 
   val replica_online : t -> replica:int -> bool
   val set_offline : t -> replica:int -> unit
+
   val set_online : t -> replica:int -> unit
+  (** Rejoin after rejuvenation. With [config.checkpoint = Some _] the
+      replica restarts wiped and fetches the latest certified checkpoint
+      plus log suffix over the fabric; otherwise legacy behaviour: a free
+      state copy from the most advanced online replica. *)
 
   val message_name : msg -> string
 end

@@ -11,10 +11,20 @@ type msg =
   | Reply of Types.reply
   | Term_change of { new_term : int; last_exec : int }
   | New_term of { term : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
-type config = { f : int; n_clients : int; request_timeout : int; election_timeout : int }
+type config = {
+  f : int;
+  n_clients : int;
+  request_timeout : int;
+  election_timeout : int;
+  checkpoint : Checkpoint.config option;
+}
 
-let default_config = { f = 1; n_clients = 2; request_timeout = 4000; election_timeout = 2500 }
+let default_config =
+  { f = 1; n_clients = 2; request_timeout = 4000; election_timeout = 2500; checkpoint = None }
 
 let n_replicas config = (2 * config.f) + 1
 
@@ -57,6 +67,8 @@ type replica = {
   all_ids : int array;
   peer_ids : int array;
   chk : int;  (* resoc_check session, -1 when checking is off *)
+  cp : Checkpoint.t option;  (* checkpoint certificates, None = legacy *)
+  mutable recover_timer : Engine.handle option;
 }
 
 type t = {
@@ -75,6 +87,13 @@ let message_name = function
   | Reply _ -> "reply"
   | Term_change _ -> "term-change"
   | New_term _ -> "new-term"
+  | Checkpoint_vote _ -> "checkpoint-vote"
+  | Fetch_state _ -> "fetch-state"
+  | State_chunk _ -> "state-chunk"
+
+(* Forward bound for overflow pruning on the legacy path: anything this far
+   past the execution frontier is an outlier that will never execute. *)
+let prune_margin = 1 lsl 15
 
 let leader_of ~term ~n = term mod n
 
@@ -150,12 +169,24 @@ let reply_to_client r (request : Types.request) result =
 let log_retention = 256
 
 let rec try_execute r =
-  let slot = Slot_ring.slot r.log (r.last_exec + 1) in
-  if slot >= 0 then begin
+  let next = r.last_exec + 1 in
+  let gate_ok =
+    match r.cp with
+    | Some cp when not !Checkpoint.test_ignore_watermarks -> next <= Checkpoint.high cp
+    | Some _ | None -> true
+  in
+  let slot = Slot_ring.slot r.log next in
+  if gate_ok && slot >= 0 then begin
     let e = Slot_ring.entry r.log slot in
     if e.committed && not e.executed then begin
       e.executed <- true;
-      r.last_exec <- r.last_exec + 1;
+      r.last_exec <- next;
+      (match r.cp with
+      | Some cp when r.chk >= 0 ->
+        Check.exec_window ~session:r.chk ~replica:r.id ~seq:next ~low:(Checkpoint.low cp)
+          ~high:(Checkpoint.high cp)
+          ~faulty:(Behavior.is_faulty r.behavior)
+      | Some _ | None -> ());
       if r.chk >= 0 then
         (* [-1] signers: followers apply leader decisions without a local
            certificate; the leader's quorum is checked in [on_accepted]. *)
@@ -179,10 +210,161 @@ let rec try_execute r =
       Hashtbl.remove r.pending digest;
       cancel_request_timer r digest;
       reply_to_client r request result;
-      Slot_ring.release r.log (r.last_exec - log_retention);
+      (match r.cp with
+      | None ->
+        Slot_ring.release r.log (r.last_exec - log_retention);
+        Slot_ring.prune_outside r.log ~low:(r.last_exec - log_retention)
+          ~high:(r.last_exec + prune_margin)
+      | Some cp -> (
+        match
+          Checkpoint.note_exec cp ~seq:next ~state:(App.state r.app) ~rid_last:r.rid_last
+            ~rid_result:r.rid_result
+        with
+        | None -> ()
+        | Some d ->
+          broadcast r ~to_:r.peer_ids (Checkpoint_vote { seq = next; digest = d });
+          on_cp_advance r cp (Checkpoint.note_vote cp ~seq:next ~digest:d ~voter:r.id)));
       try_execute r
     end
   end
+
+(* A new stable checkpoint: truncate the log below the low watermark and
+   retry execution in case the high watermark was the only obstacle. *)
+and on_cp_advance r cp prev =
+  if prev >= 0 then begin
+    let lo = Checkpoint.low cp in
+    for seq = prev + 1 to lo do
+      Slot_ring.release r.log seq
+    done;
+    Slot_ring.prune_outside r.log ~low:(lo + 1) ~high:(Checkpoint.high cp + prune_margin);
+    r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+    try_execute r
+  end
+
+let cancel_recover_timer r =
+  match r.recover_timer with
+  | Some h ->
+    Engine.cancel r.engine h;
+    r.recover_timer <- None
+  | None -> ()
+
+(* Fetch the latest certified checkpoint from the peers, re-asking on a
+   request-timeout cadence until a transfer installs. *)
+let start_recovery (r : replica) cp =
+  Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
+  let rec arm () =
+    cancel_recover_timer r;
+    r.recover_timer <-
+      Some
+        (Engine.schedule r.engine ~delay:r.config.request_timeout (fun () ->
+             r.recover_timer <- None;
+             if r.online && Checkpoint.recovering cp then begin
+               broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+               arm ()
+             end))
+  in
+  broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+  arm ()
+
+let maybe_catchup r cp =
+  if Checkpoint.needs_catchup cp && not (Checkpoint.recovering cp) then start_recovery r cp
+
+(* The executed log suffix strictly above [from], ascending and gapless;
+   stops early at the first missing or unexecuted slot. *)
+let log_suffix (r : replica) ~from =
+  let acc = ref [] in
+  let seq = ref (from + 1) in
+  let continue = ref true in
+  while !continue && !seq <= r.last_exec do
+    let slot = Slot_ring.slot r.log !seq in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if e.executed && e.request != no_request then begin
+        acc := (!seq, [ e.request ]) :: !acc;
+        incr seq
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  List.rev !acc
+
+let on_fetch_state r ~src ~have =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match
+      Checkpoint.serve cp ~view:r.term ~have ~suffix:(log_suffix r ~from:(Checkpoint.low cp))
+    with
+    | Some chunks -> List.iter (fun c -> send r ~dst:src (State_chunk c)) chunks
+    | None -> ())
+
+let on_checkpoint_vote r ~src ~seq ~digest =
+  match r.cp with
+  | None -> ()
+  | Some cp ->
+    let prev = Checkpoint.note_vote cp ~seq ~digest ~voter:src in
+    on_cp_advance r cp prev;
+    maybe_catchup r cp
+
+(* Install a completed, verified transfer: adopt the certified state and
+   reply cache, replay the log suffix (no client replies -- the group
+   already answered), and rejoin execution at the tip. *)
+let install_transfer (r : replica) cp (c : Checkpoint.completion) =
+  cancel_recover_timer r;
+  let prev_low = Checkpoint.low cp in
+  r.term <- max r.term c.Checkpoint.c_view;
+  r.voted <- max r.voted r.term;
+  App.set_state r.app c.Checkpoint.c_state;
+  rid_reset r;
+  List.iter
+    (fun (client, rid, result) ->
+      let i = rid_slot r client in
+      r.rid_last.(i) <- rid;
+      r.rid_result.(i) <- result)
+    c.Checkpoint.c_rids;
+  r.last_exec <- c.Checkpoint.c_cert.Checkpoint.cp_seq;
+  Checkpoint.install cp c;
+  List.iter
+    (fun (seq, reqs) ->
+      List.iter
+        (fun (req : Types.request) ->
+          let i = rid_slot r req.Types.client in
+          if not (r.rid_last.(i) <> min_int && req.Types.rid <= r.rid_last.(i)) then begin
+            let result = App.execute r.app req.Types.payload in
+            r.rid_last.(i) <- req.Types.rid;
+            r.rid_result.(i) <- result
+          end)
+        reqs;
+      r.last_exec <- seq)
+    c.Checkpoint.c_suffix;
+  r.next_seq <- max r.next_seq (r.last_exec + 1);
+  for s = prev_low + 1 to r.last_exec do
+    Slot_ring.release r.log s
+  done;
+  Slot_ring.prune_outside r.log ~low:(Checkpoint.low cp + 1)
+    ~high:(Checkpoint.high cp + prune_margin);
+  r.stats.Stats.state_transfers <- r.stats.Stats.state_transfers + 1;
+  r.stats.Stats.transfer_bytes <- r.stats.Stats.transfer_bytes + c.Checkpoint.c_bytes;
+  r.stats.Stats.transfer_cycles <- r.stats.Stats.transfer_cycles + c.Checkpoint.c_elapsed;
+  try_execute r
+
+let on_state_chunk r ~src chunk =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match Checkpoint.feed cp ~src ~now:(Engine.now r.engine) chunk with
+    | None -> ()
+    | Some c ->
+      if r.chk >= 0 then
+        Check.transfer_applied ~session:r.chk ~replica:r.id
+          ~seq:c.Checkpoint.c_cert.Checkpoint.cp_seq
+          ~claimed:c.Checkpoint.c_cert.Checkpoint.cp_digest ~actual:c.Checkpoint.c_actual
+          ~faulty:(Behavior.is_faulty r.behavior);
+      if
+        (c.Checkpoint.c_valid || !Checkpoint.test_unverified_transfer)
+        && c.Checkpoint.c_cert.Checkpoint.cp_seq > r.last_exec
+      then install_transfer r cp c)
 
 let order_request r (request : Types.request) =
   let digest = Types.request_digest request in
@@ -202,6 +384,11 @@ let order_request r (request : Types.request) =
   end
 
 let adopt_new_term r ~term ~start_seq ~state ~rid_table =
+  (match r.cp with
+  | Some cp ->
+    cancel_recover_timer r;
+    Checkpoint.rebase cp ~seq:(start_seq - 1)
+  | None -> ());
   r.term <- term;
   r.voted <- max r.voted term;
   Slot_ring.reset r.log;
@@ -334,6 +521,9 @@ let handle (r : replica) ~src msg =
     | New_term { term; start_seq; state; rid_table } ->
       on_new_term r ~src ~term ~start_seq ~state ~rid_table
     | Reply _ -> ()
+    | Checkpoint_vote { seq; digest } -> on_checkpoint_vote r ~src ~seq ~digest
+    | Fetch_state { have } -> on_fetch_state r ~src ~have
+    | State_chunk chunk -> on_state_chunk r ~src chunk
 
 let make_replica engine fabric config stats ~id ~behavior ~chk =
   let n = n_replicas config in
@@ -362,6 +552,11 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     all_ids = Array.init n Fun.id;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
     chk;
+    cp =
+      (match config.checkpoint with
+      | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:(config.f + 1))
+      | None -> None);
+    recover_timer = None;
   }
 
 let start engine fabric config ?behaviors () =
@@ -411,13 +606,13 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
+  cancel_recover_timer r;
   Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Digest_map.reset r.timers
 
-let set_online t ~replica =
-  let r = t.replicas.(replica) in
-  if not r.online then begin
-    r.online <- true;
+(* Legacy model: free state copy from the most advanced online peer. *)
+let legacy_rejoin t (r : replica) =
+  begin
     let best = ref None in
     Array.iter
       (fun peer ->
@@ -445,4 +640,26 @@ let set_online t ~replica =
       Digest_map.reset r.ordered;
       Hashtbl.reset r.pending
     | None -> ()
+  end
+
+let set_online t ~replica =
+  let r = t.replicas.(replica) in
+  if not r.online then begin
+    r.online <- true;
+    match r.cp with
+    | Some cp ->
+      (* Rejuvenation wiped the replica: rejoin by certified transfer
+         instead of a free peer copy. *)
+      r.term <- 0;
+      r.voted <- 0;
+      r.last_exec <- 0;
+      r.next_seq <- 1;
+      App.set_state r.app 0L;
+      rid_reset r;
+      Slot_ring.reset r.log;
+      Digest_map.reset r.ordered;
+      Hashtbl.reset r.pending;
+      Checkpoint.reset cp;
+      start_recovery r cp
+    | None -> legacy_rejoin t r
   end

@@ -17,8 +17,22 @@ type msg =
   | Reply of Types.reply
   | Term_change of { new_term : int; last_exec : int }
   | New_term of { term : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+  | Checkpoint_vote of { seq : int; digest : Resoc_crypto.Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
-type config = { f : int; n_clients : int; request_timeout : int; election_timeout : int }
+type config = {
+  f : int;
+  n_clients : int;
+  request_timeout : int;
+  election_timeout : int;
+  checkpoint : Checkpoint.config option;
+      (** Certified checkpointing + state transfer with a majority (f+1)
+          quorum — in the crash model any single signer is trusted, but
+          a majority certificate additionally proves the boundary is
+          durable across every reachable quorum. [None] (the default)
+          keeps the legacy fixed-retention / free-state-copy model. *)
+}
 
 val default_config : config
 
@@ -47,6 +61,11 @@ val set_replica_state : t -> replica:int -> int64 -> unit
 
 val replica_online : t -> replica:int -> bool
 val set_offline : t -> replica:int -> unit
+
 val set_online : t -> replica:int -> unit
+(** Rejoin after rejuvenation. With checkpointing enabled the replica
+    restarts wiped and fetches the latest certified checkpoint plus log
+    suffix from its peers; without it, legacy behaviour: a free state
+    copy from the most advanced online replica. *)
 
 val message_name : msg -> string

@@ -14,10 +14,20 @@ type msg =
   | Reply of Types.reply
   | View_change of { new_view : int; last_exec : int }
   | New_view of { view : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
-type config = { f : int; n_clients : int; request_timeout : int; vc_timeout : int }
+type config = {
+  f : int;
+  n_clients : int;
+  request_timeout : int;
+  vc_timeout : int;
+  checkpoint : Checkpoint.config option;
+}
 
-let default_config = { f = 1; n_clients = 2; request_timeout = 4000; vc_timeout = 2500 }
+let default_config =
+  { f = 1; n_clients = 2; request_timeout = 4000; vc_timeout = 2500; checkpoint = None }
 
 let n_replicas config = (3 * config.f) + 1
 
@@ -80,6 +90,8 @@ type replica = {
   obs : Obs.t;
   obs_vc : int;
   chk : int;  (* resoc_check session, -1 when checking is off *)
+  cp : Checkpoint.t option;  (* None = checkpointing disabled (default) *)
+  mutable recover_timer : Engine.handle option;  (* Fetch_state retry while recovering *)
 }
 
 type t = {
@@ -99,6 +111,9 @@ let message_name = function
   | Reply _ -> "reply"
   | View_change _ -> "view-change"
   | New_view _ -> "new-view"
+  | Checkpoint_vote _ -> "checkpoint-vote"
+  | Fetch_state _ -> "fetch-state"
+  | State_chunk _ -> "state-chunk"
 
 let primary_of ~view ~n = view mod n
 
@@ -181,47 +196,232 @@ let reply_to_client r (request : Types.request) result =
   send r ~dst:request.Types.client
     (Reply { Types.client = request.Types.client; rid = request.Types.rid; result; replica = r.id })
 
-(* Executed entries older than this many slots are pruned (checkpointing
-   reduced to its garbage-collection effect). *)
+(* Without checkpointing, executed entries older than this many slots
+   are pruned on a fixed retention window. With checkpointing enabled
+   (config.checkpoint = Some _), truncation is instead gated by the
+   stable-checkpoint low watermark so the retained suffix can always be
+   served to a recovering replica. *)
 let log_retention = 256
 
+(* Outlier bound for overflow pruning: seqs this far outside the live
+   window are corrupt (SEU-flipped counters), never executable, and
+   would otherwise accumulate in the overflow array for the whole run. *)
+let prune_margin = 1 lsl 15
+
 (* Execute committed entries in sequence order. The rid table provides
-   exactly-once semantics per client and caches the last reply. *)
+   exactly-once semantics per client and caches the last reply. With
+   checkpointing on, execution additionally (a) refuses to pass the
+   high watermark, (b) snapshots and votes at checkpoint boundaries,
+   and (c) defers log truncation to stable-checkpoint advances. *)
 let rec try_execute r =
-  let slot = Slot_ring.slot r.log (r.last_exec + 1) in
-  if slot >= 0 then begin
-    let e = Slot_ring.entry r.log slot in
-    if e.committed && (not e.executed) && e.request != no_request then begin
-      let request = e.request in
-      e.executed <- true;
-      r.last_exec <- r.last_exec + 1;
-      if !Obs.trace_on then
-        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-          ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
-          ~arg:0;
-      let client = request.Types.client and rid = request.Types.rid in
-      let c = rid_slot r client in
-      let result =
-        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
-        else begin
-          let result = App.execute r.app request.Types.payload in
-          r.rid_last.(c) <- rid;
-          r.rid_result.(c) <- result;
-          result
-        end
-      in
-      let digest = Types.request_digest request in
-      Hashtbl.remove r.pending digest;
-      cancel_request_timer r digest;
-      if !Obs.trace_on then
-        Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-          ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
-          ~arg:0;
-      reply_to_client r request result;
-      Slot_ring.release r.log (r.last_exec - log_retention);
-      try_execute r
+  let seq = r.last_exec + 1 in
+  let gate_ok =
+    match r.cp with
+    | Some cp when not !Checkpoint.test_ignore_watermarks -> seq <= Checkpoint.high cp
+    | Some _ | None -> true
+  in
+  if gate_ok then begin
+    let slot = Slot_ring.slot r.log seq in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if e.committed && (not e.executed) && e.request != no_request then begin
+        (match r.cp with
+        | Some cp when r.chk >= 0 ->
+          Check.exec_window ~session:r.chk ~replica:r.id ~seq ~low:(Checkpoint.low cp)
+            ~high:(Checkpoint.high cp)
+            ~faulty:(Behavior.is_faulty r.behavior)
+        | Some _ | None -> ());
+        let request = e.request in
+        e.executed <- true;
+        r.last_exec <- r.last_exec + 1;
+        if !Obs.trace_on then
+          Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+            ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
+            ~arg:0;
+        let client = request.Types.client and rid = request.Types.rid in
+        let c = rid_slot r client in
+        let result =
+          if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+          else begin
+            let result = App.execute r.app request.Types.payload in
+            r.rid_last.(c) <- rid;
+            r.rid_result.(c) <- result;
+            result
+          end
+        in
+        let digest = Types.request_digest request in
+        Hashtbl.remove r.pending digest;
+        cancel_request_timer r digest;
+        if !Obs.trace_on then
+          Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+            ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
+            ~arg:0;
+        reply_to_client r request result;
+        (match r.cp with
+        | None ->
+          Slot_ring.release r.log (r.last_exec - log_retention);
+          Slot_ring.prune_outside r.log ~low:(r.last_exec - log_retention)
+            ~high:(r.last_exec + prune_margin)
+        | Some cp -> (
+          match
+            Checkpoint.note_exec cp ~seq:r.last_exec ~state:(App.state r.app)
+              ~rid_last:r.rid_last ~rid_result:r.rid_result
+          with
+          | Some d ->
+            broadcast r ~to_:r.peer_ids (Checkpoint_vote { seq = r.last_exec; digest = d });
+            let prev = Checkpoint.note_vote cp ~seq:r.last_exec ~digest:d ~voter:r.id in
+            on_cp_advance r cp prev
+          | None -> ()));
+        try_execute r
+      end
     end
   end
+
+(* A checkpoint certificate completed and the low watermark moved from
+   [prev] (or [prev < 0]: no advance). Truncate the covered log prefix,
+   sweep corrupt-seq outliers out of the overflow array, and resume
+   execution in case it was parked at the old high watermark. *)
+and on_cp_advance r cp prev =
+  if prev >= 0 then begin
+    let lo = Checkpoint.low cp in
+    for s = prev + 1 to lo do
+      Slot_ring.release r.log s
+    done;
+    Slot_ring.prune_outside r.log ~low:(lo + 1) ~high:(Checkpoint.high cp + prune_margin);
+    r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+    try_execute r
+  end
+
+(* --- certified state transfer --- *)
+
+let cancel_recover_timer r =
+  match r.recover_timer with
+  | Some h ->
+    Engine.cancel r.engine h;
+    r.recover_timer <- None
+  | None -> ()
+
+(* Fetch the latest certified checkpoint from the peers, re-asking on a
+   request-timeout cadence until a transfer installs (peers serving
+   nothing — e.g. no stable checkpoint yet — stay silent). *)
+let start_recovery (r : replica) cp =
+  Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
+  let rec arm () =
+    cancel_recover_timer r;
+    r.recover_timer <-
+      Some
+        (Engine.schedule r.engine ~delay:r.config.request_timeout (fun () ->
+             r.recover_timer <- None;
+             if r.online && Checkpoint.recovering cp then begin
+               broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+               arm ()
+             end))
+  in
+  broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp });
+  arm ()
+
+(* Transfer by certificate whenever the group provably moved past us:
+   triggered by [set_online] after a wipe and by a checkpoint
+   certificate forming on a boundary we never executed. *)
+let maybe_catchup r cp =
+  if Checkpoint.needs_catchup cp && not (Checkpoint.recovering cp) then start_recovery r cp
+
+(* The executed log suffix strictly above [from], ascending and
+   gapless; stops early at the first missing or unexecuted slot (the
+   receiver then lands slightly behind and catches up normally). *)
+let log_suffix r ~from =
+  let acc = ref [] in
+  let seq = ref (from + 1) in
+  let continue = ref true in
+  while !continue && !seq <= r.last_exec do
+    let slot = Slot_ring.slot r.log !seq in
+    if slot >= 0 then begin
+      let e = Slot_ring.entry r.log slot in
+      if e.executed && e.request != no_request then begin
+        acc := (!seq, [ e.request ]) :: !acc;
+        incr seq
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  List.rev !acc
+
+let on_fetch_state r ~src ~have =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match Checkpoint.serve cp ~view:r.view ~have ~suffix:(log_suffix r ~from:(Checkpoint.low cp)) with
+    | Some chunks -> List.iter (fun c -> send r ~dst:src (State_chunk c)) chunks
+    | None -> ())
+
+let on_checkpoint_vote r ~src ~seq ~digest =
+  match r.cp with
+  | None -> ()
+  | Some cp ->
+    let prev = Checkpoint.note_vote cp ~seq ~digest ~voter:src in
+    on_cp_advance r cp prev;
+    maybe_catchup r cp
+
+(* Install a completed, verified transfer: adopt the certified state
+   and reply cache, replay the log suffix (no client replies — the
+   group already answered), and rejoin execution at the tip. *)
+let install_transfer r cp (c : Checkpoint.completion) =
+  cancel_recover_timer r;
+  let prev_low = Checkpoint.low cp in
+  r.view <- max r.view c.Checkpoint.c_view;
+  r.vc_voted <- max r.vc_voted r.view;
+  App.set_state r.app c.Checkpoint.c_state;
+  rid_reset r;
+  List.iter
+    (fun (client, rid, result) ->
+      let i = rid_slot r client in
+      r.rid_last.(i) <- rid;
+      r.rid_result.(i) <- result)
+    c.Checkpoint.c_rids;
+  r.last_exec <- c.Checkpoint.c_cert.Checkpoint.cp_seq;
+  Checkpoint.install cp c;
+  List.iter
+    (fun (seq, reqs) ->
+      List.iter
+        (fun (req : Types.request) ->
+          let i = rid_slot r req.Types.client in
+          if not (r.rid_last.(i) <> min_int && req.Types.rid <= r.rid_last.(i)) then begin
+            let result = App.execute r.app req.Types.payload in
+            r.rid_last.(i) <- req.Types.rid;
+            r.rid_result.(i) <- result
+          end)
+        reqs;
+      r.last_exec <- seq)
+    c.Checkpoint.c_suffix;
+  r.next_seq <- max r.next_seq (r.last_exec + 1);
+  for s = prev_low + 1 to r.last_exec do
+    Slot_ring.release r.log s
+  done;
+  Slot_ring.prune_outside r.log ~low:(Checkpoint.low cp + 1)
+    ~high:(Checkpoint.high cp + prune_margin);
+  r.stats.Stats.state_transfers <- r.stats.Stats.state_transfers + 1;
+  r.stats.Stats.transfer_bytes <- r.stats.Stats.transfer_bytes + c.Checkpoint.c_bytes;
+  r.stats.Stats.transfer_cycles <- r.stats.Stats.transfer_cycles + c.Checkpoint.c_elapsed;
+  try_execute r
+
+let on_state_chunk r ~src chunk =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match Checkpoint.feed cp ~src ~now:(Engine.now r.engine) chunk with
+    | None -> ()
+    | Some c ->
+      if r.chk >= 0 then
+        Check.transfer_applied ~session:r.chk ~replica:r.id
+          ~seq:c.Checkpoint.c_cert.Checkpoint.cp_seq
+          ~claimed:c.Checkpoint.c_cert.Checkpoint.cp_digest ~actual:c.Checkpoint.c_actual
+          ~faulty:(Behavior.is_faulty r.behavior);
+      if
+        (c.Checkpoint.c_valid || !Checkpoint.test_unverified_transfer)
+        && c.Checkpoint.c_cert.Checkpoint.cp_seq > r.last_exec
+      then install_transfer r cp c
+      (* Invalid or stale: stay recovering; the retry timer re-fetches. *))
 
 let try_commit r ~seq (e : entry) =
   if (not e.committed)
@@ -314,6 +514,13 @@ let adopt_new_view r ~view ~start_seq ~state ~rid_table =
      pending requests restart their patience. *)
   Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Digest_map.reset r.timers;
+  (* The new view is a fresh proof baseline: watermarks rebase onto the
+     adopted last_exec and any in-flight transfer becomes stale. *)
+  (match r.cp with
+  | Some cp ->
+    cancel_recover_timer r;
+    Checkpoint.rebase cp ~seq:(start_seq - 1)
+  | None -> ());
   Hashtbl.iter (fun digest _ -> start_vc_timer r digest) r.pending
 
 let rid_table_list r =
@@ -439,6 +646,9 @@ let handle (r : replica) ~src msg =
     | View_change { new_view; last_exec } -> on_view_change r ~src ~new_view ~last_exec
     | New_view { view; start_seq; state; rid_table } ->
       on_new_view r ~src ~view ~start_seq ~state ~rid_table
+    | Checkpoint_vote { seq; digest } -> on_checkpoint_vote r ~src ~seq ~digest
+    | Fetch_state { have } -> on_fetch_state r ~src ~have
+    | State_chunk chunk -> on_state_chunk r ~src chunk
     | Reply _ -> ()
 
 (* --- system assembly --- *)
@@ -476,6 +686,11 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     obs;
     obs_vc;
     chk;
+    cp =
+      (match config.checkpoint with
+      | Some c -> Some (Checkpoint.create c ~obs ~quorum:((2 * config.f) + 1))
+      | None -> None);
+    recover_timer = None;
   }
 
 let start engine fabric config ?behaviors () =
@@ -526,38 +741,57 @@ let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
   Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
-  Digest_map.reset r.timers
+  Digest_map.reset r.timers;
+  cancel_recover_timer r
 
 let set_online t ~replica =
   let r = t.replicas.(replica) in
   if not r.online then begin
     r.online <- true;
-    (* State transfer from the most advanced online peer. *)
-    let best = ref None in
-    Array.iter
-      (fun peer ->
-        if peer.id <> r.id && peer.online then
-          match !best with
-          | Some b when b.last_exec >= peer.last_exec -> ()
-          | Some _ | None -> best := Some peer)
-      t.replicas;
-    match !best with
-    | Some peer ->
-      r.view <- peer.view;
-      r.vc_voted <- max r.vc_voted peer.view;
-      r.last_exec <- peer.last_exec;
-      r.next_seq <- peer.last_exec + 1;
-      App.set_state r.app (App.state peer.app);
+    match r.cp with
+    | Some cp ->
+      (* Rejuvenation wiped the replica: restart from nothing and rejoin
+         by fetching the latest certified checkpoint plus log suffix
+         from the peers — state is earned, not received for free. *)
+      r.view <- 0;
+      r.vc_voted <- 0;
+      r.last_exec <- 0;
+      r.next_seq <- 1;
+      App.set_state r.app 0L;
       rid_reset r;
-      for c = 0 to Array.length peer.rid_last - 1 do
-        if peer.rid_last.(c) <> min_int then begin
-          let i = rid_slot r c in
-          r.rid_last.(i) <- peer.rid_last.(c);
-          r.rid_result.(i) <- peer.rid_result.(c)
-        end
-      done;
       Slot_ring.reset r.log;
       Digest_map.reset r.ordered;
-      Hashtbl.reset r.pending
-    | None -> ()
+      Hashtbl.reset r.pending;
+      Checkpoint.reset cp;
+      start_recovery r cp
+    | None -> (
+      (* Legacy model: free state copy from the most advanced online
+         peer (the hand-waved post-reconfiguration fetch). *)
+      let best = ref None in
+      Array.iter
+        (fun peer ->
+          if peer.id <> r.id && peer.online then
+            match !best with
+            | Some b when b.last_exec >= peer.last_exec -> ()
+            | Some _ | None -> best := Some peer)
+        t.replicas;
+      match !best with
+      | Some peer ->
+        r.view <- peer.view;
+        r.vc_voted <- max r.vc_voted peer.view;
+        r.last_exec <- peer.last_exec;
+        r.next_seq <- peer.last_exec + 1;
+        App.set_state r.app (App.state peer.app);
+        rid_reset r;
+        for c = 0 to Array.length peer.rid_last - 1 do
+          if peer.rid_last.(c) <> min_int then begin
+            let i = rid_slot r c in
+            r.rid_last.(i) <- peer.rid_last.(c);
+            r.rid_result.(i) <- peer.rid_result.(c)
+          end
+        done;
+        Slot_ring.reset r.log;
+        Digest_map.reset r.ordered;
+        Hashtbl.reset r.pending
+      | None -> ())
   end

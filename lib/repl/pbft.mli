@@ -7,11 +7,22 @@
     equivocating primary sends conflicting pre-prepares and is evicted by a
     view change.
 
-    Simplifications vs. the full protocol, chosen to preserve the metrics
-    this library studies (quorum sizes, message complexity, fault reaction
-    time) — see DESIGN.md: checkpointing is replaced by full-state transfer
-    in NEW-VIEW, and the new primary restarts sequencing above the highest
-    execution reported in its view-change quorum. *)
+    With [config.checkpoint = Some _] the group runs real checkpointing
+    (DESIGN.md §8): every interval executions each replica digests its
+    state and votes; 2f+1 matching votes form a stable-checkpoint
+    certificate that advances the low watermark, truncates the log, and
+    becomes the state a wiped replica fetches — chunked and
+    certificate-verified — when it rejoins after rejuvenation. With the
+    default [checkpoint = None] the protocol behaves exactly as before:
+    fixed-retention log pruning, and {!set_online} hands the rejoiner a
+    free copy of a peer's state.
+
+    Remaining simplifications vs. the full protocol, chosen to preserve
+    the metrics this library studies (quorum sizes, message complexity,
+    fault reaction time) — see DESIGN.md: NEW-VIEW still carries full
+    state for the view-change handoff itself, and the new primary
+    restarts sequencing above the highest execution reported in its
+    view-change quorum. *)
 
 module Hash = Resoc_crypto.Hash
 module Behavior = Resoc_fault.Behavior
@@ -24,16 +35,22 @@ type msg =
   | Reply of Types.reply
   | View_change of { new_view : int; last_exec : int }
   | New_view of { view : int; start_seq : int; state : int64; rid_table : (int * (int * int64)) list }
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
 type config = {
   f : int;  (** Tolerated faults; the group has 3f+1 replicas. *)
   n_clients : int;
   request_timeout : int;  (** Client retransmission period. *)
   vc_timeout : int;  (** Replica view-change trigger. *)
+  checkpoint : Checkpoint.config option;
+      (** Certified checkpointing + state transfer; [None] (the default)
+          keeps the legacy fixed-retention / free-state-copy model. *)
 }
 
 val default_config : config
-(** f=1, 2 clients, timeouts 4000/2500 cycles. *)
+(** f=1, 2 clients, timeouts 4000/2500 cycles, checkpointing off. *)
 
 val n_replicas : config -> int
 
@@ -68,8 +85,11 @@ val set_offline : t -> replica:int -> unit
 (** Tile powered down (e.g. for rejuvenation): drops all traffic. *)
 
 val set_online : t -> replica:int -> unit
-(** Rejoin with state transferred from the most advanced online replica
-    (models the post-reconfiguration state fetch). *)
+(** Rejoin after rejuvenation. With checkpointing enabled the replica
+    restarts {e wiped} and fetches the latest certified checkpoint plus
+    log suffix from its peers over the fabric (chunked, digest-verified
+    against the certificate); without it, legacy behaviour: a free state
+    copy from the most advanced online replica. *)
 
 val message_name : msg -> string
 (** For byte-accounting and tracing. *)

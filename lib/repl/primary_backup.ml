@@ -9,6 +9,9 @@ type msg =
   | Heartbeat of { epoch : int }
   | Promote of { epoch : int }
   | Reply of Types.reply
+  | Checkpoint_vote of { seq : int; digest : Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
 type config = {
   n_backups : int;
@@ -16,10 +19,18 @@ type config = {
   request_timeout : int;
   heartbeat_period : int;
   detection_timeout : int;
+  checkpoint : Checkpoint.config option;
 }
 
 let default_config =
-  { n_backups = 1; n_clients = 2; request_timeout = 4000; heartbeat_period = 500; detection_timeout = 1500 }
+  {
+    n_backups = 1;
+    n_clients = 2;
+    request_timeout = 4000;
+    heartbeat_period = 500;
+    detection_timeout = 1500;
+    checkpoint = None;
+  }
 
 let n_replicas config = config.n_backups + 1
 
@@ -39,6 +50,9 @@ type replica = {
   mutable rid_result : int64 array;
   peer_ids : int array;  (* everyone but self *)
   chk : int;  (* resoc_check session, -1 when checking is off *)
+  mutable online : bool;
+  cp : Checkpoint.t option;  (* checkpoint certificates, None = legacy *)
+  mutable recover_timer : Engine.handle option;
 }
 
 type t = {
@@ -55,6 +69,9 @@ let message_name = function
   | Heartbeat _ -> "heartbeat"
   | Promote _ -> "promote"
   | Reply _ -> "reply"
+  | Checkpoint_vote _ -> "checkpoint-vote"
+  | Fetch_state _ -> "fetch-state"
+  | State_chunk _ -> "state-chunk"
 
 let primary_of ~epoch ~n = epoch mod n
 
@@ -63,7 +80,7 @@ let is_primary (r : replica) = primary_of ~epoch:r.epoch ~n:r.n = r.id
 let alive (r : replica) = not (Behavior.is_crashed r.behavior ~now:(Engine.now r.engine))
 
 let send (r : replica) ~dst msg =
-  if alive r then
+  if r.online && alive r then
     match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
     | Some Behavior.Silent -> ()
     | Some (Behavior.Delay d) ->
@@ -95,6 +112,68 @@ let rid_slot r client =
   end;
   client
 
+let rid_reset r = Array.fill r.rid_last 0 (Array.length r.rid_last) min_int
+
+let cancel_recover_timer r =
+  match r.recover_timer with
+  | Some h ->
+    Engine.cancel r.engine h;
+    r.recover_timer <- None
+  | None -> ()
+
+(* Fetch the latest certified checkpoint, re-asking on a request-timeout
+   cadence until a transfer installs. Only the primary holds a stable
+   certificate (quorum 1: its own vote), but the rejoiner asks everyone. *)
+let start_recovery (r : replica) cp =
+  Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
+  let fetch () =
+    let peers = r.peer_ids in
+    for i = 0 to Array.length peers - 1 do
+      send r ~dst:peers.(i) (Fetch_state { have = Checkpoint.low cp })
+    done
+  in
+  let rec arm () =
+    cancel_recover_timer r;
+    r.recover_timer <-
+      Some
+        (Engine.schedule r.engine ~delay:r.config.request_timeout (fun () ->
+             r.recover_timer <- None;
+             if r.online && Checkpoint.recovering cp then begin
+               fetch ();
+               arm ()
+             end))
+  in
+  fetch ();
+  arm ()
+
+let maybe_catchup r cp =
+  if Checkpoint.needs_catchup cp && not (Checkpoint.recovering cp) then start_recovery r cp
+
+(* Primary-side checkpointing: at every boundary the primary digests its
+   state, announces the vote (so backups track stability and detect
+   falling behind), and — the quorum being 1 in the crash-pair model —
+   immediately stabilises its own certificate. *)
+let note_boundary r =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    if r.chk >= 0 then
+      Check.exec_window ~session:r.chk ~replica:r.id ~seq:r.seq ~low:(Checkpoint.low cp)
+        ~high:(Checkpoint.high cp)
+        ~faulty:(Behavior.is_faulty r.behavior);
+    match
+      Checkpoint.note_exec cp ~seq:r.seq ~state:(App.state r.app) ~rid_last:r.rid_last
+        ~rid_result:r.rid_result
+    with
+    | None -> ()
+    | Some d ->
+      let peers = r.peer_ids in
+      for i = 0 to Array.length peers - 1 do
+        send r ~dst:peers.(i) (Checkpoint_vote { seq = r.seq; digest = d })
+      done;
+      if Checkpoint.note_vote cp ~seq:r.seq ~digest:d ~voter:r.id >= 0 then
+        r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1)
+
 let on_request r (request : Types.request) =
   if is_primary r then begin
     let client = request.Types.client and rid = request.Types.rid in
@@ -117,6 +196,7 @@ let on_request r (request : Types.request) =
           send r ~dst:peers.(i)
             (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result })
         done;
+        note_boundary r;
         result
       end
     in
@@ -141,8 +221,77 @@ let on_update r ~epoch ~seq ~state ~client ~rid ~result =
         ~faulty:(Behavior.is_faulty r.behavior);
     let c = rid_slot r client in
     r.rid_last.(c) <- rid;
-    r.rid_result.(c) <- result
+    r.rid_result.(c) <- result;
+    (match r.cp with
+    | None -> ()
+    | Some cp ->
+      (* Landing exactly on a boundary lets the backup match the
+         primary's vote; a skipped boundary (gap in the update stream)
+         instead trips the catch-up path when the vote arrives. *)
+      ignore
+        (Checkpoint.note_exec cp ~seq ~state ~rid_last:r.rid_last ~rid_result:r.rid_result))
   end
+
+let on_checkpoint_vote r ~src ~seq ~digest =
+  match r.cp with
+  | None -> ()
+  | Some cp ->
+    if Checkpoint.note_vote cp ~seq ~digest ~voter:src >= 0 then
+      r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+    maybe_catchup r cp
+
+let on_fetch_state r ~src ~have =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    (* Self-stabilize at the execution tip before serving: Updates carry
+       full state but no replayable log, so serving the last periodic
+       boundary would restore a wiped primary behind the backups and make
+       it re-issue sequence numbers they already executed. In the crash
+       model this replica's own snapshot is as trustworthy as any
+       certificate (the quorum is 1). The transfer then needs no log
+       suffix: Meta + reply-cache chunks reconstruct the replica. *)
+    if (not (Checkpoint.recovering cp)) && r.seq > Checkpoint.low cp then
+      Checkpoint.force_stable cp ~seq:r.seq ~state:(App.state r.app) ~rid_last:r.rid_last
+        ~rid_result:r.rid_result ~voter:r.id;
+    match Checkpoint.serve cp ~view:r.epoch ~have ~suffix:[] with
+    | Some chunks -> List.iter (fun c -> send r ~dst:src (State_chunk c)) chunks
+    | None -> ())
+
+let install_transfer (r : replica) cp (c : Checkpoint.completion) =
+  cancel_recover_timer r;
+  r.epoch <- max r.epoch c.Checkpoint.c_view;
+  App.set_state r.app c.Checkpoint.c_state;
+  rid_reset r;
+  List.iter
+    (fun (client, rid, result) ->
+      let i = rid_slot r client in
+      r.rid_last.(i) <- rid;
+      r.rid_result.(i) <- result)
+    c.Checkpoint.c_rids;
+  r.seq <- c.Checkpoint.c_cert.Checkpoint.cp_seq;
+  r.last_heartbeat <- Engine.now r.engine;
+  Checkpoint.install cp c;
+  r.stats.Stats.state_transfers <- r.stats.Stats.state_transfers + 1;
+  r.stats.Stats.transfer_bytes <- r.stats.Stats.transfer_bytes + c.Checkpoint.c_bytes;
+  r.stats.Stats.transfer_cycles <- r.stats.Stats.transfer_cycles + c.Checkpoint.c_elapsed
+
+let on_state_chunk r ~src chunk =
+  match r.cp with
+  | None -> ()
+  | Some cp -> (
+    match Checkpoint.feed cp ~src ~now:(Engine.now r.engine) chunk with
+    | None -> ()
+    | Some c ->
+      if r.chk >= 0 then
+        Check.transfer_applied ~session:r.chk ~replica:r.id
+          ~seq:c.Checkpoint.c_cert.Checkpoint.cp_seq
+          ~claimed:c.Checkpoint.c_cert.Checkpoint.cp_digest ~actual:c.Checkpoint.c_actual
+          ~faulty:(Behavior.is_faulty r.behavior);
+      if
+        (c.Checkpoint.c_valid || !Checkpoint.test_unverified_transfer)
+        && c.Checkpoint.c_cert.Checkpoint.cp_seq > r.seq
+      then install_transfer r cp c)
 
 let on_heartbeat r ~epoch =
   if epoch >= r.epoch then begin
@@ -157,8 +306,8 @@ let on_promote r ~epoch =
     if is_primary r then r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1
   end
 
-let handle (r : replica) ~src:_ msg =
-  if alive r then
+let handle (r : replica) ~src msg =
+  if r.online && alive r then
     match msg with
     | Request request -> on_request r request
     | Update { epoch; seq; state; client; rid; result } ->
@@ -166,13 +315,16 @@ let handle (r : replica) ~src:_ msg =
     | Heartbeat { epoch } -> on_heartbeat r ~epoch
     | Promote { epoch } -> on_promote r ~epoch
     | Reply _ -> ()
+    | Checkpoint_vote { seq; digest } -> on_checkpoint_vote r ~src ~seq ~digest
+    | Fetch_state { have } -> on_fetch_state r ~src ~have
+    | State_chunk chunk -> on_state_chunk r ~src chunk
 
 (* Primary duty: periodic heartbeats. Backup duty: watch for silence; the
    next-in-line backup promotes itself when the detector fires. Ranks stagger
    the takeover so two backups don't promote simultaneously. *)
 let start_timers (r : replica) =
   Engine.every r.engine ~period:r.config.heartbeat_period (fun () ->
-      if alive r then
+      if r.online && alive r then
         if is_primary r then
           let peers = r.peer_ids in
           for i = 0 to Array.length peers - 1 do
@@ -217,6 +369,12 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     rid_result = Array.make (n + config.n_clients) 0L;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
     chk;
+    online = true;
+    cp =
+      (match config.checkpoint with
+      | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:1)
+      | None -> None);
+    recover_timer = None;
   }
 
 let start engine fabric config ?behaviors () =
@@ -267,3 +425,56 @@ let current_primary t =
 let replica_state t ~replica = App.state t.replicas.(replica).app
 
 let set_replica_state t ~replica state = App.set_state t.replicas.(replica).app state
+
+let replica_online t ~replica = t.replicas.(replica).online
+
+let set_offline t ~replica =
+  let r = t.replicas.(replica) in
+  if r.online then begin
+    r.online <- false;
+    cancel_recover_timer r
+  end
+
+(* Legacy model: free state copy from the most advanced online peer. *)
+let legacy_rejoin t (r : replica) =
+  let best = ref None in
+  Array.iter
+    (fun (peer : replica) ->
+      if peer.id <> r.id && peer.online then
+        match !best with
+        | Some (b : replica) when b.seq >= peer.seq -> ()
+        | Some _ | None -> best := Some peer)
+    t.replicas;
+  match !best with
+  | Some peer ->
+    r.epoch <- peer.epoch;
+    r.seq <- peer.seq;
+    App.set_state r.app (App.state peer.app);
+    rid_reset r;
+    for c = 0 to Array.length peer.rid_last - 1 do
+      if peer.rid_last.(c) <> min_int then begin
+        let i = rid_slot r c in
+        r.rid_last.(i) <- peer.rid_last.(c);
+        r.rid_result.(i) <- peer.rid_result.(c)
+      end
+    done;
+    r.last_heartbeat <- Engine.now r.engine
+  | None -> ()
+
+let set_online t ~replica =
+  let r = t.replicas.(replica) in
+  if not r.online then begin
+    r.online <- true;
+    r.last_heartbeat <- Engine.now r.engine;
+    match r.cp with
+    | Some cp ->
+      (* Rejuvenation wiped the replica: rejoin by certified transfer
+         instead of a free peer copy. *)
+      r.epoch <- 0;
+      r.seq <- 0;
+      App.set_state r.app 0L;
+      rid_reset r;
+      Checkpoint.reset cp;
+      start_recovery r cp
+    | None -> legacy_rejoin t r
+  end

@@ -15,6 +15,9 @@ type msg =
   | Heartbeat of { epoch : int }
   | Promote of { epoch : int }
   | Reply of Types.reply
+  | Checkpoint_vote of { seq : int; digest : Resoc_crypto.Hash.t }
+  | Fetch_state of { have : int }
+  | State_chunk of Checkpoint.chunk
 
 type config = {
   n_backups : int;  (** Group size is 1 + n_backups. *)
@@ -22,6 +25,14 @@ type config = {
   request_timeout : int;
   heartbeat_period : int;
   detection_timeout : int;  (** Silence before declaring the primary dead. *)
+  checkpoint : Checkpoint.config option;
+      (** Certified checkpointing + state transfer. The quorum degenerates
+          to 1 (the primary's own vote — in the crash-pair model the
+          certificate proves durability, not honesty), and transfers carry
+          no log suffix: updates already ship full state, so Meta +
+          reply-cache chunks reconstruct a replica. [None] (the default)
+          keeps the legacy model, where rejuvenation is invisible to the
+          protocol. *)
 }
 
 val default_config : config
@@ -52,5 +63,16 @@ val replica_state : t -> replica:int -> int64
 
 val set_replica_state : t -> replica:int -> int64 -> unit
 (** Out-of-band state installation (epoch-based protocol switching). *)
+
+val replica_online : t -> replica:int -> bool
+
+val set_offline : t -> replica:int -> unit
+(** Tile powered down (e.g. for rejuvenation): drops all traffic. *)
+
+val set_online : t -> replica:int -> unit
+(** Rejoin after rejuvenation. With checkpointing enabled the replica
+    restarts wiped and fetches the latest certified checkpoint from the
+    primary; without it, legacy behaviour: a free state copy from the
+    most advanced online replica. *)
 
 val message_name : msg -> string

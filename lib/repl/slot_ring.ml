@@ -154,6 +154,33 @@ let release t seq =
     end
   end
 
+(* Drop overflow bindings whose seq falls outside [low, high]. Ring
+   slots prune themselves through [release] as execution advances (and
+   are bounded at [max_direct] regardless), but overflow entries are
+   only ever removed by an exact-seq [release] — and a corrupted seq
+   (the reason the entry overflowed at all) is one the protocol will
+   never execute, so without this sweep outliers accumulate for the
+   whole run. Called when the retention window (or a stable-checkpoint
+   low watermark) moves. *)
+let prune_outside t ~low ~high =
+  if t.ov_live > 0 then begin
+    let k = ref 0 in
+    while !k < t.ov_live do
+      let seq = t.ov_seqs.(!k) in
+      if seq < low || seq > high then begin
+        let last = t.ov_live - 1 in
+        let e = t.ov_entries.(!k) in
+        t.ov_seqs.(!k) <- t.ov_seqs.(last);
+        t.ov_entries.(!k) <- t.ov_entries.(last);
+        t.ov_seqs.(last) <- free;
+        t.ov_entries.(last) <- e;
+        t.ov_live <- last
+        (* Re-examine slot !k: it now holds the swapped-in entry. *)
+      end
+      else incr k
+    done
+  end
+
 let reset t =
   Array.fill t.seqs 0 (Array.length t.seqs) free;
   t.ov_live <- 0

@@ -37,5 +37,13 @@ val bind : 'a t -> int -> 'a * bool
 val release : 'a t -> int -> unit
 (** Unbind [seq] (retention); its record stays pooled for reuse. *)
 
+val prune_outside : 'a t -> low:int -> high:int -> unit
+(** Unbind every overflow entry whose seq lies outside [[low, high]].
+    Overflow slots hold corrupt-seq outliers that no exact-seq
+    {!release} will ever reach, so a moving retention window (or
+    stable-checkpoint low watermark) must sweep them explicitly or
+    they accumulate for the whole run. Ring slots are untouched: they
+    are bounded and prune themselves through {!release}. *)
+
 val reset : 'a t -> unit
 (** Unbind every sequence number, keeping the pooled records. *)

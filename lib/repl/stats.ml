@@ -6,6 +6,10 @@ type t = {
   mutable wrong_replies : int;
   mutable retransmissions : int;
   mutable view_changes : int;
+  mutable checkpoints : int;
+  mutable state_transfers : int;
+  mutable transfer_bytes : int;
+  mutable transfer_cycles : int;
   latency : Histogram.t;
 }
 
@@ -16,6 +20,10 @@ let create () =
     wrong_replies = 0;
     retransmissions = 0;
     view_changes = 0;
+    checkpoints = 0;
+    state_transfers = 0;
+    transfer_bytes = 0;
+    transfer_cycles = 0;
     latency = Histogram.create "latency";
   }
 
@@ -24,7 +32,9 @@ let throughput t ~horizon =
 
 let pp ppf t =
   Format.fprintf ppf
-    "submitted=%d completed=%d wrong=%d retx=%d view_changes=%d lat_mean=%.1f lat_p99=%.1f"
-    t.submitted t.completed t.wrong_replies t.retransmissions t.view_changes
+    "submitted=%d completed=%d wrong=%d retx=%d view_changes=%d checkpoints=%d transfers=%d \
+     transfer_bytes=%d lat_mean=%.1f lat_p99=%.1f"
+    t.submitted t.completed t.wrong_replies t.retransmissions t.view_changes t.checkpoints
+    t.state_transfers t.transfer_bytes
     (Histogram.mean t.latency)
     (Histogram.percentile t.latency 99.0)

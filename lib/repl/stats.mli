@@ -8,6 +8,10 @@ type t = {
   mutable wrong_replies : int;  (** Replies that disagreed with the quorum. *)
   mutable retransmissions : int;
   mutable view_changes : int;
+  mutable checkpoints : int;  (** Stable checkpoint certificates formed (any replica). *)
+  mutable state_transfers : int;  (** Certified state transfers completed and installed. *)
+  mutable transfer_bytes : int;  (** Nominal wire bytes of completed transfers. *)
+  mutable transfer_cycles : int;  (** Total fetch-to-install latency of completed transfers. *)
   latency : Histogram.t;  (** Submission-to-acceptance, cycles. *)
 }
 
