@@ -1224,6 +1224,220 @@ let e10_state_transfer () =
         bytes.Cstats.mean lat.Cstats.mean)
     result.Campaign.cells
 
+(* ------------------------------------------------------------------ *)
+(* E11: adaptive fault-tolerant routing under link-failure campaigns   *)
+(* ------------------------------------------------------------------ *)
+
+let e11_adaptive_routing () =
+  header "E11 Adaptive NoC routing under link-failure campaigns"
+    "Claim (SI / DESIGN S9): deterministic dimension-order routing ties\n\
+     delivery to one or two fixed paths, so a fault set that severs them\n\
+     drops traffic even when the mesh stays connected. Adaptive routing\n\
+     recomputes per-router next-hop tables on every fail/repair event and\n\
+     delivers exactly when the endpoints are connected. Three campaigns:\n\
+     an adversarial wall (connected, both XY and YX broken), escalating\n\
+     Poisson upsets + Weibull wear-out, and the protocols over a faulty\n\
+     fabric:";
+  let routings =
+    [
+      ("xy", Resoc_noc.Network.Xy);
+      ("xy+yx", Resoc_noc.Network.Xy_with_yx_fallback);
+      ("adaptive", Resoc_noc.Network.Adaptive);
+    ]
+  in
+  (* Family A: a wall of failed links on the column-3/4 boundary of an 8x8
+     mesh, open only in row 0. The mesh stays connected, but for any pair
+     crossing the wall off row 0 the XY path (horizontal in the source
+     row) and the YX path (horizontal in the destination row) are both
+     severed — only table-driven detours through row 0 deliver. *)
+  let wall_run ~routing ~seed =
+    let engine = Engine.create ~seed () in
+    let rng = Rng.split (Engine.rng engine) in
+    let mesh = Resoc_noc.Mesh.create ~width:8 ~height:8 in
+    for y = 1 to 7 do
+      let a = (y * 8) + 3 and b = (y * 8) + 4 in
+      Resoc_noc.Mesh.fail_link mesh { Resoc_noc.Mesh.src = a; dst = b };
+      Resoc_noc.Mesh.fail_link mesh { Resoc_noc.Mesh.src = b; dst = a }
+    done;
+    let net =
+      Resoc_noc.Network.create engine mesh { Resoc_noc.Network.default_config with routing }
+    in
+    for node = 0 to 63 do
+      Resoc_noc.Network.attach net ~node (fun ~src:_ _ -> ())
+    done;
+    let sent = 500 in
+    for _ = 1 to sent do
+      (* Wall-crossing pair, both endpoints off the open row. *)
+      let src = ((1 + Rng.int rng 7) * 8) + Rng.int rng 4 in
+      let dst = ((1 + Rng.int rng 7) * 8) + 4 + Rng.int rng 4 in
+      Resoc_noc.Network.send net ~src ~dst ~bytes_:16 ()
+    done;
+    Engine.run engine;
+    [
+      ("delivery", float_of_int (Resoc_noc.Network.delivered net) /. float_of_int sent);
+      ("recomputes", float_of_int (Resoc_noc.Network.recomputes net));
+    ]
+  in
+  (* Family B: continuous random traffic on an 8x8 mesh while a link
+     campaign runs — Poisson transient upsets at an escalating rate plus
+     Weibull wear-out landing permanent failures. *)
+  let campaign_run ~routing ~upset_rate ~seed =
+    let engine = Engine.create ~seed () in
+    let rng = Rng.split (Engine.rng engine) in
+    let mesh = Resoc_noc.Mesh.create ~width:8 ~height:8 in
+    let net =
+      Resoc_noc.Network.create engine mesh { Resoc_noc.Network.default_config with routing }
+    in
+    for node = 0 to 63 do
+      Resoc_noc.Network.attach net ~node (fun ~src:_ _ -> ())
+    done;
+    let lf =
+      Resoc_fault.Link_fault.start engine
+        (Rng.split (Engine.rng engine))
+        mesh
+        {
+          Resoc_fault.Link_fault.upset_rate;
+          upset_repair_mean = 400.0;
+          wearout_shape = 2.0;
+          wearout_scale = 150_000.0;
+        }
+    in
+    let horizon = 40_000 in
+    Engine.every engine ~period:20 (fun () ->
+        let src = Rng.int rng 64 in
+        let dst = Rng.int rng 64 in
+        Resoc_noc.Network.send net ~src ~dst ~bytes_:16 ());
+    Engine.run ~until:horizon engine;
+    Resoc_fault.Link_fault.halt lf;
+    let sent = Resoc_noc.Network.sent net in
+    [
+      ( "delivery",
+        if sent = 0 then 0.0
+        else float_of_int (Resoc_noc.Network.delivered net) /. float_of_int sent );
+      ("upsets", float_of_int (Resoc_fault.Link_fault.upsets lf));
+      ("wearouts", float_of_int (Resoc_fault.Link_fault.wearouts lf));
+      ("recomputes", float_of_int (Resoc_noc.Network.recomputes net));
+    ]
+  in
+  (* Family C: the protocols over an SoC fabric whose links fail under
+     the same campaign. Adaptive mode additionally surfaces partitions
+     (reachable pairs < total) to the resilience layer. *)
+  let proto_run ~kind ~routing ~seed =
+    let noc = { Resoc_noc.Network.default_config with routing } in
+    let soc = Soc.create { Soc.default_config with seed; noc } in
+    let partitions = ref 0 in
+    Soc.set_on_partition soc (fun ~reachable ~total -> if reachable < total then incr partitions);
+    let spec = { Group.default_spec with kind; f = 1; n_clients = 2 } in
+    let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
+    let lf =
+      Resoc_fault.Link_fault.start (Soc.engine soc) (Soc.rng soc) (Soc.mesh soc)
+        {
+          Resoc_fault.Link_fault.upset_rate = 2e-5;
+          upset_repair_mean = 2_500.0;
+          wearout_shape = 2.0;
+          wearout_scale = 0.0;
+        }
+    in
+    let requests = 20 in
+    Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:group.Group.submit;
+    Engine.run ~until:300_000 (Soc.engine soc);
+    Resoc_fault.Link_fault.halt lf;
+    let s = group.Group.stats () in
+    [
+      ("completed", float_of_int s.Stats.completed /. float_of_int requests);
+      ("noc_dropped", float_of_int (Soc.noc_dropped soc));
+      ("partitions", float_of_int !partitions);
+      ("upsets", float_of_int (Resoc_fault.Link_fault.upsets lf));
+    ]
+  in
+  let rates = [ ("lo", 5e-6); ("mid", 2e-5); ("hi", 8e-5) ] in
+  let protocols =
+    [
+      ("pbft", `Pbft);
+      ("minbft", `Minbft);
+      ("a2m-bft", `A2m_bft);
+      ("cheapbft", `Cheapbft);
+      ("paxos", `Paxos);
+    ]
+  in
+  let wall_cells =
+    List.map
+      (fun (rname, routing) ->
+        Campaign.cell
+          ~params:[ ("family", "wall"); ("routing", rname) ]
+          ("wall/" ^ rname)
+          (fun ~seed -> wall_run ~routing ~seed))
+      routings
+  in
+  let rate_cells =
+    List.concat_map
+      (fun (lbl, upset_rate) ->
+        List.map
+          (fun (rname, routing) ->
+            Campaign.cell
+              ~params:
+                [
+                  ("family", "poisson");
+                  ("rate", Printf.sprintf "%g" upset_rate);
+                  ("routing", rname);
+                ]
+              (lbl ^ "/" ^ rname)
+              (fun ~seed -> campaign_run ~routing ~upset_rate ~seed))
+          routings)
+      rates
+  in
+  let proto_cells =
+    List.concat_map
+      (fun (pname, kind) ->
+        List.map
+          (fun (rname, routing) ->
+            Campaign.cell
+              ~params:[ ("family", "protocol"); ("protocol", pname); ("routing", rname) ]
+              (pname ^ "/" ^ rname)
+              (fun ~seed -> proto_run ~kind ~routing ~seed))
+          routings)
+      protocols
+  in
+  let result =
+    run_campaign ~id:"e11" ~title:"Adaptive NoC routing under link-failure campaigns"
+      (wall_cells @ rate_cells @ proto_cells)
+  in
+  let agg_of id = List.find (fun a -> a.Campaign.cell_id = id) result.Campaign.cells in
+  row "A: adversarial wall (connected mesh; XY and YX both severed off row 0)\n";
+  row "%-12s %-22s %-12s\n" "routing" "delivery (95% CI)" "recomputes";
+  List.iter
+    (fun (rname, _) ->
+      let agg = agg_of ("wall/" ^ rname) in
+      row "%-12s %-22s %-12.0f\n" rname
+        (Cstats.pp_mean_ci ~decimals:3 (Campaign.metric agg "delivery"))
+        (Campaign.metric agg "recomputes").Cstats.mean)
+    routings;
+  row "\nB: Poisson upsets (per link-cycle, 400-cycle mean repair) + Weibull wear-out\n";
+  row "%-8s %-22s %-22s %-22s %-9s %-9s\n" "rate" "xy (95% CI)" "xy+yx (95% CI)"
+    "adaptive (95% CI)" "upsets" "wearouts";
+  List.iter
+    (fun (lbl, rate) ->
+      let col rname = Cstats.pp_mean_ci ~decimals:3 (Campaign.metric (agg_of (lbl ^ "/" ^ rname)) "delivery") in
+      let adaptive = agg_of (lbl ^ "/adaptive") in
+      row "%-8g %-22s %-22s %-22s %-9.0f %-9.0f\n" rate (col "xy") (col "xy+yx") (col "adaptive")
+        (Campaign.metric adaptive "upsets").Cstats.mean
+        (Campaign.metric adaptive "wearouts").Cstats.mean)
+    rates;
+  row "\nC: protocols on a faulty 4x4 fabric (rate 2e-5, 2.5k-cycle repairs)\n";
+  row "%-14s %-20s %-20s %-20s %-10s %-12s %-11s\n" "protocol" "xy completed"
+    "xy+yx completed" "adaptive completed" "drops/xy" "drops/adapt" "partitions";
+  List.iter
+    (fun (pname, _) ->
+      let col rname =
+        Cstats.pp_mean_ci ~decimals:3 (Campaign.metric (agg_of (pname ^ "/" ^ rname)) "completed")
+      in
+      let drops rname = (Campaign.metric (agg_of (pname ^ "/" ^ rname)) "noc_dropped").Cstats.mean in
+      let adaptive = agg_of (pname ^ "/adaptive") in
+      row "%-14s %-20s %-20s %-20s %-10.1f %-12.1f %-11.1f\n" pname (col "xy") (col "xy+yx")
+        (col "adaptive") (drops "xy") (drops "adaptive")
+        (Campaign.metric adaptive "partitions").Cstats.mean)
+    protocols
+
 let all =
   [
     ("e1", "gate-level redundancy", e1_gate_redundancy);
@@ -1236,6 +1450,7 @@ let all =
     ("e8", "reconfiguration governance", e8_reconfig_governance);
     ("e9", "hybrid complexity crossover", e9_hybrid_complexity);
     ("e10", "checkpoint certificates + state transfer", e10_state_transfer);
+    ("e11", "adaptive noc routing under link failures", e11_adaptive_routing);
     ("f1", "layered stack composition", f1_layered_stack);
     ("a1", "razor timing speculation (ablation)", a1_razor);
     ("a2", "3d multi-vendor stacking (ablation)", a2_vendor_stack);

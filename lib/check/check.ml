@@ -25,7 +25,17 @@ type hybrid = {
   bound : (int64, int64) Hashtbl.t;  (* counter -> digest it was bound to *)
 }
 
-type net = { mutable injected : int; mutable delivered : int; mutable dropped : int }
+type net = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  (* flight id -> (route-table epoch, routers visited under it, newest
+     first). Loop freedom is an intra-epoch property — a recompute may
+     legitimately route a flight back through earlier ground — so the
+     trail resets when the epoch advances. Trails are short (bounded by
+     the mesh diameter), so a revisit scan is O(path). *)
+  visited : (int, int * int list) Hashtbl.t;
+}
 
 type state = {
   sessions : (int, session) Hashtbl.t;
@@ -78,7 +88,8 @@ let new_hybrid ~name =
 let new_network () =
   let s = Domain.DLS.get state in
   let id = fresh_id s in
-  Hashtbl.replace s.nets id { injected = 0; delivered = 0; dropped = 0 };
+  Hashtbl.replace s.nets id
+    { injected = 0; delivered = 0; dropped = 0; visited = Hashtbl.create 64 };
   id
 
 (* Ids can outlive a [begin_replicate] when a system created for one replicate
@@ -199,3 +210,41 @@ let flit_dropped ~net =
   | Some n ->
     n.dropped <- n.dropped + 1;
     conservation n "drop"
+
+let noc_hop ~net ~flight ~epoch ~cur ~next ~cur_up ~link_up =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n ->
+    if not cur_up then
+      violation "noc: flight %d routed out of failed router %d (toward %d)" flight cur next;
+    if not link_up then violation "noc: flight %d crossed failed link %d->%d" flight cur next;
+    let seen =
+      match Hashtbl.find_opt n.visited flight with
+      | Some (e, trail) when e = epoch -> trail
+      | Some _ | None -> []
+    in
+    if List.mem cur seen then
+      violation "noc: flight %d revisited router %d within epoch %d (routing loop): path %s" flight
+        cur epoch
+        (String.concat "<-" (List.map string_of_int (cur :: seen)));
+    Hashtbl.replace n.visited flight (epoch, cur :: seen)
+
+let noc_flight_done ~net ~flight =
+  let s = Domain.DLS.get state in
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n -> Hashtbl.remove n.visited flight
+
+let noc_reachable_drop ~net ~node ~dst ~reachable =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some _ ->
+    if reachable then
+      violation
+        "noc: adaptive routing dropped a message at live router %d although destination %d is \
+         reachable"
+        node dst

@@ -33,6 +33,13 @@
     - {b A2M log integrity}: attested sequence numbers grow strictly by one.
     - {b NoC conservation}: delivered + dropped flits never exceed injected
       flits (no duplication, no phantom delivery).
+    - {b NoC route integrity}: a hop never leaves a failed router or crosses
+      a failed link, and no flight visits a router twice under one
+      route-table epoch (loop freedom is intra-epoch; recomputes may
+      re-route a flight through earlier ground).
+    - {b NoC delivery completeness}: adaptive routing never drops a message
+      at a live router whose destination the route tables say is reachable
+      — delivered iff connected, with drops justified by partitions only.
 
     A violated invariant raises {!Violation}; inside a campaign the exception
     is captured by the worker pool and surfaces as a failed replicate, which
@@ -103,3 +110,18 @@ val new_network : unit -> int
 val flit_injected : net:int -> unit
 val flit_delivered : net:int -> unit
 val flit_dropped : net:int -> unit
+
+val noc_hop :
+  net:int -> flight:int -> epoch:int -> cur:int -> next:int -> cur_up:bool -> link_up:bool -> unit
+(** Report that [flight] hops from [cur] toward [next] under route-table
+    [epoch]. Fires when the hop leaves a failed router or crosses a
+    failed link, or when the flight revisits [cur] under one epoch
+    (routing loop — loop freedom is intra-epoch: a recompute may
+    legitimately re-route a flight back through earlier ground). *)
+
+val noc_flight_done : net:int -> flight:int -> unit
+(** Forget the visited-router trail of a delivered or dropped flight. *)
+
+val noc_reachable_drop : net:int -> node:int -> dst:int -> reachable:bool -> unit
+(** Report an adaptive-mode drop decision at live router [node]; fires
+    when the route tables say [dst] was in fact reachable. *)

@@ -1,15 +1,16 @@
-type kind = Seu | Trojan | Apt
+type kind = Seu | Trojan | Apt | Link
 
-let kind_name = function Seu -> "seu" | Trojan -> "trojan" | Apt -> "apt"
+let kind_name = function Seu -> "seu" | Trojan -> "trojan" | Apt -> "apt" | Link -> "link"
 
 let kind_of_name = function
   | "seu" -> Seu
   | "trojan" -> Trojan
   | "apt" -> Apt
+  | "link" -> Link
   | s -> invalid_arg ("Inject.kind_of_name: " ^ s)
 
-let kind_code = function Seu -> 0 | Trojan -> 1 | Apt -> 2
-let kind_of_code = function 0 -> Seu | 1 -> Trojan | _ -> Apt
+let kind_code = function Seu -> 0 | Trojan -> 1 | Apt -> 2 | Link -> 3
+let kind_of_code = function 0 -> Seu | 1 -> Trojan | 2 -> Apt | _ -> Link
 let active = ref false
 let record () = active := true
 let stop () = active := false

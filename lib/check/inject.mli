@@ -16,7 +16,10 @@
 
     State is per-domain, like {!Check}. *)
 
-type kind = Seu | Trojan | Apt
+type kind = Seu | Trojan | Apt | Link
+(** [Link] covers NoC link-failure campaigns (transient upsets and
+    wear-out); occurrence coordinates are the link id and the event
+    class (0 = upset, 1 = wear-out). *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind

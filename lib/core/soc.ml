@@ -34,6 +34,7 @@ type t = {
   grid : Grid.t;
   icap : Icap.t;
   mutable stat_probes : (unit -> int * int * int) list;
+  mutable on_partition : (reachable:int -> total:int -> unit) option;
 }
 
 let create config =
@@ -41,7 +42,9 @@ let create config =
   let mesh = Mesh.create ~width:config.mesh_width ~height:config.mesh_height in
   let grid = Grid.create ~width:config.grid_width ~height:config.grid_height in
   let icap = Icap.create engine grid () in
-  { config; engine; mesh; grid; icap; stat_probes = [] }
+  { config; engine; mesh; grid; icap; stat_probes = []; on_partition = None }
+
+let set_on_partition t f = t.on_partition <- Some f
 
 let engine t = t.engine
 let rng t = Rng.split (Engine.rng t.engine)
@@ -64,6 +67,11 @@ let noc_fabric t ~placement ~size_of =
       Hashtbl.replace seen tile ())
     placement;
   let network = Network.create t.engine t.mesh t.config.noc in
+  (* Forward adaptive-routing partition reports to whoever registered
+     interest (the field is read at call time, so registering after the
+     fabric is built still works). *)
+  Network.set_partition_handler network (fun ~reachable ~total ->
+      match t.on_partition with Some f -> f ~reachable ~total | None -> ());
   let logical_of_tile = Hashtbl.create n in
   Array.iteri (fun logical tile -> Hashtbl.replace logical_of_tile tile logical) placement;
   let send ~src ~dst msg =

@@ -51,3 +51,10 @@ val noc_messages : t -> int
 val noc_bytes : t -> int
 val noc_dropped : t -> int
 (** Aggregated over every fabric created from this SoC. *)
+
+val set_on_partition : t -> (reachable:int -> total:int -> unit) -> unit
+(** Register the chip-level partition listener. Fabrics built with
+    adaptive routing report every route-table recompute here as
+    [~reachable] of [~total] ordered tile pairs connected; feed it to
+    {!Resoc_resilience.Adaptation.notify_partition} so partitions raise
+    the threat level. No-op for non-adaptive routing. *)

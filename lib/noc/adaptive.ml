@@ -1,0 +1,114 @@
+(* Epoch-stamped per-router next-hop tables over the surviving topology.
+
+   For every destination [dst] a reverse BFS from [dst] over the up
+   routers and up directed links labels each router [u] with its parent
+   [v] on a shortest surviving path u -> dst; [table.(u*n + dst) = v].
+   Neighbours are explored in the fixed direction order north, west,
+   east, south, so ties break deterministically and the tables are a
+   pure function of the fault state (hence identical across campaign
+   worker counts).
+
+   Freshness is tracked with [Mesh.epoch]: a table recomputed at epoch e
+   stays valid until the mesh reports a fault-state flip. [refresh] is
+   O(n * (n + links)) — the cumulative node-visit count is exposed as a
+   cost model for the obs layer.
+
+   Deadlock/livelock argument (DESIGN.md section 9): the simulated links
+   are FIFO queues of unbounded depth, so there is no buffer-cycle
+   deadlock to avoid; livelock cannot occur because within one epoch
+   every hop strictly decreases the BFS distance to the destination, and
+   a run contains finitely many epochs. *)
+
+type t = {
+  mesh : Mesh.t;
+  n : int;
+  table : int array;  (* cur*n + dst -> next hop toward dst, -1 = unreachable *)
+  queue : int array;  (* BFS scratch *)
+  mutable epoch : int;  (* mesh epoch the table reflects; -1 = never computed *)
+  mutable recomputes : int;
+  mutable visits : int;  (* cumulative BFS node visits (recompute cost) *)
+  mutable reachable_pairs : int;  (* ordered src<>dst pairs with a route *)
+}
+
+let create mesh =
+  let n = Mesh.n_nodes mesh in
+  {
+    mesh;
+    n;
+    table = Array.make (n * n) (-1);
+    queue = Array.make n 0;
+    epoch = -1;
+    recomputes = 0;
+    visits = 0;
+    reachable_pairs = 0;
+  }
+
+let recompute t =
+  let mesh = t.mesh in
+  let n = t.n in
+  let w = Mesh.width mesh in
+  let h = Mesh.height mesh in
+  Array.fill t.table 0 (n * n) (-1);
+  let pairs = ref 0 in
+  for dst = 0 to n - 1 do
+    if Mesh.router_up mesh dst then begin
+      let base_dst = dst in
+      t.table.((dst * n) + dst) <- dst;
+      t.visits <- t.visits + 1;
+      let head = ref 0 and tail = ref 0 in
+      t.queue.(!tail) <- dst;
+      incr tail;
+      while !head < !tail do
+        let v = t.queue.(!head) in
+        incr head;
+        (* Predecessors u with a live directed link u -> v, in fixed
+           order: u above (its south link), u left (east), u right
+           (west), u below (north). *)
+        let consider u dir =
+          if
+            Mesh.router_up mesh u
+            && Mesh.link_up_id mesh ((u * 4) + dir)
+            && t.table.((u * n) + base_dst) < 0
+          then begin
+            t.table.((u * n) + base_dst) <- v;
+            t.visits <- t.visits + 1;
+            incr pairs;
+            t.queue.(!tail) <- u;
+            incr tail
+          end
+        in
+        if v >= w then consider (v - w) 3;
+        if v mod w > 0 then consider (v - 1) 2;
+        if v mod w < w - 1 then consider (v + 1) 1;
+        if v < w * (h - 1) then consider (v + w) 0
+      done
+    end
+  done;
+  t.reachable_pairs <- !pairs;
+  t.recomputes <- t.recomputes + 1;
+  t.epoch <- Mesh.epoch mesh
+
+let refresh t =
+  if t.epoch <> Mesh.epoch t.mesh then begin
+    recompute t;
+    true
+  end
+  else false
+
+let next_hop t ~cur ~dst =
+  ignore (refresh t);
+  Array.unsafe_get t.table ((cur * t.n) + dst)
+
+let reachable t ~src ~dst =
+  ignore (refresh t);
+  Array.unsafe_get t.table ((src * t.n) + dst) >= 0
+
+let epoch t = t.epoch
+let recomputes t = t.recomputes
+let visits t = t.visits
+
+let reachable_pairs t =
+  ignore (refresh t);
+  t.reachable_pairs
+
+let total_pairs t = t.n * (t.n - 1)

@@ -1,0 +1,42 @@
+(** Epoch-stamped BFS next-hop tables for adaptive fault-tolerant routing.
+
+    Recomputed (lazily, on first use after a fault-state flip) from the
+    surviving topology: for every destination a reverse BFS yields each
+    router's next hop on a shortest surviving path, with a deterministic
+    north/west/east/south tie-break, so a message is routable iff its
+    endpoints are connected in the surviving graph. See DESIGN.md
+    section 9 for the deadlock/livelock argument and the cost model. *)
+
+type t
+
+val create : Mesh.t -> t
+(** Tables start unstamped; the first routing query computes them. *)
+
+val refresh : t -> bool
+(** Recompute the tables if the mesh epoch moved since the last compute.
+    Returns whether a recompute happened. Called implicitly by every
+    query below; call it explicitly (e.g. from a [Mesh.on_change]
+    subscriber) to recompute eagerly on every fail/repair event. *)
+
+val next_hop : t -> cur:int -> dst:int -> int
+(** Next router on a shortest surviving path, [dst] itself when
+    [cur = dst], or [-1] when [dst] is unreachable from [cur]. *)
+
+val reachable : t -> src:int -> dst:int -> bool
+
+val epoch : t -> int
+(** The {!Mesh.epoch} the current tables reflect (-1 before first use). *)
+
+val recomputes : t -> int
+(** Number of table recomputations so far. *)
+
+val visits : t -> int
+(** Cumulative BFS node visits across all recomputes — the recompute
+    cost model surfaced by the obs layer. *)
+
+val reachable_pairs : t -> int
+(** Ordered [src <> dst] pairs with a surviving route; partition
+    detection compares this against {!total_pairs}. *)
+
+val total_pairs : t -> int
+(** [n * (n-1)], the fault-free reachable-pair count. *)

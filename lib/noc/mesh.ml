@@ -15,6 +15,10 @@ type t = {
   height : int;
   routers : Bytes.t;  (* '\000' = up *)
   links : Bytes.t;  (* n_nodes * 4, '\000' = up *)
+  mutable epoch : int;  (* bumped on every actual fault-state flip *)
+  mutable n_failed_links : int;
+  mutable n_failed_routers : int;
+  mutable subscribers : (unit -> unit) list;  (* called after each flip *)
 }
 
 let create ~width ~height =
@@ -24,7 +28,20 @@ let create ~width ~height =
     height;
     routers = Bytes.make (width * height) '\000';
     links = Bytes.make (width * height * 4) '\000';
+    epoch = 0;
+    n_failed_links = 0;
+    n_failed_routers = 0;
+    subscribers = [];
   }
+
+let epoch t = t.epoch
+let failed_link_count t = t.n_failed_links
+let failed_router_count t = t.n_failed_routers
+let on_change t f = t.subscribers <- t.subscribers @ [ f ]
+
+let changed t =
+  t.epoch <- t.epoch + 1;
+  List.iter (fun f -> f ()) t.subscribers
 
 let width t = t.width
 let height t = t.height
@@ -122,9 +139,25 @@ let links_of_route route =
   in
   pair route
 
-let fail_link t l = Bytes.set t.links (link_id t ~src:l.src ~dst:l.dst) '\001'
+(* Fail/repair are no-ops when the component is already in the target
+   state, so the O(1) failed counts stay exact and subscribers only hear
+   about actual flips. *)
 
-let repair_link t l = Bytes.set t.links (link_id t ~src:l.src ~dst:l.dst) '\000'
+let fail_link t l =
+  let lid = link_id t ~src:l.src ~dst:l.dst in
+  if Bytes.get t.links lid = '\000' then begin
+    Bytes.set t.links lid '\001';
+    t.n_failed_links <- t.n_failed_links + 1;
+    changed t
+  end
+
+let repair_link t l =
+  let lid = link_id t ~src:l.src ~dst:l.dst in
+  if Bytes.get t.links lid <> '\000' then begin
+    Bytes.set t.links lid '\000';
+    t.n_failed_links <- t.n_failed_links - 1;
+    changed t
+  end
 
 let link_up t l = Bytes.get t.links (link_id t ~src:l.src ~dst:l.dst) = '\000'
 
@@ -132,11 +165,19 @@ let link_up_id t lid = Bytes.unsafe_get t.links lid = '\000'
 
 let fail_router t id =
   check_id t id;
-  Bytes.set t.routers id '\001'
+  if Bytes.get t.routers id = '\000' then begin
+    Bytes.set t.routers id '\001';
+    t.n_failed_routers <- t.n_failed_routers + 1;
+    changed t
+  end
 
 let repair_router t id =
   check_id t id;
-  Bytes.set t.routers id '\000'
+  if Bytes.get t.routers id <> '\000' then begin
+    Bytes.set t.routers id '\000';
+    t.n_failed_routers <- t.n_failed_routers - 1;
+    changed t
+  end
 
 let router_up t id =
   check_id t id;
@@ -160,6 +201,23 @@ let xy_path_usable t ~src ~dst =
       link_up_id t ((cur * 4) + dir_of t ~src:cur ~dst:next) && go next
   in
   go src
+
+(* Link ids whose destination actually lies on the mesh (border ids point
+   off the edge and are never used by any route). *)
+let real_link_ids t =
+  let acc = ref [] in
+  for lid = n_link_ids t - 1 downto 0 do
+    let src = lid / 4 in
+    let valid =
+      match lid land 3 with
+      | 0 -> src >= t.width
+      | 1 -> src mod t.width > 0
+      | 2 -> src mod t.width < t.width - 1
+      | _ -> src < t.width * (t.height - 1)
+    in
+    if valid then acc := lid :: !acc
+  done;
+  Array.of_list !acc
 
 let failed_links t =
   let acc = ref [] in

@@ -48,11 +48,35 @@ val links_of_route : int list -> link list
 val fail_link : t -> link -> unit
 val repair_link : t -> link -> unit
 val link_up : t -> link -> bool
-(** Unknown links (non-adjacent endpoints) raise [Invalid_argument]. *)
+(** Unknown links (non-adjacent endpoints) raise [Invalid_argument].
+    Failing an already-failed link (or repairing an up one) is a no-op:
+    the fault state, counts, {!epoch} and subscribers only see actual
+    flips. *)
 
 val fail_router : t -> int -> unit
 val repair_router : t -> int -> unit
 val router_up : t -> int -> bool
+
+(** {2 Fault-state bookkeeping}
+
+    Every actual flip of a link or router bumps {!epoch} and invokes the
+    {!on_change} subscribers synchronously (in subscription order), so
+    route tables computed from the surviving topology can be stamped with
+    the epoch they saw and consumers learn about degradation the moment
+    it happens. The failed counts are maintained in O(1) on fail/repair,
+    unlike {!failed_links}/{!failed_routers} which scan the whole table
+    and are meant for tests and diagnostics only. *)
+
+val epoch : t -> int
+(** Monotone counter of fault-state flips; equal epochs imply identical
+    fault state since the last observation. *)
+
+val failed_link_count : t -> int
+val failed_router_count : t -> int
+
+val on_change : t -> (unit -> unit) -> unit
+(** Subscribe to fault-state flips. Callbacks run synchronously inside
+    [fail_*]/[repair_*]; they must not themselves mutate the mesh. *)
 
 val route_usable : t -> src:int -> dst:int -> bool
 (** All routers and links along the XY route are up. The endpoints' own
@@ -86,5 +110,12 @@ val link_of_id : t -> int -> link
 val link_up_id : t -> int -> bool
 (** [link_up] by id, no validation — the id must come from [link_id]. *)
 
+val real_link_ids : t -> int array
+(** The link ids that name an actual link (border ids that point off the
+    mesh are excluded), in ascending order. Fault injectors draw targets
+    from this array. *)
+
 val failed_links : t -> link list
 val failed_routers : t -> int list
+(** Diagnostic scans (O(links)/O(nodes) and allocating); hot paths use
+    {!failed_link_count}/{!failed_router_count} instead. *)

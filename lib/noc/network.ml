@@ -5,7 +5,7 @@ module Registry = Resoc_obs.Registry
 module Ring = Resoc_obs.Ring
 module Check = Resoc_check.Check
 
-type routing = Xy | Xy_with_yx_fallback
+type routing = Xy | Xy_with_yx_fallback | Adaptive
 
 type config = {
   router_latency : int;
@@ -16,52 +16,85 @@ type config = {
 
 let default_config = { router_latency = 2; bytes_per_cycle = 16; local_latency = 1; routing = Xy }
 
+(* Mutation knobs for the checker self-tests (DESIGN.md section 7): each
+   breaks one property the NoC invariants guard, proving the checker
+   fires. Only ever set under --check in tests. *)
+let test_skip_up_check = ref false  (* transmit across failed links/routers *)
+let test_detour_loop = ref false  (* bounce adaptive flights back and forth *)
+let test_blackhole = ref false  (* drop adaptive flights despite a live route *)
+
 (* A message in flight is a pooled record spread across parallel arrays:
-   current router, endpoints, injection time, size, payload, and one
-   per-slot [advance] closure built when the slot is first created and
-   reused for every hop of every flight that occupies the slot. Routing
-   is recomputed one hop at a time with [Mesh.next_hop] — hop-for-hop
-   identical to walking a precomputed dimension-order route, without
-   materializing it. Link occupancy and load live in dense int arrays
-   indexed by [Mesh.link_id]. In steady state a unicast allocates only
-   the payload box; the engine, heap, and per-hop bookkeeping are all
+   current/previous router, endpoints, injection time, size, hop count,
+   flight id, payload, and one per-slot [advance] closure built when the
+   slot is first created and reused for every hop of every flight that
+   occupies the slot. Routing is recomputed one hop at a time — either
+   dimension-order ([Mesh.next_hop]) or via the epoch-stamped adaptive
+   tables ([Adaptive.next_hop]), which are refreshed synchronously on
+   every fail/repair event through a [Mesh.on_change] subscription. Link
+   occupancy and load live in dense int arrays indexed by
+   [Mesh.link_id]. In steady state a unicast allocates only the payload
+   box; the engine, heap, and per-hop bookkeeping are all
    allocation-free. *)
 type 'msg t = {
   engine : Engine.t;
   mesh : Mesh.t;
   config : config;
+  adaptive : Adaptive.t option;  (* Some iff routing = Adaptive *)
   handlers : (src:int -> 'msg -> unit) option array;
   busy_until : int array;  (* by link id *)
   load : int array;  (* by link id *)
   mutable fl_cur : int array;
+  mutable fl_prev : int array;  (* router the flight came from, -1 at source *)
   mutable fl_src : int array;
   mutable fl_dst : int array;
   mutable fl_start : int array;
   mutable fl_bytes : int array;
+  mutable fl_hops : int array;
+  mutable fl_flight : int array;  (* per-send unique id for the checker *)
   mutable fl_xfirst : Bytes.t;
   mutable fl_msg : 'msg option array;
   mutable fl_advance : (unit -> unit) array;
   mutable fl_free_next : int array;
   mutable fl_free_head : int;
+  mutable next_flight : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes_sent : int;
+  mutable partition_handler : (reachable:int -> total:int -> unit) option;
   latency : Metrics.Histogram.t;
   obs : Obs.t;
   obs_link_base : int;  (* counter cells, one per link id *)
   obs_delivered : int;
   obs_dropped : int;
   obs_latency : Registry.histogram;
+  obs_reroutes : int;  (* adaptive hops that deviate from dimension order *)
+  obs_recomputes : int;
+  obs_recompute_visits : int;  (* cumulative BFS cost of table recomputes *)
+  obs_failed_links : int;  (* gauge *)
+  obs_failed_routers : int;  (* gauge *)
+  obs_stretch : Registry.histogram;  (* delivered hops minus manhattan *)
+  mutable obs_last_visits : int;
+  mutable obs_last_recomputes : int;
   chk : int;  (* resoc_check network id, -1 when checking is off *)
 }
+
+let sync_adaptive_obs t ad =
+  if !Obs.metrics_on then begin
+    let v = Adaptive.visits ad and r = Adaptive.recomputes ad in
+    Registry.add t.obs.Obs.metrics t.obs_recompute_visits (v - t.obs_last_visits);
+    Registry.add t.obs.Obs.metrics t.obs_recomputes (r - t.obs_last_recomputes);
+    t.obs_last_visits <- v;
+    t.obs_last_recomputes <- r
+  end
 
 let create engine mesh config =
   if config.router_latency < 0 || config.bytes_per_cycle <= 0 || config.local_latency < 0 then
     invalid_arg "Network.create: invalid config";
   let obs = Engine.obs engine in
+  let metrics_on = !Obs.metrics_on in
   let obs_link_base, obs_delivered, obs_dropped, obs_latency =
-    if !Obs.metrics_on then
+    if metrics_on then
       ( Registry.counter_block obs.Obs.metrics ~n:(Mesh.n_link_ids mesh)
           ~name:(fun lid -> "noc.link." ^ string_of_int lid),
         Registry.counter obs.Obs.metrics "noc.delivered",
@@ -70,37 +103,93 @@ let create engine mesh config =
           ~bounds:[| 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |] )
     else (0, 0, 0, Registry.null_histogram)
   in
-  {
-    engine;
-    mesh;
-    config;
-    handlers = Array.make (Mesh.n_nodes mesh) None;
-    busy_until = Array.make (Mesh.n_link_ids mesh) 0;
-    load = Array.make (Mesh.n_link_ids mesh) 0;
-    fl_cur = [||];
-    fl_src = [||];
-    fl_dst = [||];
-    fl_start = [||];
-    fl_bytes = [||];
-    fl_xfirst = Bytes.empty;
-    fl_msg = [||];
-    fl_advance = [||];
-    fl_free_next = [||];
-    fl_free_head = -1;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    bytes_sent = 0;
-    latency = Metrics.Histogram.create "noc.latency";
-    obs;
-    obs_link_base;
-    obs_delivered;
-    obs_dropped;
-    obs_latency;
-    chk = (if !Check.enabled then Check.new_network () else -1);
-  }
+  let obs_reroutes, obs_recomputes, obs_recompute_visits, obs_failed_links, obs_failed_routers,
+      obs_stretch =
+    if metrics_on then
+      ( Registry.counter obs.Obs.metrics "noc.reroutes",
+        Registry.counter obs.Obs.metrics "noc.recomputes",
+        Registry.counter obs.Obs.metrics "noc.recompute.visits",
+        Registry.gauge obs.Obs.metrics "noc.failed_links",
+        Registry.gauge obs.Obs.metrics "noc.failed_routers",
+        Registry.histogram obs.Obs.metrics "noc.path_stretch"
+          ~bounds:[| 0; 1; 2; 4; 8; 16; 32 |] )
+    else (0, 0, 0, 0, 0, Registry.null_histogram)
+  in
+  let adaptive = match config.routing with Adaptive -> Some (Adaptive.create mesh) | _ -> None in
+  let t =
+    {
+      engine;
+      mesh;
+      config;
+      adaptive;
+      handlers = Array.make (Mesh.n_nodes mesh) None;
+      busy_until = Array.make (Mesh.n_link_ids mesh) 0;
+      load = Array.make (Mesh.n_link_ids mesh) 0;
+      fl_cur = [||];
+      fl_prev = [||];
+      fl_src = [||];
+      fl_dst = [||];
+      fl_start = [||];
+      fl_bytes = [||];
+      fl_hops = [||];
+      fl_flight = [||];
+      fl_xfirst = Bytes.empty;
+      fl_msg = [||];
+      fl_advance = [||];
+      fl_free_next = [||];
+      fl_free_head = -1;
+      next_flight = 0;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      bytes_sent = 0;
+      partition_handler = None;
+      latency = Metrics.Histogram.create "noc.latency";
+      obs;
+      obs_link_base;
+      obs_delivered;
+      obs_dropped;
+      obs_latency;
+      obs_reroutes;
+      obs_recomputes;
+      obs_recompute_visits;
+      obs_failed_links;
+      obs_failed_routers;
+      obs_stretch;
+      obs_last_visits = 0;
+      obs_last_recomputes = 0;
+      chk = (if !Check.enabled then Check.new_network () else -1);
+    }
+  in
+  (* Tables are recomputed on every fail/repair event (synchronously, via
+     the mesh's change notification) and stamped with the mesh epoch; the
+     same subscription keeps the failed-count gauges fresh and surfaces
+     partition state to whoever registered interest. *)
+  (match adaptive with
+  | Some ad ->
+    ignore (Adaptive.refresh ad);
+    sync_adaptive_obs t ad;
+    Mesh.on_change mesh (fun () ->
+        let recomputed = Adaptive.refresh ad in
+        sync_adaptive_obs t ad;
+        if metrics_on then begin
+          Registry.set t.obs.Obs.metrics t.obs_failed_links (Mesh.failed_link_count mesh);
+          Registry.set t.obs.Obs.metrics t.obs_failed_routers (Mesh.failed_router_count mesh)
+        end;
+        if recomputed then
+          match t.partition_handler with
+          | Some f -> f ~reachable:(Adaptive.reachable_pairs ad) ~total:(Adaptive.total_pairs ad)
+          | None -> ())
+  | None ->
+    if metrics_on then
+      Mesh.on_change mesh (fun () ->
+          Registry.set t.obs.Obs.metrics t.obs_failed_links (Mesh.failed_link_count mesh);
+          Registry.set t.obs.Obs.metrics t.obs_failed_routers (Mesh.failed_router_count mesh)));
+  t
 
 let mesh t = t.mesh
+
+let set_partition_handler t f = t.partition_handler <- Some f
 
 let attach t ~node handler =
   if node < 0 || node >= Array.length t.handlers then invalid_arg "Network.attach: bad node";
@@ -138,15 +227,58 @@ let release t slot =
   Array.unsafe_set t.fl_free_next slot t.fl_free_head;
   t.fl_free_head <- slot
 
+(* Drop the flight in [slot] at router [cur] and retire its slot. In
+   adaptive mode the drop must be justified by a partition: the checker
+   fires when [cur] is alive and the tables still reach the destination. *)
+let drop_flight t slot ~cur =
+  if t.chk >= 0 then begin
+    (match t.adaptive with
+    | Some ad ->
+      let dst = Array.unsafe_get t.fl_dst slot in
+      let reachable = Mesh.router_up t.mesh cur && Adaptive.reachable ad ~src:cur ~dst in
+      Check.noc_reachable_drop ~net:t.chk ~node:cur ~dst ~reachable
+    | None -> ());
+    Check.noc_flight_done ~net:t.chk ~flight:(Array.unsafe_get t.fl_flight slot)
+  end;
+  drop t ~node:cur;
+  release t slot
+
 (* Inject the flight into the link out of its current router; drops here
    mirror the old per-hop [router_up src && link_up] check. *)
 let rec hop t slot =
   let cur = Array.unsafe_get t.fl_cur slot in
   let dst = Array.unsafe_get t.fl_dst slot in
-  let x_first = Bytes.unsafe_get t.fl_xfirst slot <> '\000' in
-  let next = Mesh.next_hop t.mesh ~cur ~dst ~x_first in
+  match t.adaptive with
+  | Some ad ->
+    let next = Adaptive.next_hop ad ~cur ~dst in
+    let next =
+      if !test_detour_loop && Array.unsafe_get t.fl_prev slot >= 0 then
+        Array.unsafe_get t.fl_prev slot
+      else next
+    in
+    if next < 0 || !test_blackhole then drop_flight t slot ~cur
+    else begin
+      if !Obs.metrics_on && next <> Mesh.next_hop t.mesh ~cur ~dst ~x_first:true then
+        Registry.incr t.obs.Obs.metrics t.obs_reroutes;
+      transmit t slot ~cur ~next
+    end
+  | None ->
+    let x_first = Bytes.unsafe_get t.fl_xfirst slot <> '\000' in
+    transmit t slot ~cur ~next:(Mesh.next_hop t.mesh ~cur ~dst ~x_first)
+
+(* Cross the [cur -> next] link if it and the local router are up. The
+   checker hook fires only on actual traversals, recording the visited
+   trail for loop detection and flagging crossings of failed
+   components (reachable only via the [test_skip_up_check] knob). *)
+and transmit t slot ~cur ~next =
   let lid = Mesh.link_id t.mesh ~src:cur ~dst:next in
-  if Mesh.router_up t.mesh cur && Mesh.link_up_id t.mesh lid then begin
+  let cur_up = Mesh.router_up t.mesh cur in
+  let link_up = Mesh.link_up_id t.mesh lid in
+  if (cur_up && link_up) || !test_skip_up_check then begin
+    if t.chk >= 0 then
+      Check.noc_hop ~net:t.chk
+        ~flight:(Array.unsafe_get t.fl_flight slot)
+        ~epoch:(Mesh.epoch t.mesh) ~cur ~next ~cur_up ~link_up;
     let now = Engine.now t.engine in
     let free_at = Array.unsafe_get t.busy_until lid in
     let begin_tx = if now > free_at then now else free_at in
@@ -160,13 +292,12 @@ let rec hop t slot =
     if !Obs.trace_on then
       Ring.sample t.obs.Obs.ring ~time:(Engine.now t.engine) ~cat:Obs.Cat.noc_link ~id:lid
         ~arg:load;
+    Array.unsafe_set t.fl_prev slot cur;
     Array.unsafe_set t.fl_cur slot next;
+    Array.unsafe_set t.fl_hops slot (Array.unsafe_get t.fl_hops slot + 1);
     ignore (Engine.at t.engine ~time:done_at (Array.unsafe_get t.fl_advance slot))
   end
-  else begin
-    drop t ~node:cur;
-    release t slot
-  end
+  else drop_flight t slot ~cur
 
 (* Arrival at the flight's current router. Re-check it at arrival time:
    it may have died while the message was on the wire. *)
@@ -177,24 +308,32 @@ and advance t slot =
       let src = Array.unsafe_get t.fl_src slot in
       let start = Array.unsafe_get t.fl_start slot in
       let msg = match Array.unsafe_get t.fl_msg slot with Some m -> m | None -> assert false in
+      if !Obs.metrics_on then begin
+        (* Path stretch: hops taken beyond the Manhattan distance. *)
+        let w = Mesh.width t.mesh in
+        let dx = abs ((cur mod w) - (src mod w)) and dy = abs ((cur / w) - (src / w)) in
+        Registry.observe t.obs.Obs.metrics t.obs_stretch
+          (Array.unsafe_get t.fl_hops slot - dx - dy)
+      end;
+      if t.chk >= 0 then Check.noc_flight_done ~net:t.chk ~flight:(Array.unsafe_get t.fl_flight slot);
       release t slot;
       deliver t ~src ~dst:cur ~start msg
     end
     else hop t slot
-  else begin
-    drop t ~node:cur;
-    release t slot
-  end
+  else drop_flight t slot ~cur
 
 let grow_flights t =
   let cap = Array.length t.fl_cur in
   let ncap = if cap = 0 then 64 else cap * 2 in
   let extend a = Array.append a (Array.make (ncap - cap) 0) in
   t.fl_cur <- extend t.fl_cur;
+  t.fl_prev <- extend t.fl_prev;
   t.fl_src <- extend t.fl_src;
   t.fl_dst <- extend t.fl_dst;
   t.fl_start <- extend t.fl_start;
   t.fl_bytes <- extend t.fl_bytes;
+  t.fl_hops <- extend t.fl_hops;
+  t.fl_flight <- extend t.fl_flight;
   let nxfirst = Bytes.make ncap '\000' in
   Bytes.blit t.fl_xfirst 0 nxfirst 0 cap;
   t.fl_xfirst <- nxfirst;
@@ -236,7 +375,7 @@ let send t ~src ~dst ~bytes_ msg =
     Mesh.check_id t.mesh dst;
     let x_first =
       match t.config.routing with
-      | Xy -> true
+      | Xy | Adaptive -> true
       | Xy_with_yx_fallback -> Mesh.xy_path_usable t.mesh ~src ~dst
     in
     (* The sender's own router must be alive to inject at all. *)
@@ -244,10 +383,14 @@ let send t ~src ~dst ~bytes_ msg =
     else begin
       let slot = alloc_flight t in
       Array.unsafe_set t.fl_cur slot src;
+      Array.unsafe_set t.fl_prev slot (-1);
       Array.unsafe_set t.fl_src slot src;
       Array.unsafe_set t.fl_dst slot dst;
       Array.unsafe_set t.fl_start slot start;
       Array.unsafe_set t.fl_bytes slot bytes_;
+      Array.unsafe_set t.fl_hops slot 0;
+      Array.unsafe_set t.fl_flight slot t.next_flight;
+      t.next_flight <- t.next_flight + 1;
       Bytes.unsafe_set t.fl_xfirst slot (if x_first then '\001' else '\000');
       Array.unsafe_set t.fl_msg slot (Some msg);
       hop t slot
@@ -259,6 +402,19 @@ let delivered t = t.delivered
 let dropped t = t.dropped
 let bytes_sent t = t.bytes_sent
 let latency t = t.latency
+
+let reachable t ~src ~dst =
+  match t.adaptive with
+  | Some ad -> Adaptive.reachable ad ~src ~dst
+  | None -> invalid_arg "Network.reachable: routing is not Adaptive"
+
+let route_epoch t =
+  match t.adaptive with
+  | Some ad -> Adaptive.epoch ad
+  | None -> invalid_arg "Network.route_epoch: routing is not Adaptive"
+
+let recomputes t = match t.adaptive with Some ad -> Adaptive.recomputes ad | None -> 0
+let recompute_visits t = match t.adaptive with Some ad -> Adaptive.visits ad | None -> 0
 
 let hop_load t =
   let acc = ref [] in

@@ -7,15 +7,20 @@
     router that dies mid-flight kills the messages crossing it.
 
     In-flight messages are pooled records and the next hop is recomputed
-    per hop ([Mesh.next_hop] — same tiles as the precomputed
-    dimension-order route), so a unicast allocates only its payload box
-    regardless of distance. *)
+    per hop ([Mesh.next_hop] or the adaptive tables — see {!routing}), so a
+    unicast allocates only its payload box regardless of distance. *)
 
 type routing =
   | Xy  (** Deterministic dimension-order; a fault on the unique path drops. *)
   | Xy_with_yx_fallback
       (** Source-side fault awareness: if the XY path is known broken, take
           the YX path; only when both are broken is the message doomed. *)
+  | Adaptive
+      (** Fault-adaptive routing over per-router next-hop tables
+          ({!Adaptive}), recomputed on every fail/repair event: a message
+          is delivered iff its endpoints are connected in the surviving
+          topology, and drops only ever reflect genuine partitions.
+          DESIGN.md section 9 gives the deadlock/livelock argument. *)
 
 type config = {
   router_latency : int;  (** cycles of switching per hop. *)
@@ -44,6 +49,14 @@ val send : 'msg t -> src:int -> dst:int -> bytes_:int -> 'msg -> unit
 (** Injects a message; it is delivered (or dropped) asynchronously via the
     engine. [bytes_] must be positive. *)
 
+val set_partition_handler : 'msg t -> (reachable:int -> total:int -> unit) -> unit
+(** Adaptive mode only: [f ~reachable ~total] is called synchronously after
+    every route-table recompute with the number of ordered reachable
+    src/dst pairs out of [total = n*(n-1)]. [reachable < total] means the
+    surviving topology is partitioned (or has dead routers); the resilience
+    layer uses this to raise the threat level instead of diagnosing
+    silent loss. The handler must not mutate the mesh. *)
+
 (** Aggregate statistics. *)
 
 val sent : 'msg t -> int
@@ -55,3 +68,34 @@ val latency : 'msg t -> Resoc_des.Metrics.Histogram.t
 
 val hop_load : 'msg t -> (Mesh.link * int) list
 (** Messages carried per link (congestion map). *)
+
+(** {1 Adaptive-mode introspection} *)
+
+val reachable : 'msg t -> src:int -> dst:int -> bool
+(** Whether the current route tables reach [dst] from [src]. Raises
+    [Invalid_argument] unless routing is [Adaptive]. *)
+
+val route_epoch : 'msg t -> int
+(** Mesh epoch the adaptive tables were last computed for. Raises
+    [Invalid_argument] unless routing is [Adaptive]. *)
+
+val recomputes : 'msg t -> int
+(** Route-table recomputations so far (0 outside adaptive mode). *)
+
+val recompute_visits : 'msg t -> int
+(** Cumulative BFS node visits across recomputations — the recompute cost
+    model of DESIGN.md section 9 (0 outside adaptive mode). *)
+
+(** {1 Checker mutation knobs}
+
+    Used by the [--check] self-tests to prove the NoC invariants fire
+    (DESIGN.md section 7); never set outside tests. *)
+
+val test_skip_up_check : bool ref
+(** Transmit across failed links/routers instead of dropping. *)
+
+val test_detour_loop : bool ref
+(** Adaptive mode: bounce each flight back where it came from. *)
+
+val test_blackhole : bool ref
+(** Adaptive mode: drop every flight at its first router. *)

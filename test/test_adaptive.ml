@@ -1,0 +1,309 @@
+(* Model tests for adaptive NoC routing: delivery exactly when an
+   independent BFS reference says the endpoints are connected, loop
+   freedom and no-failed-component crossings (enforced by the checker on
+   random topologies), the mutation knobs proving each NoC invariant
+   fires, route-table epoch determinism across worker counts, and
+   injection-log alignment of the link-failure campaign. *)
+
+open Resoc_noc
+module Engine = Resoc_des.Engine
+module Rng = Resoc_des.Rng
+module Check = Resoc_check.Check
+module Inject = Resoc_check.Inject
+module Link_fault = Resoc_fault.Link_fault
+module Campaign = Resoc_campaign.Campaign
+
+let with_check f =
+  Fun.protect
+    ~finally:(fun () ->
+      Check.disable ();
+      Inject.stop ();
+      Check.begin_replicate ();
+      Inject.begin_replicate ();
+      Network.test_skip_up_check := false;
+      Network.test_detour_loop := false;
+      Network.test_blackhole := false)
+    (fun () ->
+      Check.enable ();
+      Inject.record ();
+      Check.begin_replicate ();
+      Inject.begin_replicate ();
+      f ())
+
+(* Reference connectivity: plain BFS over the surviving topology, written
+   against the mesh API only (no shared code with Adaptive). *)
+let ref_reachable mesh ~src ~dst =
+  if not (Mesh.router_up mesh src && Mesh.router_up mesh dst) then false
+  else begin
+    let seen = Array.make (Mesh.n_nodes mesh) false in
+    let q = Queue.create () in
+    seen.(src) <- true;
+    Queue.push src q;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if u = dst then found := true;
+      List.iter
+        (fun v ->
+          if (not seen.(v)) && Mesh.router_up mesh v && Mesh.link_up mesh { Mesh.src = u; dst = v }
+          then begin
+            seen.(v) <- true;
+            Queue.push v q
+          end)
+        (Mesh.neighbors mesh u)
+    done;
+    !found
+  end
+
+(* Fault scripts: (op, operand) pairs hitting links and routers, with
+   repairs mixed in so epochs advance through both directions. *)
+let apply_ops mesh ops =
+  let links = Mesh.real_link_ids mesh in
+  List.iter
+    (fun (op, x) ->
+      match op mod 4 with
+      | 0 -> Mesh.fail_link mesh (Mesh.link_of_id mesh links.(x mod Array.length links))
+      | 1 -> Mesh.repair_link mesh (Mesh.link_of_id mesh links.(x mod Array.length links))
+      | 2 -> Mesh.fail_router mesh (x mod Mesh.n_nodes mesh)
+      | _ -> Mesh.repair_router mesh (x mod Mesh.n_nodes mesh))
+    ops
+
+let ops_gen = QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 3) small_nat))
+
+let adaptive_config = { Network.default_config with routing = Network.Adaptive }
+
+let prop_delivery_iff_connected =
+  QCheck.Test.make ~name:"adaptive delivers exactly the BFS-connected pairs" ~count:60 ops_gen
+    (fun ops ->
+      let engine = Engine.create () in
+      let mesh = Mesh.create ~width:4 ~height:4 in
+      apply_ops mesh ops;
+      let net = Network.create engine mesh adaptive_config in
+      let n = Mesh.n_nodes mesh in
+      let got = Hashtbl.create 64 in
+      for node = 0 to n - 1 do
+        Network.attach net ~node (fun ~src _ -> Hashtbl.replace got (src, node) ())
+      done;
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then Network.send net ~src ~dst ~bytes_:16 ()
+        done
+      done;
+      Engine.run engine;
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            let expect = ref_reachable mesh ~src ~dst in
+            if Hashtbl.mem got (src, dst) <> expect then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_counts_match_scans =
+  QCheck.Test.make ~name:"O(1) failed counts equal the diagnostic scans" ~count:100 ops_gen
+    (fun ops ->
+      let mesh = Mesh.create ~width:4 ~height:4 in
+      apply_ops mesh ops;
+      Mesh.failed_link_count mesh = List.length (Mesh.failed_links mesh)
+      && Mesh.failed_router_count mesh = List.length (Mesh.failed_routers mesh))
+
+(* Checker invariants hold on arbitrary topologies: no violation on real
+   adaptive traffic, and the hooks demonstrably observed it. *)
+let prop_checked_clean =
+  QCheck.Test.make ~name:"adaptive routing passes the NoC invariants" ~count:30 ops_gen
+    (fun ops ->
+      with_check (fun () ->
+          let engine = Engine.create () in
+          let mesh = Mesh.create ~width:4 ~height:4 in
+          apply_ops mesh ops;
+          let net = Network.create engine mesh adaptive_config in
+          let n = Mesh.n_nodes mesh in
+          for node = 0 to n - 1 do
+            Network.attach net ~node (fun ~src:_ _ -> ())
+          done;
+          for src = 0 to n - 1 do
+            Network.send net ~src ~dst:(n - 1 - src) ~bytes_:16 ()
+          done;
+          Engine.run engine;
+          Check.hooks_fired () > 0))
+
+(* --- Mutation knobs: each NoC invariant must fire when its property is
+   deliberately broken (DESIGN.md section 7 discipline). --- *)
+
+let fires f = match f () with () -> false | exception Check.Violation _ -> true
+
+let test_knob_skip_up_check () =
+  with_check (fun () ->
+      Network.test_skip_up_check := true;
+      Alcotest.(check bool) "crossing a failed link fires" true
+        (fires (fun () ->
+             let engine = Engine.create () in
+             let mesh = Mesh.create ~width:3 ~height:1 in
+             let net = Network.create engine mesh Network.default_config in
+             Network.attach net ~node:2 (fun ~src:_ _ -> ());
+             Mesh.fail_link mesh { Mesh.src = 1; dst = 2 };
+             Network.send net ~src:0 ~dst:2 ~bytes_:16 ();
+             Engine.run engine)))
+
+let test_knob_detour_loop () =
+  with_check (fun () ->
+      Network.test_detour_loop := true;
+      Alcotest.(check bool) "routing loop fires" true
+        (fires (fun () ->
+             let engine = Engine.create () in
+             let mesh = Mesh.create ~width:4 ~height:1 in
+             let net = Network.create engine mesh adaptive_config in
+             Network.attach net ~node:3 (fun ~src:_ _ -> ());
+             Network.send net ~src:0 ~dst:3 ~bytes_:16 ();
+             Engine.run engine)))
+
+let test_knob_blackhole () =
+  with_check (fun () ->
+      Network.test_blackhole := true;
+      Alcotest.(check bool) "dropping a reachable message fires" true
+        (fires (fun () ->
+             let engine = Engine.create () in
+             let mesh = Mesh.create ~width:3 ~height:1 in
+             let net = Network.create engine mesh adaptive_config in
+             Network.attach net ~node:2 (fun ~src:_ _ -> ());
+             Network.send net ~src:0 ~dst:2 ~bytes_:16 ();
+             Engine.run engine)))
+
+(* --- Epoch determinism: one replicate under a live link campaign, as a
+   campaign cell run with 1 worker and with 2 — aggregates (including the
+   final route-table epoch) must be identical. --- *)
+
+let campaign_replicate ~seed =
+  let engine = Engine.create ~seed () in
+  let traffic = Rng.split (Engine.rng engine) in
+  let mesh = Mesh.create ~width:4 ~height:4 in
+  let net = Network.create engine mesh adaptive_config in
+  for node = 0 to 15 do
+    Network.attach net ~node (fun ~src:_ _ -> ())
+  done;
+  let lf =
+    Link_fault.start engine
+      (Rng.split (Engine.rng engine))
+      mesh
+      {
+        Link_fault.upset_rate = 1e-4;
+        upset_repair_mean = 300.0;
+        wearout_shape = 2.0;
+        wearout_scale = 30_000.0;
+      }
+  in
+  Engine.every engine ~period:50 (fun () ->
+      Network.send net ~src:(Rng.int traffic 16) ~dst:(Rng.int traffic 16) ~bytes_:16 ());
+  Engine.run ~until:20_000 engine;
+  Link_fault.halt lf;
+  [
+    ("epoch", float_of_int (Network.route_epoch net));
+    ("recomputes", float_of_int (Network.recomputes net));
+    ("delivered", float_of_int (Network.delivered net));
+    ("upsets", float_of_int (Link_fault.upsets lf));
+  ]
+
+let test_epochs_deterministic_across_jobs () =
+  let run jobs =
+    let config =
+      {
+        Campaign.root_seed = 0xADA97L;
+        replicates = 4;
+        jobs;
+        progress = false;
+        check = false;
+        shrink = false;
+        fail_dir = None;
+      }
+    in
+    let cells = [ Campaign.cell "adaptive" (fun ~seed -> campaign_replicate ~seed) ] in
+    let result = Campaign.run ~config ~id:"tst" ~title:"epoch determinism" cells in
+    List.map
+      (fun agg ->
+        List.map
+          (fun m -> (m, (Campaign.metric agg m).Resoc_campaign.Stats.mean))
+          [ "epoch"; "recomputes"; "delivered"; "upsets" ])
+      result.Campaign.cells
+  in
+  let j1 = run 1 and j2 = run 2 in
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (j1 = j2);
+  Alcotest.(check bool) "campaign actually recomputed" true
+    (List.exists (fun cell -> List.assoc "recomputes" cell > 0.0) j1)
+
+(* --- Link campaign replay alignment: a suppression mask must not change
+   the occurrence schedule, and suppressing everything must yield a
+   fault-free run. --- *)
+
+let hot_campaign =
+  {
+    Link_fault.upset_rate = 2e-4;
+    upset_repair_mean = 300.0;
+    wearout_shape = 2.0;
+    wearout_scale = 25_000.0;
+  }
+
+let masked_run ~seed ~mask ~campaign =
+  Inject.begin_replicate ();
+  (match mask with Some (total, keep) -> Inject.set_mask ~total keep | None -> ());
+  let engine = Engine.create ~seed () in
+  let traffic = Rng.split (Engine.rng engine) in
+  let mesh = Mesh.create ~width:4 ~height:4 in
+  let net = Network.create engine mesh adaptive_config in
+  for node = 0 to 15 do
+    Network.attach net ~node (fun ~src:_ _ -> ())
+  done;
+  let lf = Link_fault.start engine (Rng.split (Engine.rng engine)) mesh campaign in
+  Engine.every engine ~period:100 (fun () ->
+      Network.send net ~src:(Rng.int traffic 16) ~dst:(Rng.int traffic 16) ~bytes_:16 ());
+  Engine.run ~until:15_000 engine;
+  Link_fault.halt lf;
+  ( Inject.count (),
+    Link_fault.upsets lf + Link_fault.wearouts lf,
+    Network.sent net,
+    Network.delivered net,
+    Mesh.failed_link_count mesh )
+
+let test_link_campaign_mask_alignment () =
+  with_check (fun () ->
+      let seed = 42L in
+      let count, applied, sent, delivered, _ = masked_run ~seed ~mask:None ~campaign:hot_campaign in
+      Alcotest.(check bool) "campaign injected something" true (applied > 0);
+      let full = masked_run ~seed ~mask:(Some (count, List.init count Fun.id)) ~campaign:hot_campaign in
+      Alcotest.(check bool) "full mask reproduces the run" true
+        (let c, a, s, d, _ = full in
+         (c, a, s, d) = (count, applied, sent, delivered));
+      let count', applied', sent', delivered', down' =
+        masked_run ~seed ~mask:(Some (count, []) ) ~campaign:hot_campaign
+      in
+      Alcotest.(check int) "suppression keeps the occurrence schedule" count count';
+      Alcotest.(check int) "nothing applied" 0 applied';
+      Alcotest.(check int) "mesh never touched" 0 down';
+      (* Fully suppressed campaign = the campaign never ran: traffic and
+         delivery match a zero-rate reference exactly. *)
+      let _, _, sent0, delivered0, _ =
+        masked_run ~seed ~mask:None ~campaign:Link_fault.default_config
+      in
+      Alcotest.(check int) "traffic matches zero-rate reference" sent0 sent';
+      Alcotest.(check int) "delivery matches zero-rate reference" delivered0 delivered')
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "resoc_adaptive"
+    [
+      qsuite "model" [ prop_delivery_iff_connected; prop_counts_match_scans; prop_checked_clean ];
+      ( "mutants",
+        [
+          Alcotest.test_case "skip-up-check fires" `Quick test_knob_skip_up_check;
+          Alcotest.test_case "detour loop fires" `Quick test_knob_detour_loop;
+          Alcotest.test_case "blackhole fires" `Quick test_knob_blackhole;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "epochs stable across jobs" `Quick
+            test_epochs_deterministic_across_jobs;
+          Alcotest.test_case "mask alignment" `Quick test_link_campaign_mask_alignment;
+        ] );
+    ]

@@ -80,6 +80,38 @@ let test_router_failure () =
   Mesh.repair_router m 1;
   Alcotest.(check bool) "restored" true (Mesh.route_usable m ~src:0 ~dst:2)
 
+let test_epoch_and_counts () =
+  let m = Mesh.create ~width:3 ~height:3 in
+  let fired = ref 0 in
+  Mesh.on_change m (fun () -> incr fired);
+  Alcotest.(check int) "epoch starts at 0" 0 (Mesh.epoch m);
+  let l = { Mesh.src = 0; dst = 1 } in
+  Mesh.fail_link m l;
+  Mesh.fail_link m l;
+  Alcotest.(check int) "re-failing is a no-op" 1 (Mesh.epoch m);
+  Alcotest.(check int) "one failed link" 1 (Mesh.failed_link_count m);
+  Mesh.fail_router m 4;
+  Alcotest.(check int) "one failed router" 1 (Mesh.failed_router_count m);
+  Mesh.repair_link m l;
+  Mesh.repair_link m l;
+  Mesh.repair_router m 4;
+  Alcotest.(check int) "links repaired" 0 (Mesh.failed_link_count m);
+  Alcotest.(check int) "routers repaired" 0 (Mesh.failed_router_count m);
+  Alcotest.(check int) "one event per actual change" 4 !fired;
+  Alcotest.(check int) "epoch counts actual changes" 4 (Mesh.epoch m)
+
+let test_real_link_ids () =
+  let m = Mesh.create ~width:3 ~height:3 in
+  let ids = Mesh.real_link_ids m in
+  (* Directed links of a w*h mesh: 2 * (2*w*h - w - h). *)
+  Alcotest.(check int) "count" 24 (Array.length ids);
+  Array.iteri
+    (fun i lid ->
+      if i > 0 then Alcotest.(check bool) "ascending" true (lid > ids.(i - 1));
+      let l = Mesh.link_of_id m lid in
+      Alcotest.(check int) "roundtrip" lid (Mesh.link_id m ~src:l.Mesh.src ~dst:l.Mesh.dst))
+    ids
+
 let test_non_adjacent_link_rejected () =
   let m = Mesh.create ~width:3 ~height:3 in
   Alcotest.check_raises "diagonal" (Invalid_argument "Mesh: not a link between adjacent tiles")
@@ -211,6 +243,91 @@ let test_farther_is_slower () =
   Engine.run engine;
   Alcotest.(check bool) "monotone in distance" true (!t_far > !t_near)
 
+(* --- Adaptive routing --- *)
+
+let adaptive_config = { Network.default_config with routing = Network.Adaptive }
+
+(* Sever the column-0/1 boundary of a 4x4 mesh except in row 0: the mesh
+   stays connected but every XY and YX path between off-row-0 tiles of the
+   two sides is broken. *)
+let build_wall mesh =
+  for y = 1 to 3 do
+    let a = (y * 4) + 0 and b = (y * 4) + 1 in
+    Mesh.fail_link mesh { Mesh.src = a; dst = b };
+    Mesh.fail_link mesh { Mesh.src = b; dst = a }
+  done
+
+let test_adaptive_routes_around_wall () =
+  let engine, net = make_net ~config:adaptive_config ~width:4 ~height:4 () in
+  build_wall (Network.mesh net);
+  let received = ref 0 in
+  for node = 0 to 15 do
+    Network.attach net ~node (fun ~src:_ _ -> incr received)
+  done;
+  (* 4=(0,1) -> 5=(1,1): XY and YX are the same severed link; only the
+     detour through row 0 delivers. *)
+  Network.send net ~src:4 ~dst:5 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "delivered around the wall" 1 !received;
+  Alcotest.(check int) "nothing dropped" 0 (Network.dropped net)
+
+let test_xy_modes_drop_at_wall () =
+  List.iter
+    (fun routing ->
+      let config = { Network.default_config with routing } in
+      let engine, net = make_net ~config ~width:4 ~height:4 () in
+      build_wall (Network.mesh net);
+      let received = ref 0 in
+      for node = 0 to 15 do
+        Network.attach net ~node (fun ~src:_ _ -> incr received)
+      done;
+      Network.send net ~src:4 ~dst:5 ~bytes_:16 ();
+      Engine.run engine;
+      Alcotest.(check int) "dropped at the wall" 0 !received)
+    [ Network.Xy; Network.Xy_with_yx_fallback ]
+
+let test_adaptive_drops_only_when_partitioned () =
+  let engine, net = make_net ~config:adaptive_config ~width:4 ~height:4 () in
+  let mesh = Network.mesh net in
+  build_wall mesh;
+  let received = ref 0 in
+  for node = 0 to 15 do
+    Network.attach net ~node (fun ~src:_ _ -> incr received)
+  done;
+  (* Close the remaining row-0 opening: now the halves are partitioned. *)
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 1 };
+  Mesh.fail_link mesh { Mesh.src = 1; dst = 0 };
+  Alcotest.(check bool) "unreachable" false (Network.reachable net ~src:4 ~dst:5);
+  Network.send net ~src:4 ~dst:5 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "dropped" 1 (Network.dropped net);
+  (* Repair re-opens the detour; the next message goes through. *)
+  Mesh.repair_link mesh { Mesh.src = 0; dst = 1 };
+  Alcotest.(check bool) "reachable again" true (Network.reachable net ~src:4 ~dst:5);
+  Network.send net ~src:4 ~dst:5 ~bytes_:16 ();
+  Engine.run engine;
+  Alcotest.(check int) "delivered after repair" 1 !received
+
+let test_route_epoch_tracks_mesh () =
+  let _engine, net = make_net ~config:adaptive_config ~width:3 ~height:3 () in
+  let mesh = Network.mesh net in
+  Alcotest.(check int) "fresh tables" (Mesh.epoch mesh) (Network.route_epoch net);
+  Mesh.fail_link mesh { Mesh.src = 0; dst = 1 };
+  Mesh.fail_router mesh 4;
+  Alcotest.(check int) "recomputed per event" (Mesh.epoch mesh) (Network.route_epoch net);
+  Alcotest.(check bool) "cost accounted" true (Network.recompute_visits net > 0)
+
+let test_partition_handler_fires () =
+  let _engine, net = make_net ~config:adaptive_config ~width:4 ~height:1 () in
+  let mesh = Network.mesh net in
+  let last = ref (-1, -1) in
+  Network.set_partition_handler net (fun ~reachable ~total -> last := (reachable, total));
+  Mesh.fail_link mesh { Mesh.src = 1; dst = 2 };
+  let reachable, total = !last in
+  Alcotest.(check int) "total ordered pairs" 12 total;
+  (* One directed link down: 2x2 = 4 left-to-right pairs lost. *)
+  Alcotest.(check int) "severed pairs detected" 8 reachable
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -228,6 +345,8 @@ let () =
           Alcotest.test_case "link failure" `Quick test_link_failure;
           Alcotest.test_case "router failure" `Quick test_router_failure;
           Alcotest.test_case "non-adjacent link rejected" `Quick test_non_adjacent_link_rejected;
+          Alcotest.test_case "epoch and O(1) counts" `Quick test_epoch_and_counts;
+          Alcotest.test_case "real link ids" `Quick test_real_link_ids;
         ] );
       qsuite "mesh-prop" [ prop_route_steps_adjacent ];
       ( "network",
@@ -243,5 +362,14 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats_accumulate;
           Alcotest.test_case "hop load" `Quick test_hop_load;
           Alcotest.test_case "farther is slower" `Quick test_farther_is_slower;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "routes around wall" `Quick test_adaptive_routes_around_wall;
+          Alcotest.test_case "xy modes drop at wall" `Quick test_xy_modes_drop_at_wall;
+          Alcotest.test_case "drops only when partitioned" `Quick
+            test_adaptive_drops_only_when_partitioned;
+          Alcotest.test_case "route epoch tracks mesh" `Quick test_route_epoch_tracks_mesh;
+          Alcotest.test_case "partition handler" `Quick test_partition_handler_fires;
         ] );
     ]
