@@ -51,6 +51,15 @@ let row fmt = Printf.printf fmt
 (* the worker count.                                                   *)
 (* ------------------------------------------------------------------ *)
 
+type mcast_mode =
+  | Mcast_off  (** Default: every fan-out is per-destination unicast. *)
+  | Mcast_fabric
+      (** Arm the transport's multicast (NoC trees / hub loop) but leave
+          every protocol's [multicast] flag off — nothing routes through
+          it, so campaign outputs must stay byte-identical to [Mcast_off].
+          The determinism gate diffs exactly this. *)
+  | Mcast_full  (** Fabric multicast armed AND protocol fan-outs use it. *)
+
 type run_config = {
   replicates : int;
   jobs : int;
@@ -60,6 +69,7 @@ type run_config = {
   progress : bool;
   check : bool;  (* reset Resoc_check state per replicate; count failures *)
   shrink : bool;  (* ddmin failed replicates into FAIL_*.json *)
+  mcast : mcast_mode;  (* NoC/hub multicast gating for E2/E3 kernels *)
 }
 
 let run_config =
@@ -73,7 +83,11 @@ let run_config =
       progress = true;
       check = false;
       shrink = false;
+      mcast = Mcast_off;
     }
+
+let mcast_armed () = (!run_config).mcast <> Mcast_off
+let mcast_protocols () = (!run_config).mcast = Mcast_full
 
 (* When --replay FILE targets a campaign, run_campaign re-executes just that
    one replicate under the recorded suppression mask and exits: 0 when the
@@ -192,10 +206,16 @@ let e1_gate_redundancy () =
 let run_minbft_under_seu ~protection ~seu_rate ~seed =
   let engine = Engine.create ~seed () in
   let config =
-    { Minbft.default_config with f = 1; n_clients = 2; usig_protection = protection }
+    {
+      Minbft.default_config with
+      f = 1;
+      n_clients = 2;
+      usig_protection = protection;
+      multicast = mcast_protocols ();
+    }
   in
   let n = Minbft.n_replicas config in
-  let fabric = Transport.hub engine ~n:(n + 2) () in
+  let fabric = Transport.hub engine ~n:(n + 2) ~multicast:(mcast_armed ()) () in
   let sys = Minbft.start engine fabric config () in
   let registers =
     Array.init n (fun replica -> Usig.counter_register (Minbft.usig sys ~replica))
@@ -280,9 +300,16 @@ let e2_usig_ecc () =
 let run_group_workload kind ~f ~requests ~mesh =
   let w, h = mesh in
   let soc =
-    Soc.create { Soc.default_config with mesh_width = w; mesh_height = h; seed = 77L }
+    Soc.create
+      {
+        Soc.default_config with
+        mesh_width = w;
+        mesh_height = h;
+        seed = 77L;
+        noc = { Soc.default_config.noc with Resoc_noc.Network.multicast = mcast_armed () };
+      }
   in
-  let spec = { Group.default_spec with kind; f; n_clients = 2 } in
+  let spec = { Group.default_spec with kind; f; n_clients = 2; multicast = mcast_protocols () } in
   let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
   Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:group.Group.submit;
   Engine.run ~until:2_000_000 (Soc.engine soc);

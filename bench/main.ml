@@ -43,7 +43,13 @@
                    [--root-seed S] [--no-bechamel] [--no-progress]
                    [--progress] [--metrics] [--trace FILE]
                    [--check] [--shrink] [--replay FILE]
-                   [--perf] [--quick] *)
+                   [--perf] [--quick] [--mcast | --mcast-fabric]
+
+   [--mcast] routes the E2/E3 protocol fan-outs through the fabric's
+   multicast (NoC trees on the mesh, the counter-identical loop on the
+   hub); [--mcast-fabric] arms the fabric multicast without letting any
+   protocol use it, which must leave every campaign output byte-identical
+   to a plain run — the determinism gate diffs exactly that. *)
 
 open Bechamel
 open Toolkit
@@ -176,6 +182,7 @@ let () =
   let check = ref false in
   let shrink = ref false in
   let replay_file = ref "" in
+  let mcast = ref Experiments.Mcast_off in
   let spec =
     [
       ( "--only",
@@ -220,6 +227,13 @@ let () =
         "FILE re-execute the failing replicate recorded in a FAIL_*.json (implies --check)" );
       ("--perf", Arg.Set perf, " run the hot-path perf harness instead of the experiments");
       ("--quick", Arg.Set quick, " with --perf: sub-10s workloads for CI");
+      ( "--mcast",
+        Arg.Unit (fun () -> mcast := Experiments.Mcast_full),
+        " route E2/E3 protocol fan-outs through NoC tree / hub multicast" );
+      ( "--mcast-fabric",
+        Arg.Unit (fun () -> mcast := Experiments.Mcast_fabric),
+        " arm the fabric multicast but leave protocols on unicast; outputs \
+         must stay byte-identical to a plain run (determinism-gate probe)" );
     ]
   in
   let usage = "main.exe [ids...] [options]\n\nOptions:" in
@@ -296,6 +310,7 @@ let () =
       progress = !progress;
       check = !check;
       shrink = !shrink;
+      mcast = !mcast;
     };
   Experiments.replay_target := !replay;
   Printf.printf "resoc experiment suite — reproducing the quantitative claims of\n";

@@ -12,7 +12,18 @@
    - [pbftkern] a PBFT group on the zero-cost hub transport serving a
                 client burst — no NoC, no faults, so the replication
                 layer's own data structures dominate;
-   - [paxoskern] the same shape for the crash-fault Paxos group.
+   - [paxoskern] the same shape for the crash-fault Paxos group;
+   - [bftcast]  a chip-wide broadcast storm on an 8x8 mesh with tree
+                multicast on: 64 endpoints take turns broadcasting a
+                protocol-sized payload to the whole chip through
+                [Transport.broadcast], so each fan-out forks inside the
+                NoC instead of injecting one flight per destination;
+   - [bftcastuni] the identical workload with multicast off (the unicast
+                fan-out baseline). Both report logical protocol messages
+                as their event count — a mode-invariant work unit — so
+                events/sec compares how fast each mode pushes the same
+                protocol traffic, and the bftcast:bftcastuni ratio is the
+                multicast speedup.
 
    Each workload runs [runs] times; we report the best wall time (least
    noisy) and the minimum allocated bytes per event (steady-state floor).
@@ -132,6 +143,49 @@ let pbft_kern ~requests ~repeat () =
   done;
   !total
 
+(* Broadcast-heavy NoC kernel: endpoints on all 64 tiles of an 8x8 mesh
+   take turns broadcasting a protocol-sized payload to the whole chip
+   through [Transport.broadcast] — the same path the replica fan-outs
+   use. With [multicast] each broadcast is one injection forking along
+   the per-root tree (every live link carries the payload once); without,
+   it is 64 independent flights whose hop-by-hop events and link queueing
+   dominate. The returned count is logical NoC messages — identical
+   accounting in both modes by construction — so events/sec compares
+   wall time for the same protocol traffic and bftcast:bftcastuni is the
+   multicast speedup. *)
+let bft_cast ~multicast ~rounds ~repeat () =
+  let total = ref 0 in
+  for _ = 1 to repeat do
+    let soc =
+      Soc.create
+        {
+          Soc.default_config with
+          mesh_width = 8;
+          mesh_height = 8;
+          noc = { Resoc_noc.Network.default_config with multicast };
+          seed = 77L;
+        }
+    in
+    let engine = Soc.engine soc in
+    let n = 64 in
+    let fabric =
+      Soc.noc_fabric soc ~placement:(Array.init n Fun.id) ~size_of:(fun _ -> 96)
+    in
+    for i = 0 to n - 1 do
+      fabric.Transport.set_handler i (fun ~src:_ _ -> ())
+    done;
+    let everyone = List.init n Fun.id in
+    let sent = ref 0 in
+    Engine.every engine ~period:64 (fun () ->
+        if !sent < rounds then begin
+          Transport.broadcast fabric ~src:(!sent mod n) ~to_:everyone !sent;
+          incr sent
+        end);
+    Engine.run ~until:(64 * (rounds + 32)) engine;
+    total := !total + Soc.noc_messages soc
+  done;
+  !total
+
 let paxos_kern ~requests ~repeat () =
   let total = ref 0 in
   for i = 0 to repeat - 1 do
@@ -219,6 +273,8 @@ let run ~quick ~json_dir ~progress () =
         ("e2seu", e2_seu ~horizon:100_000 ~repeat:4);
         ("pbftkern", pbft_kern ~requests:100 ~repeat:6);
         ("paxoskern", paxos_kern ~requests:100 ~repeat:6);
+        ("bftcast", bft_cast ~multicast:true ~rounds:200 ~repeat:2);
+        ("bftcastuni", bft_cast ~multicast:false ~rounds:200 ~repeat:2);
       ]
     else
       [
@@ -227,6 +283,8 @@ let run ~quick ~json_dir ~progress () =
         ("e2seu", e2_seu ~horizon:250_000 ~repeat:25);
         ("pbftkern", pbft_kern ~requests:200 ~repeat:30);
         ("paxoskern", paxos_kern ~requests:200 ~repeat:30);
+        ("bftcast", bft_cast ~multicast:true ~rounds:600 ~repeat:4);
+        ("bftcastuni", bft_cast ~multicast:false ~rounds:600 ~repeat:4);
       ]
   in
   let results =

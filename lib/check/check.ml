@@ -35,6 +35,13 @@ type net = {
      trail resets when the epoch advances. Trails are short (bounded by
      the mesh diameter), so a revisit scan is O(path). *)
   visited : (int, int * int list) Hashtbl.t;
+  (* multicast id -> its expected and observed delivery sets. *)
+  mcasts : (int, mcast) Hashtbl.t;
+}
+
+and mcast = {
+  mc_expected : (int, unit) Hashtbl.t;  (* tree-reachable destinations at send *)
+  mc_got : (int, unit) Hashtbl.t;
 }
 
 type state = {
@@ -89,7 +96,13 @@ let new_network () =
   let s = Domain.DLS.get state in
   let id = fresh_id s in
   Hashtbl.replace s.nets id
-    { injected = 0; delivered = 0; dropped = 0; visited = Hashtbl.create 64 };
+    {
+      injected = 0;
+      delivered = 0;
+      dropped = 0;
+      visited = Hashtbl.create 64;
+      mcasts = Hashtbl.create 16;
+    };
   id
 
 (* Ids can outlive a [begin_replicate] when a system created for one replicate
@@ -236,6 +249,73 @@ let noc_flight_done ~net ~flight =
   match Hashtbl.find_opt s.nets net with
   | None -> ()
   | Some n -> Hashtbl.remove n.visited flight
+
+(* Multicast invariants (DESIGN.md section 10). [mcast_begin]/[mcast_expect]
+   record, at send time, the destination set the multicast trees reach —
+   the per-destination unicast reference over the current tables. Each
+   actual delivery goes through [mcast_deliver], which fires on a second
+   delivery to one node (no duplicate delivery: the tree forks must be
+   disjoint). [mcast_done] closes the multicast: when [strict] (the mesh
+   epoch never moved while the payload was in flight) the observed set
+   must equal the reference exactly — no reachable destination missed, no
+   extra destination served. A mid-flight fault bumps the epoch, so
+   fault-time losses are forgiven by [strict = false]. *)
+
+let mcast_begin ~net ~mcast =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n ->
+    Hashtbl.replace n.mcasts mcast
+      { mc_expected = Hashtbl.create 16; mc_got = Hashtbl.create 16 }
+
+let mcast_expect ~net ~mcast ~node =
+  let s = Domain.DLS.get state in
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n -> (
+    match Hashtbl.find_opt n.mcasts mcast with
+    | None -> ()
+    | Some m -> Hashtbl.replace m.mc_expected node ())
+
+let mcast_deliver ~net ~mcast ~node =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n -> (
+    match Hashtbl.find_opt n.mcasts mcast with
+    | None -> ()
+    | Some m ->
+      if Hashtbl.mem m.mc_got node then
+        violation "noc: multicast %d delivered twice to node %d" mcast node;
+      Hashtbl.replace m.mc_got node ())
+
+let mcast_done ~net ~mcast ~strict =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.nets net with
+  | None -> ()
+  | Some n -> (
+    match Hashtbl.find_opt n.mcasts mcast with
+    | None -> ()
+    | Some m ->
+      if strict then begin
+        Hashtbl.iter
+          (fun node () ->
+            if not (Hashtbl.mem m.mc_got node) then
+              violation
+                "noc: multicast %d missed node %d although the trees reach it (no mid-flight \
+                 fault)"
+                mcast node)
+          m.mc_expected;
+        if Hashtbl.length m.mc_got <> Hashtbl.length m.mc_expected then
+          violation "noc: multicast %d delivered to %d nodes, the route tables reach %d" mcast
+            (Hashtbl.length m.mc_got)
+            (Hashtbl.length m.mc_expected)
+      end;
+      Hashtbl.remove n.mcasts mcast)
 
 let noc_reachable_drop ~net ~node ~dst ~reachable =
   let s = Domain.DLS.get state in

@@ -40,6 +40,13 @@
     - {b NoC delivery completeness}: adaptive routing never drops a message
       at a live router whose destination the route tables say is reachable
       — delivered iff connected, with drops justified by partitions only.
+    - {b Multicast duplicate freedom}: a tree multicast never delivers the
+      payload twice to one destination (the forks are disjoint subtrees).
+    - {b Multicast delivery-set equality}: when no fault flips the mesh
+      epoch while the payload is in flight, the set of destinations a
+      multicast serves equals the per-destination unicast reference over
+      the current tables — exactly the tree-reachable destinations
+      recorded at send time, nothing missing, nothing extra.
 
     A violated invariant raises {!Violation}; inside a campaign the exception
     is captured by the worker pool and surfaces as a failed replicate, which
@@ -125,3 +132,23 @@ val noc_flight_done : net:int -> flight:int -> unit
 val noc_reachable_drop : net:int -> node:int -> dst:int -> reachable:bool -> unit
 (** Report an adaptive-mode drop decision at live router [node]; fires
     when the route tables say [dst] was in fact reachable. *)
+
+(** {1 NoC multicast}
+
+    [mcast] ids are allocated by the network per multicast send; the
+    expected set is the destinations the multicast trees reach at send
+    time (the per-destination unicast reference over the current
+    tables). *)
+
+val mcast_begin : net:int -> mcast:int -> unit
+
+val mcast_expect : net:int -> mcast:int -> node:int -> unit
+(** Record [node] as tree-reachable for [mcast]. Idempotent. *)
+
+val mcast_deliver : net:int -> mcast:int -> node:int -> unit
+(** Report a delivery of [mcast] at [node]; fires on a duplicate. *)
+
+val mcast_done : net:int -> mcast:int -> strict:bool -> unit
+(** Close [mcast]. With [strict] (no mesh-epoch flip while in flight) the
+    delivered set must equal the expected set exactly; without, fault-time
+    losses are forgiven. *)

@@ -38,6 +38,7 @@ type spec = {
   usig_protection : Register.protection;
   batch_window : int;  (* hybrid-BFT protocols only; 0 = no batching *)
   checkpoint : Checkpoint.config option;  (* None = legacy fixed-retention model *)
+  multicast : bool;  (* route replica fan-outs through the fabric's multicast *)
   behaviors : Behavior.t array option;
 }
 
@@ -51,6 +52,7 @@ let default_spec =
     usig_protection = Register.Secded;
     batch_window = 0;
     checkpoint = None;
+    multicast = false;
     behaviors = None;
   }
 
@@ -96,6 +98,7 @@ let build engine kind spec =
         request_timeout = spec.request_timeout;
         vc_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = Pbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -131,6 +134,7 @@ let build engine kind spec =
         batch_window = spec.batch_window;
         max_batch = 16;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = Minbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -166,6 +170,7 @@ let build engine kind spec =
         batch_window = spec.batch_window;
         max_batch = 16;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = A2m_bft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -200,6 +205,7 @@ let build engine kind spec =
         trinc_protection = spec.usig_protection;
         keychain_master = 0x17E4C0L;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = Cheapbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -237,6 +243,7 @@ let build engine kind spec =
         request_timeout = spec.request_timeout;
         election_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = Paxos.start engine fabric config ?behaviors:spec.behaviors () in
@@ -269,6 +276,7 @@ let build engine kind spec =
         heartbeat_period = max 1 (spec.vc_timeout / 5);
         detection_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
+        multicast = spec.multicast;
       }
     in
     let sys = Primary_backup.start engine fabric config ?behaviors:spec.behaviors () in

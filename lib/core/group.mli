@@ -49,11 +49,16 @@ type spec = {
           invisibly). State-transfer chunks are the one message class
           whose NoC size is computed from content rather than the nominal
           per-protocol constant. *)
+  multicast : bool;
+      (** Route replica fan-outs through the fabric's multicast when the
+          transport offers one (an [On_soc] fabric does iff the SoC's NoC
+          config has [multicast = true]; hubs only when built with
+          [~multicast:true]). Off by default. *)
   behaviors : Behavior.t array option;
 }
 
 val default_spec : spec
-(** MinBFT, f=1, 2 clients, honest. *)
+(** MinBFT, f=1, 2 clients, honest, multicast off. *)
 
 val n_replicas_of : spec -> int
 

@@ -87,9 +87,28 @@ let noc_fabric t ~placement ~size_of =
   t.stat_probes <-
     (fun () -> (Network.sent network, Network.bytes_sent network, Network.dropped network))
     :: t.stat_probes;
+  (* Tree multicast, exposed only when the SoC's NoC config enables it:
+     logical endpoints are translated to tiles in a reusable scratch
+     array, so a protocol broadcast costs no allocation here. *)
+  let multicast =
+    if t.config.noc.Network.multicast then begin
+      let scratch = ref (Array.make (max n 1) 0) in
+      Some
+        (fun ~src ~dsts ~n:k msg ->
+          if k > Array.length !scratch then scratch := Array.make (2 * k) 0;
+          let tiles = !scratch in
+          for i = 0 to k - 1 do
+            tiles.(i) <- placement.(dsts.(i))
+          done;
+          Network.multicast network ~src:placement.(src) ~dsts:tiles ~n:k
+            ~bytes_:(size_of msg) msg)
+    end
+    else None
+  in
   {
     Transport.n_endpoints = n;
     send;
+    multicast;
     set_handler;
     detach;
     messages_sent = (fun () -> Network.sent network);

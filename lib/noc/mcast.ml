@@ -1,0 +1,87 @@
+(* Epoch-stamped per-root multicast trees over the surviving topology.
+
+   For every multicast root a forward BFS from the root over the up
+   routers and up directed links labels each reachable router with its
+   tree parent; [parent.(v)] is the predecessor of [v] on a shortest
+   surviving path root -> v, [parent.(root) = root], and [-1] marks
+   routers the root cannot reach. Neighbours are explored in the fixed
+   direction order north, west, east, south — the same tie-break as the
+   adaptive unicast tables — so the trees are a pure function of the
+   fault state and identical across campaign worker counts.
+
+   Freshness mirrors [Adaptive]: each tree carries the [Mesh.epoch] it
+   was computed for and is rebuilt lazily, per root, the first time it
+   is requested after a fault-state flip. Roots that never multicast
+   never pay for a tree, and a burst of broadcasts between two faults
+   reuses the cached trees for free. The cumulative BFS visit count is
+   exposed as the recompute cost model, like [Adaptive.visits]. *)
+
+type tree = {
+  parent : int array;  (* node -> predecessor toward the root; -1 = unreachable *)
+  mutable tree_epoch : int;  (* mesh epoch the tree reflects; -1 = never built *)
+}
+
+type t = {
+  mesh : Mesh.t;
+  n : int;
+  trees : tree option array;  (* by root, allocated on first use *)
+  queue : int array;  (* BFS scratch *)
+  mutable builds : int;
+  mutable visits : int;  (* cumulative BFS node visits (build cost) *)
+}
+
+let create mesh =
+  let n = Mesh.n_nodes mesh in
+  { mesh; n; trees = Array.make n None; queue = Array.make n 0; builds = 0; visits = 0 }
+
+let build t root tr =
+  let mesh = t.mesh in
+  let w = Mesh.width mesh in
+  let h = Mesh.height mesh in
+  Array.fill tr.parent 0 t.n (-1);
+  if Mesh.router_up mesh root then begin
+    tr.parent.(root) <- root;
+    t.visits <- t.visits + 1;
+    let head = ref 0 and tail = ref 0 in
+    t.queue.(!tail) <- root;
+    incr tail;
+    while !head < !tail do
+      let v = t.queue.(!head) in
+      incr head;
+      (* Successors u with a live directed link v -> u, in the fixed
+         N/W/E/S order of v's own ports. *)
+      let consider u dir =
+        if
+          Mesh.router_up mesh u
+          && Mesh.link_up_id mesh ((v * 4) + dir)
+          && tr.parent.(u) < 0
+        then begin
+          tr.parent.(u) <- v;
+          t.visits <- t.visits + 1;
+          t.queue.(!tail) <- u;
+          incr tail
+        end
+      in
+      if v >= w then consider (v - w) 0;
+      if v mod w > 0 then consider (v - 1) 1;
+      if v mod w < w - 1 then consider (v + 1) 2;
+      if v < w * (h - 1) then consider (v + w) 3
+    done
+  end;
+  tr.tree_epoch <- Mesh.epoch mesh;
+  t.builds <- t.builds + 1
+
+let tree t ~root =
+  let tr =
+    match t.trees.(root) with
+    | Some tr -> tr
+    | None ->
+      let tr = { parent = Array.make t.n (-1); tree_epoch = -1 } in
+      t.trees.(root) <- Some tr;
+      tr
+  in
+  if tr.tree_epoch <> Mesh.epoch t.mesh then build t root tr;
+  tr.parent
+
+let builds t = t.builds
+let visits t = t.visits

@@ -1,0 +1,28 @@
+(** Per-root multicast trees over the surviving topology.
+
+    Each tree is a shortest-path BFS tree rooted at the multicast source,
+    computed over up routers and up directed links with the same fixed
+    north/west/east/south tie-break as the adaptive unicast tables — a
+    pure function of the fault state, hence identical across campaign
+    worker counts. Trees are cached per root and stamped with
+    [Mesh.epoch]; a fault-state flip invalidates them lazily, so only
+    roots that multicast after the flip pay for a rebuild. *)
+
+type t
+
+val create : Mesh.t -> t
+
+val tree : t -> root:int -> int array
+(** [tree t ~root] is the parent array of the multicast tree rooted at
+    [root], rebuilt first if the mesh epoch moved: [parent.(root) = root],
+    [parent.(v)] the predecessor of [v] on a shortest surviving path from
+    [root], and [-1] for routers [root] cannot reach (including every
+    node when [root]'s own router is down). The array is owned by the
+    cache and valid only until the next [tree] call. *)
+
+val builds : t -> int
+(** Tree (re)builds so far, across all roots. *)
+
+val visits : t -> int
+(** Cumulative BFS node visits across builds — the recompute cost model,
+    mirroring [Adaptive.visits]. *)

@@ -27,10 +27,16 @@ type config = {
   bytes_per_cycle : int;  (** link bandwidth. *)
   local_latency : int;  (** delivery cost for dst = src. *)
   routing : routing;
+  multicast : bool;
+      (** Enable tree multicast ({!multicast}): per-root BFS trees over
+          the surviving topology ({!Mcast}), cached per mesh epoch. Off
+          by default; with it off the network is byte-for-byte the
+          pre-multicast simulator. *)
 }
 
 val default_config : config
-(** 2-cycle routers, 16 bytes/cycle, 1-cycle loopback, XY routing. *)
+(** 2-cycle routers, 16 bytes/cycle, 1-cycle loopback, XY routing,
+    multicast off. *)
 
 type 'msg t
 
@@ -48,6 +54,20 @@ val detach : 'msg t -> node:int -> unit
 val send : 'msg t -> src:int -> dst:int -> bytes_:int -> 'msg -> unit
 (** Injects a message; it is delivered (or dropped) asynchronously via the
     engine. [bytes_] must be positive. *)
+
+val multicast : 'msg t -> src:int -> dsts:int array -> ?n:int -> bytes_:int -> 'msg -> unit
+(** One payload to many destinations along the per-root multicast tree:
+    the message forks at branch routers, every live link carries it at
+    most once, and it reaches every destination the surviving topology
+    connects to [src] (duplicates in [dsts] are served once). [?n] limits
+    the destinations to a prefix of [dsts] so callers can reuse a scratch
+    array without slicing. Aggregate statistics count the logical
+    fan-out — [n] sends and [n * bytes_] bytes, like the unicast loop it
+    replaces — so stats stay comparable across modes; the physical
+    saving shows up in event counts, link load and the [noc.mcast.*]
+    instruments. Destinations equal to [src] are delivered locally after
+    [local_latency]. Raises [Invalid_argument] when the config has
+    [multicast = false]. *)
 
 val set_partition_handler : 'msg t -> (reachable:int -> total:int -> unit) -> unit
 (** Adaptive mode only: [f ~reachable ~total] is called synchronously after
@@ -67,7 +87,14 @@ val latency : 'msg t -> Resoc_des.Metrics.Histogram.t
 (** Delivery latencies in cycles. *)
 
 val hop_load : 'msg t -> (Mesh.link * int) list
-(** Messages carried per link (congestion map). *)
+(** Messages carried per link (congestion map). Allocates the assoc
+    list; hot sampling sites should use {!iter_hop_load}. *)
+
+val iter_hop_load : 'msg t -> (lid:int -> load:int -> unit) -> unit
+(** Zero-alloc fold over the loaded links: calls [f ~lid ~load] for every
+    directed link id with a positive carried-message count, in link-id
+    order. [Mesh.link_of_id] decodes [lid] when the endpoint pair is
+    needed. *)
 
 (** {1 Adaptive-mode introspection} *)
 
@@ -86,6 +113,15 @@ val recompute_visits : 'msg t -> int
 (** Cumulative BFS node visits across recomputations — the recompute cost
     model of DESIGN.md section 9 (0 outside adaptive mode). *)
 
+(** {1 Multicast introspection} *)
+
+val mcast_tree_builds : 'msg t -> int
+(** Multicast tree (re)builds so far (0 with multicast off). *)
+
+val mcast_tree_visits : 'msg t -> int
+(** Cumulative BFS node visits across multicast tree builds (0 with
+    multicast off). *)
+
 (** {1 Checker mutation knobs}
 
     Used by the [--check] self-tests to prove the NoC invariants fire
@@ -99,3 +135,11 @@ val test_detour_loop : bool ref
 
 val test_blackhole : bool ref
 (** Adaptive mode: drop every flight at its first router. *)
+
+val test_mcast_skip_branch : bool ref
+(** Silently prune one branch at every multicast fork — proves the
+    delivery-set-equality invariant fires. *)
+
+val test_mcast_dup_deliver : bool ref
+(** Deliver every multicast payload twice — proves the duplicate-freedom
+    invariant fires. *)

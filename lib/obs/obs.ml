@@ -39,7 +39,19 @@ let create () =
   end;
   inst
 
-let begin_replicate () = Domain.DLS.get collected := []
+(* Flush hooks run (in registration order) just before a trace export,
+   letting instrumented components emit closing samples — e.g. the NoC's
+   final per-link load snapshot. Domain-local and reset per replicate,
+   like [collected]. *)
+let flush_hooks : (unit -> unit) list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let on_flush f =
+  let l = Domain.DLS.get flush_hooks in
+  l := f :: !l
+
+let begin_replicate () =
+  Domain.DLS.get collected := [];
+  Domain.DLS.get flush_hooks := []
 
 let domain_instances () = List.rev !(Domain.DLS.get collected)
 
@@ -148,6 +160,7 @@ let metrics_json () =
   Buffer.contents buf
 
 let write_trace path =
+  List.iter (fun f -> f ()) (List.rev !(Domain.DLS.get flush_hooks));
   let rings = List.map (fun i -> i.ring) (domain_instances ()) in
   let s = Chrome.to_string ~rings ~name:default_name ~cat_label:Cat.label () in
   let oc = open_out path in

@@ -64,7 +64,14 @@ val repl_event : replica:int -> code:int -> int
 (** Default (category, id) -> event-name resolver for {!Chrome}. *)
 val default_name : cat:int -> id:int -> string
 
-(** Forget the instances collected on this domain so far. *)
+(** Register a hook run just before {!write_trace} exports, letting a
+    component emit closing samples (e.g. the NoC's final per-link load
+    snapshot). Domain-local; hooks run in registration order and are
+    forgotten by {!begin_replicate}. *)
+val on_flush : (unit -> unit) -> unit
+
+(** Forget the instances and flush hooks collected on this domain so
+    far. *)
 val begin_replicate : unit -> unit
 
 (** Instances created on this domain since {!begin_replicate}, oldest

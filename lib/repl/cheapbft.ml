@@ -33,6 +33,7 @@ type config = {
   trinc_protection : Register.protection;
   keychain_master : int64;
   checkpoint : Checkpoint.config option;
+  multicast : bool;
 }
 
 let default_config =
@@ -45,6 +46,7 @@ let default_config =
     trinc_protection = Register.Secded;
     keychain_master = 0x17E4C0L;
     checkpoint = None;
+    multicast = false;
   }
 
 let n_replicas config = (2 * config.f) + 1
@@ -94,6 +96,8 @@ type replica = {
   all_others : int array;  (* everyone but self *)
   initial_active_others : int array;  (* ids 0..f minus self *)
   initial_passive : int array;  (* ids f+1..n-1 *)
+  mcast : (src:int -> dsts:int array -> n:int -> msg -> unit) option;
+      (* fabric multicast, resolved once; None = per-destination sends *)
   mutable gap_drops : int;
   mutable last_shipped : int64;
   repeat_counts : (int * int, int) Hashtbl.t;  (* (client, rid) -> cached-reply resends *)
@@ -156,10 +160,26 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
+(* Fan-outs take the fabric's tree multicast when the replica was built
+   with one: a single behaviour gate, then one injection that forks in
+   the network instead of [Array.length to_] unicasts. *)
 let broadcast r ~to_ msg =
-  for i = 0 to Array.length to_ - 1 do
-    send r ~dst:(Array.unsafe_get to_ i) msg
-  done
+  match r.mcast with
+  | Some mc ->
+    let now = Engine.now r.engine in
+    if r.online && not (Behavior.is_crashed r.behavior ~now) then (
+      match Behavior.active_strategy r.behavior ~now with
+      | Some Behavior.Silent -> ()
+      | Some (Behavior.Delay d) ->
+        ignore
+          (Engine.schedule r.engine ~delay:d (fun () ->
+               mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg))
+      | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+        mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg)
+  | None ->
+    for i = 0 to Array.length to_ - 1 do
+      send r ~dst:(Array.unsafe_get to_ i) msg
+    done
 
 let cancel_request_timer r digest =
   let i = Digest_map.index r.timers digest in
@@ -707,6 +727,7 @@ let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
       (let act = List.filter (fun i -> i <> id) (List.init (f + 1) Fun.id) in
        Array.of_list act);
     initial_passive = Array.init (n - f - 1) (fun i -> f + 1 + i);
+    mcast = (if config.multicast then fabric.Transport.multicast else None);
     chk;
     online = true;
     cp =

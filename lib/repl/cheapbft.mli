@@ -51,6 +51,10 @@ type config = {
           neither vote nor serve). [None] (the default) keeps the legacy
           fixed-retention model, where rejuvenation is invisible to the
           protocol. *)
+  multicast : bool;
+      (** Route replica fan-outs through the fabric's multicast (one
+          injection forking in the network) when it offers one; off
+          (the default) = per-destination unicast. *)
 }
 
 val default_config : config

@@ -53,6 +53,7 @@ module type S = sig
     batch_window : int;
     max_batch : int;
     checkpoint : Checkpoint.config option;
+    multicast : bool;
   }
 
   val default_config : config
@@ -106,6 +107,7 @@ module Make (H : HYBRID) = struct
     batch_window : int;  (* 0 = order immediately; >0 = buffer this long *)
     max_batch : int;  (* flush early when the buffer reaches this size *)
     checkpoint : Checkpoint.config option;  (* None = legacy retention GC *)
+    multicast : bool;  (* route fan-outs through the fabric's multicast *)
   }
 
   let default_config =
@@ -119,6 +121,7 @@ module Make (H : HYBRID) = struct
       batch_window = 0;
       max_batch = 16;
       checkpoint = None;
+      multicast = false;
     }
 
   let n_replicas config = (2 * config.f) + 1
@@ -160,6 +163,8 @@ module Make (H : HYBRID) = struct
     mutable vc_voted : int;
     all_ids : int array;
     peer_ids : int array;
+    mcast : (src:int -> dsts:int array -> n:int -> msg -> unit) option;
+        (* fabric multicast, resolved once; None = per-destination sends *)
     mutable own_commits_sent : int;
     mutable gap_drops : int;
     mutable batch_buffer : Types.request list;  (* reversed; primary only *)
@@ -218,10 +223,26 @@ module Make (H : HYBRID) = struct
       | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
         r.fabric.Transport.send ~src:r.id ~dst msg
 
+  (* Fan-outs take the fabric's tree multicast when the replica was
+     built with one: a single behaviour gate, then one injection that
+     forks in the network instead of [Array.length to_] unicasts. *)
   let broadcast r ~to_ msg =
-    for i = 0 to Array.length to_ - 1 do
-      send r ~dst:(Array.unsafe_get to_ i) msg
-    done
+    match r.mcast with
+    | Some mc ->
+      let now = Engine.now r.engine in
+      if r.online && not (Behavior.is_crashed r.behavior ~now) then (
+        match Behavior.active_strategy r.behavior ~now with
+        | Some Behavior.Silent -> ()
+        | Some (Behavior.Delay d) ->
+          ignore
+            (Engine.schedule r.engine ~delay:d (fun () ->
+                 mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg))
+        | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+          mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg)
+    | None ->
+      for i = 0 to Array.length to_ - 1 do
+        send r ~dst:(Array.unsafe_get to_ i) msg
+      done
 
   let cancel_request_timer r digest =
     let i = Digest_map.index r.timers digest in
@@ -811,6 +832,7 @@ module Make (H : HYBRID) = struct
       vc_voted = 0;
       all_ids = Array.init n Fun.id;
       peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+      mcast = (if config.multicast then fabric.Transport.multicast else None);
       own_commits_sent = 0;
       gap_drops = 0;
       batch_buffer = [];

@@ -86,6 +86,10 @@ module type S = sig
             contain at least one from a correct replica — same argument
             that shrinks the commit quorum). [None] (the default) keeps
             the legacy fixed-retention / free-state-copy model. *)
+    multicast : bool;
+        (** Route replica fan-outs through the fabric's multicast (one
+            injection forking in the network) when it offers one; off
+            (the default) = per-destination unicast. *)
   }
 
   val default_config : config

@@ -32,6 +32,10 @@ type config = {
           a majority certificate additionally proves the boundary is
           durable across every reachable quorum. [None] (the default)
           keeps the legacy fixed-retention / free-state-copy model. *)
+  multicast : bool;
+      (** Route replica fan-outs through the fabric's multicast (one
+          injection forking in the network) when it offers one; off
+          (the default) = per-destination unicast. *)
 }
 
 val default_config : config

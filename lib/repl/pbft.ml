@@ -24,10 +24,18 @@ type config = {
   request_timeout : int;
   vc_timeout : int;
   checkpoint : Checkpoint.config option;
+  multicast : bool;
 }
 
 let default_config =
-  { f = 1; n_clients = 2; request_timeout = 4000; vc_timeout = 2500; checkpoint = None }
+  {
+    f = 1;
+    n_clients = 2;
+    request_timeout = 4000;
+    vc_timeout = 2500;
+    checkpoint = None;
+    multicast = false;
+  }
 
 let n_replicas config = (3 * config.f) + 1
 
@@ -87,6 +95,8 @@ type replica = {
   mutable vc_voted : int;  (* highest view we voted for *)
   all_ids : int array;  (* 0 .. n-1 *)
   peer_ids : int array;  (* 0 .. n-1 minus self *)
+  mcast : (src:int -> dsts:int array -> n:int -> msg -> unit) option;
+      (* fabric multicast, resolved once; None = per-destination sends *)
   obs : Obs.t;
   obs_vc : int;
   chk : int;  (* resoc_check session, -1 when checking is off *)
@@ -131,10 +141,26 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
+(* Fan-outs take the fabric's tree multicast when the replica was built
+   with one: a single behaviour gate, then one injection that forks in
+   the network instead of [Array.length to_] unicasts. *)
 let broadcast r ~to_ msg =
-  for i = 0 to Array.length to_ - 1 do
-    send r ~dst:(Array.unsafe_get to_ i) msg
-  done
+  match r.mcast with
+  | Some mc ->
+    let now = Engine.now r.engine in
+    if r.online && not (Behavior.is_crashed r.behavior ~now) then (
+      match Behavior.active_strategy r.behavior ~now with
+      | Some Behavior.Silent -> ()
+      | Some (Behavior.Delay d) ->
+        ignore
+          (Engine.schedule r.engine ~delay:d (fun () ->
+               mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg))
+      | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+        mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg)
+  | None ->
+    for i = 0 to Array.length to_ - 1 do
+      send r ~dst:(Array.unsafe_get to_ i) msg
+    done
 
 (* The entry tracking [seq], creating it (reset in place) on first
    touch. Returns [null_entry] when the slot holds a stale-view entry;
@@ -683,6 +709,7 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     vc_voted = 0;
     all_ids = Array.init n Fun.id;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+    mcast = (if config.multicast then fabric.Transport.multicast else None);
     obs;
     obs_vc;
     chk;

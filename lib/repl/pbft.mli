@@ -47,10 +47,15 @@ type config = {
   checkpoint : Checkpoint.config option;
       (** Certified checkpointing + state transfer; [None] (the default)
           keeps the legacy fixed-retention / free-state-copy model. *)
+  multicast : bool;
+      (** Route replica fan-outs through the fabric's multicast (one
+          injection forking in the network) when it offers one; off =
+          per-destination unicast. *)
 }
 
 val default_config : config
-(** f=1, 2 clients, timeouts 4000/2500 cycles, checkpointing off. *)
+(** f=1, 2 clients, timeouts 4000/2500 cycles, checkpointing off,
+    multicast off. *)
 
 val n_replicas : config -> int
 

@@ -20,6 +20,7 @@ type config = {
   heartbeat_period : int;
   detection_timeout : int;
   checkpoint : Checkpoint.config option;
+  multicast : bool;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     heartbeat_period = 500;
     detection_timeout = 1500;
     checkpoint = None;
+    multicast = false;
   }
 
 let n_replicas config = config.n_backups + 1
@@ -49,6 +51,8 @@ type replica = {
   mutable rid_last : int array;  (* client -> last rid, min_int = none *)
   mutable rid_result : int64 array;
   peer_ids : int array;  (* everyone but self *)
+  mcast : (src:int -> dsts:int array -> n:int -> msg -> unit) option;
+      (* fabric multicast, resolved once; None = per-destination sends *)
   chk : int;  (* resoc_check session, -1 when checking is off *)
   mutable online : bool;
   cp : Checkpoint.t option;  (* checkpoint certificates, None = legacy *)
@@ -89,6 +93,26 @@ let send (r : replica) ~dst msg =
     | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
       r.fabric.Transport.send ~src:r.id ~dst msg
 
+(* Fan-outs to the peer set take the fabric's tree multicast when the
+   replica was built with one: a single behaviour gate, then one
+   injection that forks in the network instead of per-peer unicasts. *)
+let broadcast r ~to_ msg =
+  match r.mcast with
+  | Some mc ->
+    if r.online && alive r then (
+      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+      | Some Behavior.Silent -> ()
+      | Some (Behavior.Delay d) ->
+        ignore
+          (Engine.schedule r.engine ~delay:d (fun () ->
+               mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg))
+      | Some Behavior.Equivocate | Some Behavior.Corrupt_execution | None ->
+        mc ~src:r.id ~dsts:to_ ~n:(Array.length to_) msg)
+  | None ->
+    for i = 0 to Array.length to_ - 1 do
+      send r ~dst:(Array.unsafe_get to_ i) msg
+    done
+
 (* Both ends of an Update derive the same digest from its payload, so the
    checker can compare primary and backup commits at one (epoch, seq) slot. *)
 let update_digest ~state ~client ~rid ~result =
@@ -126,12 +150,7 @@ let cancel_recover_timer r =
    certificate (quorum 1: its own vote), but the rejoiner asks everyone. *)
 let start_recovery (r : replica) cp =
   Checkpoint.begin_recovery cp ~now:(Engine.now r.engine);
-  let fetch () =
-    let peers = r.peer_ids in
-    for i = 0 to Array.length peers - 1 do
-      send r ~dst:peers.(i) (Fetch_state { have = Checkpoint.low cp })
-    done
-  in
+  let fetch () = broadcast r ~to_:r.peer_ids (Fetch_state { have = Checkpoint.low cp }) in
   let rec arm () =
     cancel_recover_timer r;
     r.recover_timer <-
@@ -167,10 +186,7 @@ let note_boundary r =
     with
     | None -> ()
     | Some d ->
-      let peers = r.peer_ids in
-      for i = 0 to Array.length peers - 1 do
-        send r ~dst:peers.(i) (Checkpoint_vote { seq = r.seq; digest = d })
-      done;
+      broadcast r ~to_:r.peer_ids (Checkpoint_vote { seq = r.seq; digest = d });
       if Checkpoint.note_vote cp ~seq:r.seq ~digest:d ~voter:r.id >= 0 then
         r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1)
 
@@ -191,11 +207,8 @@ let on_request r (request : Types.request) =
             ~signers:(-1) ~quorum:1
             ~faulty:(Behavior.is_faulty r.behavior);
         (* Ship the new state to the standbys. *)
-        let peers = r.peer_ids in
-        for i = 0 to Array.length peers - 1 do
-          send r ~dst:peers.(i)
-            (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result })
-        done;
+        broadcast r ~to_:r.peer_ids
+          (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result });
         note_boundary r;
         result
       end
@@ -325,11 +338,7 @@ let handle (r : replica) ~src msg =
 let start_timers (r : replica) =
   Engine.every r.engine ~period:r.config.heartbeat_period (fun () ->
       if r.online && alive r then
-        if is_primary r then
-          let peers = r.peer_ids in
-          for i = 0 to Array.length peers - 1 do
-            send r ~dst:peers.(i) (Heartbeat { epoch = r.epoch })
-          done
+        if is_primary r then broadcast r ~to_:r.peer_ids (Heartbeat { epoch = r.epoch })
         else begin
           let silence = Engine.now r.engine - r.last_heartbeat in
           (* The smallest future epoch whose primary is this replica; the
@@ -344,10 +353,7 @@ let start_timers (r : replica) =
             r.epoch <- mine;
             r.stats.Stats.view_changes <- r.stats.Stats.view_changes + 1;
             r.last_heartbeat <- Engine.now r.engine;
-            let peers = r.peer_ids in
-            for i = 0 to Array.length peers - 1 do
-              send r ~dst:peers.(i) (Promote { epoch = mine })
-            done
+            broadcast r ~to_:r.peer_ids (Promote { epoch = mine })
           end
         end)
 
@@ -368,6 +374,7 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     rid_last = Array.make (n + config.n_clients) min_int;
     rid_result = Array.make (n + config.n_clients) 0L;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
+    mcast = (if config.multicast then fabric.Transport.multicast else None);
     chk;
     online = true;
     cp =

@@ -33,6 +33,10 @@ type config = {
           reply-cache chunks reconstruct a replica. [None] (the default)
           keeps the legacy model, where rejuvenation is invisible to the
           protocol. *)
+  multicast : bool;
+      (** Route peer fan-outs (updates, heartbeats, promotes, checkpoint
+          votes) through the fabric's multicast when it offers one; off
+          (the default) = per-destination unicast. *)
 }
 
 val default_config : config

@@ -3,20 +3,26 @@ module Engine = Resoc_des.Engine
 type 'msg fabric = {
   n_endpoints : int;
   send : src:int -> dst:int -> 'msg -> unit;
+  multicast : (src:int -> dsts:int array -> n:int -> 'msg -> unit) option;
   set_handler : int -> (src:int -> 'msg -> unit) -> unit;
   detach : int -> unit;
   messages_sent : unit -> int;
   bytes_sent : unit -> int;
 }
 
-let broadcast fabric ~src ~to_ msg = List.iter (fun dst -> fabric.send ~src ~dst msg) to_
+let broadcast fabric ~src ~to_ msg =
+  match fabric.multicast with
+  | Some mc ->
+    let dsts = Array.of_list to_ in
+    mc ~src ~dsts ~n:(Array.length dsts) msg
+  | None -> List.iter (fun dst -> fabric.send ~src ~dst msg) to_
 
 (* Hub deliveries ride pooled slots: per slot a (src, dst) pair, the
    payload, and a fire closure built once and reused — so a send pushes
    two ints into the engine and boxes the payload, nothing else. The
    slot is released before the handler runs, so a handler that sends
    can reuse it immediately. *)
-let hub engine ~n ?(latency = 5) ?(size_of = fun _ -> 64) () =
+let hub engine ~n ?(latency = 5) ?(size_of = fun _ -> 64) ?(multicast = false) () =
   if n <= 0 then invalid_arg "Transport.hub: need at least one endpoint";
   if latency < 0 then invalid_arg "Transport.hub: negative latency";
   let handlers = Array.make n None in
@@ -77,6 +83,17 @@ let hub engine ~n ?(latency = 5) ?(size_of = fun _ -> 64) () =
   {
     n_endpoints = n;
     send;
+    (* A hub has no shared physical medium: its multicast is the unicast
+       loop, with identical counters — so hub experiments give the same
+       numbers in both modes and only exercise the call path. *)
+    multicast =
+      (if multicast then
+         Some
+           (fun ~src ~dsts ~n:k msg ->
+             for i = 0 to k - 1 do
+               send ~src ~dst:dsts.(i) msg
+             done)
+       else None);
     set_handler = (fun i h -> handlers.(i) <- Some h);
     detach = (fun i -> handlers.(i) <- None);
     messages_sent = (fun () -> !messages);

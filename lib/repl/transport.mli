@@ -9,6 +9,11 @@
 type 'msg fabric = {
   n_endpoints : int;
   send : src:int -> dst:int -> 'msg -> unit;
+  multicast : (src:int -> dsts:int array -> n:int -> 'msg -> unit) option;
+      (** One payload to the first [n] entries of [dsts], forked by the
+          fabric (tree multicast on a NoC, a plain loop on a hub).
+          [None] when the underlying transport runs multicast-off;
+          protocols fall back to per-destination [send]. *)
   set_handler : int -> (src:int -> 'msg -> unit) -> unit;
   detach : int -> unit;  (** Drop the endpoint's handler (offline tile). *)
   messages_sent : unit -> int;
@@ -16,15 +21,19 @@ type 'msg fabric = {
 }
 
 val broadcast : 'msg fabric -> src:int -> to_:int list -> 'msg -> unit
-(** Unicast to each destination (NoCs have no magic bus). *)
+(** Fan-out to each destination: through the fabric's [multicast] when it
+    has one, else unicast per destination (NoCs have no magic bus). *)
 
 val hub :
   Resoc_des.Engine.t ->
   n:int ->
   ?latency:int ->
   ?size_of:('msg -> int) ->
+  ?multicast:bool ->
   unit ->
   'msg fabric
 (** Full mesh with fixed [latency] (default 5 cycles) between any pair;
     loopback costs 1. [size_of] (default constant 64) only feeds the
-    byte counter. Messages to detached endpoints vanish. *)
+    byte counter. Messages to detached endpoints vanish. [multicast]
+    (default off) installs a hub multicast that is the unicast loop with
+    identical counters — hubs have no shared medium to save on. *)
