@@ -60,6 +60,15 @@ type mcast_mode =
           The determinism gate diffs exactly this. *)
   | Mcast_full  (** Fabric multicast armed AND protocol fan-outs use it. *)
 
+type batch_mode =
+  | Batch_off  (** Default: one agreement instance per client request. *)
+  | Batch_armed
+      (** Thread a present-but-inactive batching config (max_batch 1,
+          window 0) through the E2/E3 protocol configs. No batcher is
+          created, so campaign outputs must stay byte-identical to
+          [Batch_off] — the determinism gate diffs exactly this. *)
+  | Batch_full  (** Real batching: window 50, max_batch 8, pipeline depth 4. *)
+
 type run_config = {
   replicates : int;
   jobs : int;
@@ -70,6 +79,7 @@ type run_config = {
   check : bool;  (* reset Resoc_check state per replicate; count failures *)
   shrink : bool;  (* ddmin failed replicates into FAIL_*.json *)
   mcast : mcast_mode;  (* NoC/hub multicast gating for E2/E3 kernels *)
+  batch : batch_mode;  (* request batching + pipelining for E2/E3 kernels *)
 }
 
 let run_config =
@@ -84,10 +94,25 @@ let run_config =
       check = false;
       shrink = false;
       mcast = Mcast_off;
+      batch = Batch_off;
     }
 
 let mcast_armed () = (!run_config).mcast <> Mcast_off
 let mcast_protocols () = (!run_config).mcast = Mcast_full
+
+let batching_spec () =
+  match (!run_config).batch with
+  | Batch_off -> None
+  | Batch_armed ->
+    Some { Resoc_repl.Types.window_cycles = 0; max_batch = 1; pipeline_depth = 1 }
+  | Batch_full ->
+    Some { Resoc_repl.Types.window_cycles = 50; max_batch = 8; pipeline_depth = 4 }
+
+let batch_label () =
+  match (!run_config).batch with
+  | Batch_off -> "off"
+  | Batch_armed -> "armed"
+  | Batch_full -> "w50/b8/d4"
 
 (* When --replay FILE targets a campaign, run_campaign re-executes just that
    one replicate under the recorded suppression mask and exits: 0 when the
@@ -212,6 +237,7 @@ let run_minbft_under_seu ~protection ~seu_rate ~seed =
       n_clients = 2;
       usig_protection = protection;
       multicast = mcast_protocols ();
+      batching = batching_spec ();
     }
   in
   let n = Minbft.n_replicas config in
@@ -309,7 +335,16 @@ let run_group_workload kind ~f ~requests ~mesh =
         noc = { Soc.default_config.noc with Resoc_noc.Network.multicast = mcast_armed () };
       }
   in
-  let spec = { Group.default_spec with kind; f; n_clients = 2; multicast = mcast_protocols () } in
+  let spec =
+    {
+      Group.default_spec with
+      kind;
+      f;
+      n_clients = 2;
+      multicast = mcast_protocols ();
+      batching = batching_spec ();
+    }
+  in
   let group = Group.build (Soc.engine soc) (Group.On_soc soc) spec in
   Generator.burst ~n_per_client:(requests / 2) ~n_clients:2 ~submit:group.Group.submit;
   Engine.run ~until:2_000_000 (Soc.engine soc);
@@ -321,8 +356,8 @@ let e3_pbft_vs_minbft () =
     "Claim (SI/SII.A, refs [40]-[42]): a trusted hybrid cuts replicas from\n\
      3f+1 to 2f+1 and removes one agreement phase: fewer cores, fewer\n\
      messages, lower latency for the same f.";
-  row "%-3s %-9s %-9s %-10s %-10s %-10s %-10s %-10s\n" "f" "protocol" "replicas" "completed"
-    "msgs/req" "bytes/req" "lat-mean" "lat-p99";
+  row "%-3s %-9s %-9s %-10s %-10s %-10s %-10s %-10s %-10s\n" "f" "protocol" "replicas"
+    "completed" "msgs/req" "bytes/req" "lat-mean" "lat-p99" "batch";
   List.iter
     (fun f ->
       List.iter
@@ -331,10 +366,12 @@ let e3_pbft_vs_minbft () =
           let mesh = if f >= 3 then (5, 4) else (4, 4) in
           let group, s, msgs, bytes = run_group_workload kind ~f ~requests ~mesh in
           let per_req v = if s.Stats.completed = 0 then 0.0 else float_of_int v /. float_of_int s.Stats.completed in
-          row "%-3d %-9s %-9d %-10d %-10.1f %-10.1f %-10.0f %-10.0f\n" f group.Group.protocol
-            group.Group.n_replicas s.Stats.completed (per_req msgs) (per_req bytes)
+          row "%-3d %-9s %-9d %-10d %-10.1f %-10.1f %-10.0f %-10.0f %-10s\n" f
+            group.Group.protocol group.Group.n_replicas s.Stats.completed (per_req msgs)
+            (per_req bytes)
             (Histogram.mean s.Stats.latency)
-            (Histogram.percentile s.Stats.latency 99.0))
+            (Histogram.percentile s.Stats.latency 99.0)
+            (batch_label ()))
         [ `Pbft; `Minbft; `A2m_bft ])
     [ 1; 2; 3 ];
   (* Equivocation contrast: the structural benefit of the USIG. *)

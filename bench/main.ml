@@ -44,12 +44,19 @@
                    [--progress] [--metrics] [--trace FILE]
                    [--check] [--shrink] [--replay FILE]
                    [--perf] [--quick] [--mcast | --mcast-fabric]
+                   [--batch | --batch-armed]
 
    [--mcast] routes the E2/E3 protocol fan-outs through the fabric's
    multicast (NoC trees on the mesh, the counter-identical loop on the
    hub); [--mcast-fabric] arms the fabric multicast without letting any
    protocol use it, which must leave every campaign output byte-identical
-   to a plain run — the determinism gate diffs exactly that. *)
+   to a plain run — the determinism gate diffs exactly that.
+
+   [--batch] enables request batching + agreement pipelining (window 50,
+   max_batch 8, pipeline depth 4) in the E2/E3 protocol configs;
+   [--batch-armed] threads a present-but-inactive batching config through
+   the same paths, which must leave every campaign output byte-identical
+   to a plain run — the determinism gate's second mode-off probe. *)
 
 open Bechamel
 open Toolkit
@@ -183,6 +190,7 @@ let () =
   let shrink = ref false in
   let replay_file = ref "" in
   let mcast = ref Experiments.Mcast_off in
+  let batch = ref Experiments.Batch_off in
   let spec =
     [
       ( "--only",
@@ -234,6 +242,14 @@ let () =
         Arg.Unit (fun () -> mcast := Experiments.Mcast_fabric),
         " arm the fabric multicast but leave protocols on unicast; outputs \
          must stay byte-identical to a plain run (determinism-gate probe)" );
+      ( "--batch",
+        Arg.Unit (fun () -> batch := Experiments.Batch_full),
+        " enable request batching + agreement pipelining in the E2/E3 \
+         protocol configs" );
+      ( "--batch-armed",
+        Arg.Unit (fun () -> batch := Experiments.Batch_armed),
+        " thread a present-but-inactive batching config; outputs must stay \
+         byte-identical to a plain run (determinism-gate probe)" );
     ]
   in
   let usage = "main.exe [ids...] [options]\n\nOptions:" in
@@ -311,6 +327,7 @@ let () =
       check = !check;
       shrink = !shrink;
       mcast = !mcast;
+      batch = !batch;
     };
   Experiments.replay_target := !replay;
   Printf.printf "resoc experiment suite — reproducing the quantitative claims of\n";

@@ -23,7 +23,17 @@
                 as their event count — a mode-invariant work unit — so
                 events/sec compares how fast each mode pushes the same
                 protocol traffic, and the bftcast:bftcastuni ratio is the
-                multicast speedup.
+                multicast speedup;
+   - [pbftbatch] a PBFT group on the hub transport serving a client burst
+                with request batching + agreement pipelining on (window
+                50, max_batch 8, pipeline depth 4): each agreement
+                instance carries up to 8 requests, so the protocol
+                message count per request collapses;
+   - [pbftbatchuni] the identical logical traffic with batching off (one
+                instance per request). Both report completed client
+                requests as their event count — the mode-invariant work
+                unit — so events/sec is requests/sec and the
+                pbftbatch:pbftbatchuni ratio is the batching speedup.
 
    Each workload runs [runs] times; we report the best wall time (least
    noisy) and the minimum allocated bytes per event (steady-state floor).
@@ -186,6 +196,40 @@ let bft_cast ~multicast ~rounds ~repeat () =
   done;
   !total
 
+(* Batching kernel pair: identical logical traffic (a closed-loop burst
+   of [requests] requests from 16 clients against a PBFT f=2 group on the
+   hub), with and without the batching config. Clients are closed-loop
+   (one outstanding request each), so the client count is what lets
+   batches actually form. The returned count is completed requests —
+   identical in both modes by construction — so events/sec is
+   requests/sec and pbftbatch:pbftbatchuni is the batching speedup. *)
+let pbft_batch ~batching ~requests ~repeat () =
+  let n_clients = 16 in
+  let total = ref 0 in
+  for i = 0 to repeat - 1 do
+    let engine = Engine.create ~seed:(Rng.derive 0xBA7CL i) () in
+    let batching =
+      if batching then
+        Some { Resoc_repl.Types.window_cycles = 50; max_batch = 8; pipeline_depth = 4 }
+      else None
+    in
+    let config = { Pbft.default_config with f = 2; n_clients; batching } in
+    let n = Pbft.n_replicas config in
+    let fabric = Transport.hub engine ~n:(n + n_clients) () in
+    let sys = Pbft.start engine fabric config () in
+    Generator.burst ~n_per_client:(requests / n_clients) ~n_clients
+      ~submit:(fun ~client ~payload -> Pbft.submit sys ~client ~payload);
+    Engine.run ~until:4_000_000 engine;
+    let s = Pbft.stats sys in
+    let expected = requests / n_clients * n_clients in
+    if s.Resoc_repl.Stats.completed < expected then
+      failwith
+        (Printf.sprintf "pbftbatch kernel: only %d/%d requests completed"
+           s.Resoc_repl.Stats.completed expected);
+    total := !total + s.Resoc_repl.Stats.completed
+  done;
+  !total
+
 let paxos_kern ~requests ~repeat () =
   let total = ref 0 in
   for i = 0 to repeat - 1 do
@@ -275,6 +319,8 @@ let run ~quick ~json_dir ~progress () =
         ("paxoskern", paxos_kern ~requests:100 ~repeat:6);
         ("bftcast", bft_cast ~multicast:true ~rounds:200 ~repeat:2);
         ("bftcastuni", bft_cast ~multicast:false ~rounds:200 ~repeat:2);
+        ("pbftbatch", pbft_batch ~batching:true ~requests:200 ~repeat:4);
+        ("pbftbatchuni", pbft_batch ~batching:false ~requests:200 ~repeat:4);
       ]
     else
       [
@@ -285,6 +331,8 @@ let run ~quick ~json_dir ~progress () =
         ("paxoskern", paxos_kern ~requests:200 ~repeat:30);
         ("bftcast", bft_cast ~multicast:true ~rounds:600 ~repeat:4);
         ("bftcastuni", bft_cast ~multicast:false ~rounds:600 ~repeat:4);
+        ("pbftbatch", pbft_batch ~batching:true ~requests:400 ~repeat:8);
+        ("pbftbatchuni", pbft_batch ~batching:false ~requests:400 ~repeat:8);
       ]
   in
   let results =

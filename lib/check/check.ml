@@ -15,6 +15,13 @@ type session = {
   (* (view, seq) -> digest committed there first, plus the committing replica
      (for the error message when a second replica disagrees). *)
   agreed : (int * int, int64 * int) Hashtbl.t;
+  (* Batch atomicity: (replica, view, client, rid) -> (seq, pos) of the
+     one committed batch the request belongs to. Keyed per replica and
+     view because re-proposal after a view change legitimately re-commits
+     an uncommitted-in-the-old-view request in a fresh batch. *)
+  batched : (int * int * int * int, int * int) Hashtbl.t;
+  (* Batch order: (replica, view, seq) -> next expected position. *)
+  batch_next : (int * int * int, int) Hashtbl.t;
 }
 
 type hybrid = {
@@ -82,7 +89,13 @@ let fresh_id s =
 let new_session ~protocol =
   let s = Domain.DLS.get state in
   let id = fresh_id s in
-  Hashtbl.replace s.sessions id { protocol; agreed = Hashtbl.create 256 };
+  Hashtbl.replace s.sessions id
+    {
+      protocol;
+      agreed = Hashtbl.create 256;
+      batched = Hashtbl.create 64;
+      batch_next = Hashtbl.create 64;
+    };
   id
 
 let new_hybrid ~name =
@@ -124,6 +137,38 @@ let commit ~session ~replica ~view ~seq ~digest ~signers ~quorum ~faulty =
       if not (Int64.equal prior digest) then
         violation "%s: agreement broken at view %d seq %d: replica %d committed %Lx, replica %d %Lx"
           ss.protocol view seq first prior replica digest)
+
+let batch_commit ~session ~replica ~view ~seq ~pos ~len ~client ~rid ~faulty =
+  let s = Domain.DLS.get state in
+  s.fired <- s.fired + 1;
+  match Hashtbl.find_opt s.sessions session with
+  | None -> ()
+  | Some _ when faulty -> ()
+  | Some ss ->
+    if pos < 0 || pos >= len then
+      violation "%s: replica %d committed batch (view %d, seq %d) with position %d of %d"
+        ss.protocol replica view seq pos len;
+    (match Hashtbl.find_opt ss.batched (replica, view, client, rid) with
+    | Some (seq0, pos0) when seq0 = seq && pos0 = pos ->
+      (* Exact re-report: some protocols note a commit both when the
+         certificate forms and again at execution. Idempotent. *)
+      ()
+    | Some (seq0, pos0) ->
+      (* Exactly one committed batch per request (per replica and view). *)
+      violation
+        "%s: batch atomicity broken: replica %d committed request c%d#%d in two batches of view \
+         %d (seq %d pos %d, then seq %d pos %d)"
+        ss.protocol replica client rid view seq0 pos0 seq pos
+    | None ->
+      (* In-order within the batch: positions 0 .. len-1, ascending. *)
+      let expected =
+        match Hashtbl.find_opt ss.batch_next (replica, view, seq) with Some e -> e | None -> 0
+      in
+      if pos <> expected then
+        violation "%s: replica %d batch (view %d, seq %d) out of order: position %d, expected %d"
+          ss.protocol replica view seq pos expected;
+      Hashtbl.replace ss.batch_next (replica, view, seq) (pos + 1);
+      Hashtbl.add ss.batched (replica, view, client, rid) (seq, pos))
 
 let exec_window ~session ~replica ~seq ~low ~high ~faulty =
   let s = Domain.DLS.get state in

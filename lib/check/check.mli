@@ -20,6 +20,9 @@
       transfer.
     - {b Quorum-certificate integrity}: every commit reported with a signer
       count carries at least the protocol's quorum of distinct signers.
+    - {b Batch atomicity}: with request batching on, every request a
+      replica commits belongs to exactly one committed batch per view,
+      and positions within a batch commit in order.
     - {b Counter monotonicity / non-equivocation}: a USIG or TrInc never
       re-issues a counter value, and never binds one counter to two digests.
       A register readback that differs from the last issued value is treated
@@ -88,6 +91,25 @@ val commit :
     without a local certificate (e.g. a Paxos follower applying a leader
     decision); [faulty] replicas are recorded nowhere and checked never —
     a Byzantine replica is allowed to lie. *)
+
+val batch_commit :
+  session:int ->
+  replica:int ->
+  view:int ->
+  seq:int ->
+  pos:int ->
+  len:int ->
+  client:int ->
+  rid:int ->
+  faulty:bool ->
+  unit
+(** Report that [replica] committed the request [(client, rid)] at
+    position [pos] of the [len]-request batch agreed at [(view, seq)].
+    Fires when a request lands in two distinct committed batches of one
+    view on one replica (batch atomicity), or when positions within a
+    batch are not reported in ascending 0-based order (intra-batch
+    order). Cross-replica batch agreement is already covered by {!commit}
+    over the batch digest. *)
 
 val exec_window :
   session:int -> replica:int -> seq:int -> low:int -> high:int -> faulty:bool -> unit

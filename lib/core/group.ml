@@ -39,6 +39,8 @@ type spec = {
   batch_window : int;  (* hybrid-BFT protocols only; 0 = no batching *)
   checkpoint : Checkpoint.config option;  (* None = legacy fixed-retention model *)
   multicast : bool;  (* route replica fan-outs through the fabric's multicast *)
+  batching : Resoc_repl.Types.batching option;
+      (* cross-protocol request batching + pipelining; None = legacy *)
   behaviors : Behavior.t array option;
 }
 
@@ -53,6 +55,7 @@ let default_spec =
     batch_window = 0;
     checkpoint = None;
     multicast = false;
+    batching = None;
     behaviors = None;
   }
 
@@ -73,6 +76,11 @@ let message_bytes = function
   | `Paxos -> 48
   | `Primary_backup -> 80
 
+(* Wire bytes for a batched flight derive from its content: the base
+   protocol message plus one payload's worth per extra request — one
+   header/certificate amortized over the whole batch. *)
+let batch_bytes ~base ~len = base + (16 * (max 0 (len - 1)))
+
 let make_fabric engine kind ~size_of ~n_endpoints =
   match kind with
   | Hub { latency } -> Transport.hub engine ~n:n_endpoints ~latency ()
@@ -88,6 +96,8 @@ let build engine kind spec =
     let bytes = message_bytes spec.kind in
     let size_of = function
       | Pbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | Pbft.Pre_prepare_b { requests; _ } ->
+        batch_bytes ~base:bytes ~len:(List.length requests)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -99,6 +109,7 @@ let build engine kind spec =
         vc_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = Pbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -118,8 +129,15 @@ let build engine kind spec =
     }
   | `Minbft ->
     let bytes = message_bytes spec.kind in
-    let size_of = function
+    (* Hybrid Prepare/Commit always carry a request list (legacy window
+       batching); only charge content-derived bytes under the new batching
+       config so legacy runs (A8 included) keep their flat accounting. *)
+    let size_of =
+      let batched = spec.batching <> None in
+      function
       | Minbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | (Minbft.Prepare { requests; _ } | Minbft.Commit { requests; _ }) when batched ->
+        batch_bytes ~base:bytes ~len:(List.length requests)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -135,6 +153,7 @@ let build engine kind spec =
         max_batch = 16;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = Minbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -154,8 +173,12 @@ let build engine kind spec =
     }
   | `A2m_bft ->
     let bytes = message_bytes spec.kind in
-    let size_of = function
+    let size_of =
+      let batched = spec.batching <> None in
+      function
       | A2m_bft.State_chunk c -> Checkpoint.chunk_bytes c
+      | (A2m_bft.Prepare { requests; _ } | A2m_bft.Commit { requests; _ }) when batched ->
+        batch_bytes ~base:bytes ~len:(List.length requests)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -171,6 +194,7 @@ let build engine kind spec =
         max_batch = 16;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = A2m_bft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -192,6 +216,8 @@ let build engine kind spec =
     let bytes = message_bytes spec.kind in
     let size_of = function
       | Cheapbft.State_chunk c -> Checkpoint.chunk_bytes c
+      | Cheapbft.Prepare_b { requests; _ } | Cheapbft.Commit_b { requests; _ } ->
+        batch_bytes ~base:bytes ~len:(List.length requests)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -206,6 +232,7 @@ let build engine kind spec =
         keychain_master = 0x17E4C0L;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = Cheapbft.start engine fabric config ?behaviors:spec.behaviors () in
@@ -233,6 +260,8 @@ let build engine kind spec =
     let bytes = message_bytes spec.kind in
     let size_of = function
       | Paxos.State_chunk c -> Checkpoint.chunk_bytes c
+      | Paxos.Accept_b { requests; _ } ->
+        batch_bytes ~base:bytes ~len:(List.length requests)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -244,6 +273,7 @@ let build engine kind spec =
         election_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = Paxos.start engine fabric config ?behaviors:spec.behaviors () in
@@ -265,6 +295,8 @@ let build engine kind spec =
     let bytes = message_bytes spec.kind in
     let size_of = function
       | Primary_backup.State_chunk c -> Checkpoint.chunk_bytes c
+      | Primary_backup.Update_b { replies; _ } ->
+        batch_bytes ~base:bytes ~len:(List.length replies)
       | _ -> bytes
     in
     let fabric = make_fabric engine kind ~size_of ~n_endpoints in
@@ -277,6 +309,7 @@ let build engine kind spec =
         detection_timeout = spec.vc_timeout;
         checkpoint = spec.checkpoint;
         multicast = spec.multicast;
+        batching = spec.batching;
       }
     in
     let sys = Primary_backup.start engine fabric config ?behaviors:spec.behaviors () in

@@ -54,6 +54,13 @@ type spec = {
           transport offers one (an [On_soc] fabric does iff the SoC's NoC
           config has [multicast = true]; hubs only when built with
           [~multicast:true]). Off by default. *)
+  batching : Resoc_repl.Types.batching option;
+      (** Cross-protocol request batching + agreement pipelining
+          ({!Resoc_repl.Batcher}), threaded into every protocol's config.
+          Batched flights are the second message class with content-derived
+          NoC size: base protocol bytes plus 16 per extra request (one
+          header/certificate amortized over the batch). [None] (the
+          default) keeps every legacy run byte-identical. *)
   behaviors : Behavior.t array option;
 }
 

@@ -70,7 +70,12 @@ module Histogram = struct
       let sorted = Buf.snapshot t.buf in
       Array.sort Float.compare sorted;
       let p = Float.max 0.0 (Float.min 100.0 p) in
-      let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int (n - 1))) in
+      (* Nearest-rank: smallest sample with at least p% of the mass at or
+         below it, i.e. ceil (p/100 · n) − 1 clamped to [0, n−1]. The
+         previous round (p/100 · (n−1)) was biased upward at small n —
+         p50 of a 2-sample histogram returned the max. *)
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      let rank = if rank < 0 then 0 else if rank > n - 1 then n - 1 else rank in
       sorted.(rank)
     end
 

@@ -53,13 +53,19 @@ let exponential t ~mean =
   let u = if u <= 0.0 then Float.min_float else u in
   -.mean *. log u
 
+(* Endpoints are pinned by test_des: p = 1.0 deterministically returns 0
+   (success on the first trial, no draw consumed); p = 0.0 would divide by
+   log 1.0 = 0 and p > 1.0 makes log (1-p) a NaN, so both are rejected. *)
 let geometric t ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
   if p >= 1.0 then 0
   else
     let u = float t 1.0 in
     let u = if u <= 0.0 then Float.min_float else u in
-    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+    let v = Float.floor (log u /. log (1.0 -. p)) in
+    (* int_of_float is undefined past the int range; a min_float draw at
+       tiny p can push the quotient there. *)
+    if v >= float_of_int max_int then max_int else int_of_float v
 
 let normal t ~mu ~sigma =
   let u1 = float t 1.0 and u2 = float t 1.0 in
@@ -70,9 +76,11 @@ let poisson t ~mean =
   if mean < 0.0 then invalid_arg "Rng.poisson: mean must be non-negative";
   if mean = 0.0 then 0
   else if mean > 500.0 then
-    (* Normal approximation keeps Knuth's product away from underflow. *)
-    let v = normal t ~mu:mean ~sigma:(sqrt mean) in
-    max 0 (int_of_float (Float.round v))
+    (* Normal approximation keeps Knuth's product away from underflow.
+       Round-then-truncate is undefined past the int range, so clamp both
+       tails instead of letting an extreme draw wrap negative. *)
+    let v = Float.round (normal t ~mu:mean ~sigma:(sqrt mean)) in
+    if v <= 0.0 then 0 else if v >= float_of_int max_int then max_int else int_of_float v
   else
     let limit = exp (-.mean) in
     let rec loop k prod =

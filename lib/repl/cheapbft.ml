@@ -10,9 +10,16 @@ module Check = Resoc_check.Check
 type msg =
   | Request of Types.request
   | Prepare of { view : int; request : Types.request; cert : Trinc.attestation }
+  | Prepare_b of { view : int; requests : Types.request list; cert : Trinc.attestation }
   | Commit of {
       view : int;
       request : Types.request;
+      primary_cert : Trinc.attestation;
+      cert : Trinc.attestation;
+    }
+  | Commit_b of {
+      view : int;
+      requests : Types.request list;
       primary_cert : Trinc.attestation;
       cert : Trinc.attestation;
     }
@@ -34,6 +41,7 @@ type config = {
   keychain_master : int64;
   checkpoint : Checkpoint.config option;
   multicast : bool;
+  batching : Types.batching option;
 }
 
 let default_config =
@@ -47,6 +55,7 @@ let default_config =
     keychain_master = 0x17E4C0L;
     checkpoint = None;
     multicast = false;
+    batching = None;
   }
 
 let n_replicas config = (2 * config.f) + 1
@@ -56,13 +65,15 @@ let n_active_initial config = config.f + 1
    a quorum bitset. *)
 type entry = {
   mutable request : Types.request;
+  mutable batch : Types.request list;  (* non-empty iff the counter agreed a batch *)
   mutable commit_votes : Quorum.t;
   mutable executed : bool;
 }
 
 let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
 
-let fresh_entry _ = { request = no_request; commit_votes = Quorum.empty; executed = false }
+let fresh_entry _ =
+  { request = no_request; batch = []; commit_votes = Quorum.empty; executed = false }
 
 let log_retention = 256
 
@@ -105,6 +116,7 @@ type replica = {
   mutable online : bool;
   cp : Checkpoint.t option;  (* active-set checkpoint certificates, None = legacy *)
   mutable recover_timer : Engine.handle option;
+  mutable batcher : Batcher.t option;  (* primary-side batching, None = legacy *)
 }
 
 type t = {
@@ -119,7 +131,9 @@ type t = {
 let message_name = function
   | Request _ -> "request"
   | Prepare _ -> "prepare"
+  | Prepare_b _ -> "prepare-batch"
   | Commit _ -> "commit"
+  | Commit_b _ -> "commit-batch"
   | Update _ -> "update"
   | Activate _ -> "activate"
   | New_view _ -> "new-view"
@@ -238,6 +252,30 @@ let rid_table_list r =
   done;
   !acc
 
+(* One agreed counter carries one request or (batching on) a whole batch;
+   the attestation binds one digest either way. *)
+let entry_digest (e : entry) =
+  if e.batch != [] then Types.batch_digest e.batch else Types.request_digest e.request
+
+(* Execute one request of an agreed counter: reply-cache dedup, execute,
+   retire the pending entry and its view-change timer, answer the client. *)
+let exec_one r (request : Types.request) =
+  let client = request.Types.client and rid = request.Types.rid in
+  let c = rid_slot r client in
+  let result =
+    if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+    else begin
+      let result = App.execute r.app request.Types.payload in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result;
+      result
+    end
+  in
+  let digest = Types.request_digest request in
+  Hashtbl.remove r.pending digest;
+  cancel_request_timer r digest;
+  reply_to_client r request result
+
 let rec try_execute r =
   let next = Int64.add r.last_exec_counter 1L in
   let next_i = Int64.to_int next in
@@ -258,28 +296,24 @@ let rec try_execute r =
           ~high:(Checkpoint.high cp)
           ~faulty:(Behavior.is_faulty r.behavior)
       | Some _ | None -> ());
-      if r.chk >= 0 then
+      if r.chk >= 0 then begin
         Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
-          ~digest:(Types.request_digest e.request)
+          ~digest:(entry_digest e)
           ~signers:(Quorum.count e.commit_votes)
           ~quorum:(commit_quorum r)
           ~faulty:(Behavior.is_faulty r.behavior);
-      let request = e.request in
-      let client = request.Types.client and rid = request.Types.rid in
-      let c = rid_slot r client in
-      let result =
-        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
-        else begin
-          let result = App.execute r.app request.Types.payload in
-          r.rid_last.(c) <- rid;
-          r.rid_result.(c) <- result;
-          result
+        if e.batch != [] then begin
+          let len = List.length e.batch in
+          List.iteri
+            (fun pos (req : Types.request) ->
+              Check.batch_commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i ~pos ~len
+                ~client:req.Types.client ~rid:req.Types.rid
+                ~faulty:(Behavior.is_faulty r.behavior))
+            e.batch
         end
-      in
-      let digest = Types.request_digest request in
-      Hashtbl.remove r.pending digest;
-      cancel_request_timer r digest;
-      reply_to_client r request result;
+      end;
+      if e.batch != [] then List.iter (exec_one r) e.batch else exec_one r e.request;
+      (match r.batcher with Some b -> Batcher.kick b | None -> ());
       (match r.cp with
       | None ->
         Slot_ring.release r.log (next_i - log_retention);
@@ -351,8 +385,8 @@ let log_suffix (r : replica) ~from =
     let slot = Slot_ring.slot r.log !seq in
     if slot >= 0 then begin
       let e = Slot_ring.entry r.log slot in
-      if e.executed && e.request != no_request then begin
-        acc := (!seq, [ e.request ]) :: !acc;
+      if e.executed && (e.request != no_request || e.batch != []) then begin
+        acc := (!seq, if e.batch != [] then e.batch else [ e.request ]) :: !acc;
         incr seq
       end
       else continue := false
@@ -480,6 +514,18 @@ let note_entry r ~counter ~request ~voter =
   let entry, fresh = Slot_ring.bind r.log (Int64.to_int counter) in
   if fresh then begin
     entry.request <- request;
+    entry.batch <- [];
+    entry.commit_votes <- Quorum.empty;
+    entry.executed <- false
+  end;
+  entry.commit_votes <- Quorum.add entry.commit_votes voter;
+  entry
+
+let note_entry_b r ~counter ~requests ~voter =
+  let entry, fresh = Slot_ring.bind r.log (Int64.to_int counter) in
+  if fresh then begin
+    entry.request <- no_request;
+    entry.batch <- requests;
     entry.commit_votes <- Quorum.empty;
     entry.executed <- false
   end;
@@ -495,6 +541,15 @@ let send_own_commit r ~view ~request ~(primary_cert : Trinc.attestation) =
     broadcast r ~to_:(active_others r) (Commit { view; request; primary_cert; cert });
     try_execute r
 
+let send_own_commit_b r ~view ~requests ~(primary_cert : Trinc.attestation) =
+  let digest = Types.batch_digest requests in
+  match make_cert r digest with
+  | Error _ -> ()
+  | Ok cert ->
+    ignore (note_entry_b r ~counter:primary_cert.Trinc.current ~requests ~voter:r.id);
+    broadcast r ~to_:(active_others r) (Commit_b { view; requests; primary_cert; cert });
+    try_execute r
+
 let order_request r (request : Types.request) =
   let digest = Types.request_digest request in
   if not (Digest_map.mem r.ordered digest) then
@@ -504,6 +559,22 @@ let order_request r (request : Types.request) =
       Digest_map.set r.ordered digest 0;
       ignore (note_entry r ~counter:cert.Trinc.current ~request ~voter:r.id);
       broadcast r ~to_:(active_others r) (Prepare { view = r.view; request; cert });
+      try_execute r
+
+(* Batched ordering: one TrInc attestation covers the whole list (the
+   counter advances once per batch), one Prepare_b flight per active
+   peer. [Batcher.seal] callers never hand over an empty or
+   already-ordered list (the [on_request] dedup guard). *)
+let order_batch r (requests : Types.request list) =
+  if requests <> [] then
+    match make_cert r (Types.batch_digest requests) with
+    | Error _ -> ()
+    | Ok cert ->
+      List.iter
+        (fun (req : Types.request) -> Digest_map.set r.ordered (Types.request_digest req) 0)
+        requests;
+      ignore (note_entry_b r ~counter:cert.Trinc.current ~requests ~voter:r.id);
+      broadcast r ~to_:(active_others r) (Prepare_b { view = r.view; requests; cert });
       try_execute r
 
 (* Actives ship attested state to the passive set periodically; one sender
@@ -521,6 +592,7 @@ let ship_updates r =
   end
 
 let adopt_new_view r ~view ~base ~state ~rid_table =
+  (match r.batcher with Some b -> Batcher.clear b | None -> ());
   (match r.cp with
   | Some cp ->
     cancel_recover_timer r;
@@ -602,12 +674,19 @@ let on_request r (request : Types.request) =
     reply_to_client r request r.rid_result.(c)
   end
   else begin
+    let was_pending = Hashtbl.mem r.pending digest in
     Hashtbl.replace r.pending digest request;
     (* Every replica — the primary included — watches the request: in the
        all-active configuration a single silent active denies the quorum,
        and someone must call for the transition. *)
     start_vc_timer r digest;
-    if is_primary r && r.is_active then order_request r request
+    if is_primary r && r.is_active then (
+      match r.batcher with
+      | Some b ->
+        (* Retransmissions of a request already buffered (still pending)
+           or already ordered must not enter a second batch. *)
+        if not (was_pending || Digest_map.mem r.ordered digest) then Batcher.add b request
+      | None -> order_request r request)
     else send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request)
   end
 
@@ -625,6 +704,27 @@ let on_prepare r ~src ~view ~request ~(cert : Trinc.attestation) =
     else if Hashtbl.mem r.pending digest then start_vc_timer r digest
   end
 
+let on_prepare_b r ~src ~view ~requests ~(cert : Trinc.attestation) =
+  if view = r.view && r.is_active && src = primary_of ~view ~n:r.n
+     && cert.Trinc.signer = src && requests <> []
+  then begin
+    let digest = Types.batch_digest requests in
+    if verify_cert r ~digest cert && continuity_ok r ~signer:src ~counter:cert.Trinc.current
+    then begin
+      List.iter
+        (fun (req : Types.request) -> Hashtbl.replace r.pending (Types.request_digest req) req)
+        requests;
+      ignore (note_entry_b r ~counter:cert.Trinc.current ~requests ~voter:src);
+      send_own_commit_b r ~view ~requests ~primary_cert:cert
+    end
+    else
+      List.iter
+        (fun (req : Types.request) ->
+          let d = Types.request_digest req in
+          if Hashtbl.mem r.pending d then start_vc_timer r d)
+        requests
+  end
+
 let on_commit r ~src ~view ~request ~(primary_cert : Trinc.attestation)
     ~(cert : Trinc.attestation) =
   if view = r.view && r.is_active && cert.Trinc.signer = src
@@ -638,6 +738,24 @@ let on_commit r ~src ~view ~request ~(primary_cert : Trinc.attestation)
         (note_entry r ~counter:primary_cert.Trinc.current ~request
            ~voter:primary_cert.Trinc.signer);
       ignore (note_entry r ~counter:primary_cert.Trinc.current ~request ~voter:src);
+      try_execute r
+    end
+  end
+
+let on_commit_b r ~src ~view ~requests ~(primary_cert : Trinc.attestation)
+    ~(cert : Trinc.attestation) =
+  if view = r.view && r.is_active && cert.Trinc.signer = src
+     && primary_cert.Trinc.signer = primary_of ~view ~n:r.n
+     && requests <> []
+  then begin
+    let digest = Types.batch_digest requests in
+    if verify_cert r ~digest primary_cert && verify_cert r ~digest cert
+       && continuity_ok r ~signer:src ~counter:cert.Trinc.current
+    then begin
+      ignore
+        (note_entry_b r ~counter:primary_cert.Trinc.current ~requests
+           ~voter:primary_cert.Trinc.signer);
+      ignore (note_entry_b r ~counter:primary_cert.Trinc.current ~requests ~voter:src);
       try_execute r
     end
   end
@@ -678,8 +796,11 @@ let handle (r : replica) ~src msg =
     match msg with
     | Request request -> on_request r request
     | Prepare { view; request; cert } -> on_prepare r ~src ~view ~request ~cert
+    | Prepare_b { view; requests; cert } -> on_prepare_b r ~src ~view ~requests ~cert
     | Commit { view; request; primary_cert; cert } ->
       on_commit r ~src ~view ~request ~primary_cert ~cert
+    | Commit_b { view; requests; primary_cert; cert } ->
+      on_commit_b r ~src ~view ~requests ~primary_cert ~cert
     | Update { view; upto; state; rid_table } -> on_update r ~view ~upto ~state ~rid_table
     | Activate { new_view } -> on_activate r ~src ~new_view
     | New_view { view; base; state; rid_table } -> on_new_view r ~src ~view ~base ~state ~rid_table
@@ -735,7 +856,29 @@ let make_replica engine fabric config keychain stats ~id ~behavior ~chk =
       | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:(config.f + 1))
       | None -> None);
     recover_timer = None;
+    batcher = None;
   }
+
+(* Built after the replica record so the pipeline gate can read the live
+   sequencing state: the TrInc counter is the sequence number here, so
+   in-flight instances = attested counter − execution frontier, and no
+   attestation may step past the checkpoint high watermark. *)
+let attach_batcher engine (r : replica) =
+  match r.config.batching with
+  | Some b when Batcher.active b ->
+    let attested () = Int64.to_int (fst (Register.read (Trinc.counter_register r.trinc))) in
+    let ready () =
+      let a = attested () in
+      a - Int64.to_int r.last_exec_counter < b.Types.pipeline_depth
+      &&
+      match r.cp with
+      | Some cp when not !Checkpoint.test_ignore_watermarks -> a + 1 <= Checkpoint.high cp
+      | Some _ | None -> true
+    in
+    let occupancy () = attested () - Int64.to_int r.last_exec_counter in
+    r.batcher <-
+      Some (Batcher.create ~engine ~cfg:b ~seal:(fun reqs -> order_batch r reqs) ~ready ~occupancy)
+  | Some _ | None -> ()
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
@@ -758,6 +901,7 @@ let start engine fabric config ?behaviors () =
   in
   Array.iter
     (fun r ->
+      attach_batcher engine r;
       fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg);
       Engine.every engine ~period:config.update_period (fun () -> ship_updates r))
     replicas;
@@ -790,6 +934,7 @@ let set_offline t ~replica =
   let r = t.replicas.(replica) in
   if r.online then begin
     r.online <- false;
+    (match r.batcher with Some b -> Batcher.clear b | None -> ());
     cancel_recover_timer r;
     Digest_map.iter (fun _ h -> Engine.cancel t.engine h) r.timers;
     Digest_map.reset r.timers

@@ -21,9 +21,19 @@ module Trinc = Resoc_hybrid.Trinc
 type msg =
   | Request of Types.request
   | Prepare of { view : int; request : Types.request; cert : Trinc.attestation }
+  | Prepare_b of { view : int; requests : Types.request list; cert : Trinc.attestation }
+      (** Batched ordering ([config.batching]): one attestation — and one
+          TrInc counter step — covers the whole list; [cert] binds
+          [Types.batch_digest requests]. *)
   | Commit of {
       view : int;
       request : Types.request;
+      primary_cert : Trinc.attestation;
+      cert : Trinc.attestation;
+    }
+  | Commit_b of {
+      view : int;
+      requests : Types.request list;
       primary_cert : Trinc.attestation;
       cert : Trinc.attestation;
     }
@@ -55,6 +65,10 @@ type config = {
       (** Route replica fan-outs through the fabric's multicast (one
           injection forking in the network) when it offers one; off
           (the default) = per-destination unicast. *)
+  batching : Types.batching option;
+      (** Primary-side request batching + agreement pipelining
+          ({!Batcher}); [None] (the default) keeps the legacy
+          one-instance-per-request path byte-identical. *)
 }
 
 val default_config : config

@@ -54,6 +54,7 @@ module type S = sig
     max_batch : int;
     checkpoint : Checkpoint.config option;
     multicast : bool;
+    batching : Types.batching option;
   }
 
   val default_config : config
@@ -108,6 +109,10 @@ module Make (H : HYBRID) = struct
     max_batch : int;  (* flush early when the buffer reaches this size *)
     checkpoint : Checkpoint.config option;  (* None = legacy retention GC *)
     multicast : bool;  (* route fan-outs through the fabric's multicast *)
+    batching : Types.batching option;
+        (* the cross-protocol batching/pipelining config; when active it
+           supersedes the legacy batch_window/max_batch fields and adds
+           the pipeline-depth gate. None = legacy behaviour. *)
   }
 
   let default_config =
@@ -122,6 +127,7 @@ module Make (H : HYBRID) = struct
       max_batch = 16;
       checkpoint = None;
       multicast = false;
+      batching = None;
     }
 
   let n_replicas config = (2 * config.f) + 1
@@ -175,6 +181,7 @@ module Make (H : HYBRID) = struct
     chk : int;  (* resoc_check session, -1 when checking is off *)
     cp : Checkpoint.t option;  (* None = checkpointing disabled (default) *)
     mutable recover_timer : Engine.handle option;
+    mutable batcher : Batcher.t option;  (* config.batching; None = legacy *)
   }
 
   type t = {
@@ -320,11 +327,9 @@ module Make (H : HYBRID) = struct
     reply_to_client r request result
 
   (* One certificate covers a whole batch: the digest chains the requests in
-     order, so verifiers agree on both membership and sequence. *)
-  let batch_digest requests =
-    List.fold_left
-      (fun acc req -> Hash.combine acc (Types.request_digest req))
-      (Hash.of_string "batch") requests
+     order, so verifiers agree on both membership and sequence. The shared
+     definition computes exactly the historical per-protocol fold. *)
+  let batch_digest = Types.batch_digest
 
   let rec try_execute r =
     let next = Int64.add r.last_exec_counter 1L in
@@ -347,17 +352,28 @@ module Make (H : HYBRID) = struct
           | Some _ | None -> ());
           e.executed <- true;
           r.last_exec_counter <- next;
-          if r.chk >= 0 then
+          if r.chk >= 0 then begin
             Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i
               ~digest:(batch_digest e.requests)
               ~signers:(Quorum.count e.commit_votes)
               ~quorum:(r.f + 1)
               ~faulty:(Behavior.is_faulty r.behavior);
+            (* The batch is this protocol's native unit, so the atomicity
+               invariant covers singletons and legacy-window batches too. *)
+            let len = List.length e.requests in
+            List.iteri
+              (fun pos (req : Types.request) ->
+                Check.batch_commit ~session:r.chk ~replica:r.id ~view:r.view ~seq:next_i ~pos
+                  ~len ~client:req.Types.client ~rid:req.Types.rid
+                  ~faulty:(Behavior.is_faulty r.behavior))
+              e.requests
+          end;
           if !Obs.trace_on then
             Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
               ~id:(Obs.repl_counter_span ~replica:r.id ~counter:next_i)
               ~arg:(List.length e.requests);
           List.iter (execute_one r) e.requests;
+          (match r.batcher with Some b -> Batcher.kick b | None -> ());
           (match r.cp with
           | None ->
             Slot_ring.release r.log (next_i - Int64.to_int log_retention);
@@ -653,6 +669,7 @@ module Make (H : HYBRID) = struct
     Digest_map.reset r.timers;
     r.batch_buffer <- [];
     r.flush_scheduled <- false;
+    (match r.batcher with Some b -> Batcher.clear b | None -> ());
     (* Counter expectations restart from whatever peers send next. *)
     Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
     (match r.cp with
@@ -675,6 +692,11 @@ module Make (H : HYBRID) = struct
           compare (a.Types.client, a.Types.rid) (b.Types.client, b.Types.rid))
         pending
     in
+    let chunk_size =
+      match r.config.batching with
+      | Some b when Batcher.active b -> max 1 b.Types.max_batch
+      | Some _ | None -> max 1 r.config.max_batch
+    in
     let rec chunks = function
       | [] -> ()
       | rest ->
@@ -682,7 +704,7 @@ module Make (H : HYBRID) = struct
           | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
           | tl -> (List.rev acc, tl)
         in
-        let batch, tl = take (max 1 r.config.max_batch) [] rest in
+        let batch, tl = take chunk_size [] rest in
         order_batch r batch;
         chunks tl
     in
@@ -721,8 +743,15 @@ module Make (H : HYBRID) = struct
         Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
           ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
           ~arg:0;
+      let was_pending = Hashtbl.mem r.pending digest in
       Hashtbl.replace r.pending digest request;
-      if is_primary r then order_request r request
+      if is_primary r then (
+        match r.batcher with
+        | Some b ->
+          (* Retransmissions of a request already buffered (still pending)
+             or already ordered must not enter a second batch. *)
+          if not (was_pending || Digest_map.mem r.ordered digest) then Batcher.add b request
+        | None -> order_request r request)
       else begin
         send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
         start_vc_timer r digest
@@ -846,7 +875,30 @@ module Make (H : HYBRID) = struct
         | Some c -> Some (Checkpoint.create c ~obs ~quorum:(config.f + 1))
         | None -> None);
       recover_timer = None;
+      batcher = None;
     }
+
+  (* Built after the replica record so the pipeline gate can read the live
+     sequencing state: in-flight instances = the hybrid's attested counter
+     minus the execution frontier, and no certificate may step past the
+     checkpoint high watermark. *)
+  let attach_batcher engine (r : replica) =
+    match r.config.batching with
+    | Some b when Batcher.active b ->
+      let attested () = Int64.to_int (H.current_counter r.hybrid_instance) in
+      let ready () =
+        let a = attested () in
+        a - Int64.to_int r.last_exec_counter < b.Types.pipeline_depth
+        &&
+        match r.cp with
+        | Some cp when not !Checkpoint.test_ignore_watermarks -> a + 1 <= Checkpoint.high cp
+        | Some _ | None -> true
+      in
+      let occupancy () = attested () - Int64.to_int r.last_exec_counter in
+      r.batcher <-
+        Some
+          (Batcher.create ~engine ~cfg:b ~seal:(fun reqs -> order_batch r reqs) ~ready ~occupancy)
+    | Some _ | None -> ()
 
   let start engine fabric config ?behaviors () =
     let n = n_replicas config in
@@ -868,7 +920,9 @@ module Make (H : HYBRID) = struct
           make_replica engine fabric config keychain stats ~id ~behavior:behaviors.(id) ~chk)
     in
     Array.iter
-      (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+      (fun r ->
+        attach_batcher engine r;
+        fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
       replicas;
     let clients =
       Array.init config.n_clients (fun i ->
@@ -901,6 +955,7 @@ module Make (H : HYBRID) = struct
   let set_offline t ~replica =
     let r = t.replicas.(replica) in
     r.online <- false;
+    (match r.batcher with Some b -> Batcher.clear b | None -> ());
     Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
     Digest_map.reset r.timers;
     cancel_recover_timer r
@@ -953,6 +1008,7 @@ module Make (H : HYBRID) = struct
         Hashtbl.reset r.pending;
         r.batch_buffer <- [];
         r.flush_scheduled <- false;
+        (match r.batcher with Some b -> Batcher.clear b | None -> ());
         Array.fill r.baseline_pending 0 (Array.length r.baseline_pending) true;
         Checkpoint.reset cp;
         start_recovery r cp

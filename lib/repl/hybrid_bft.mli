@@ -90,6 +90,13 @@ module type S = sig
         (** Route replica fan-outs through the fabric's multicast (one
             injection forking in the network) when it offers one; off
             (the default) = per-destination unicast. *)
+    batching : Types.batching option;
+        (** The cross-protocol batching + pipelining config ({!Batcher}).
+            When active it supersedes the legacy [batch_window]/[max_batch]
+            fields and additionally bounds in-flight agreement instances by
+            [pipeline_depth] and the checkpoint high watermark. [None]
+            (the default) keeps the legacy behaviour byte-identical —
+            including the A8 ablation's window sweep. *)
   }
 
   val default_config : config

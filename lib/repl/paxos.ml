@@ -6,6 +6,7 @@ module Check = Resoc_check.Check
 type msg =
   | Request of Types.request
   | Accept of { term : int; seq : int; request : Types.request }
+  | Accept_b of { term : int; seq : int; requests : Types.request list }
   | Accepted of { term : int; seq : int }
   | Commit of { term : int; seq : int }
   | Reply of Types.reply
@@ -22,6 +23,7 @@ type config = {
   election_timeout : int;
   checkpoint : Checkpoint.config option;
   multicast : bool;
+  batching : Types.batching option;
 }
 
 let default_config =
@@ -32,6 +34,7 @@ let default_config =
     election_timeout = 2500;
     checkpoint = None;
     multicast = false;
+    batching = None;
   }
 
 let n_replicas config = (2 * config.f) + 1
@@ -41,6 +44,7 @@ let n_replicas config = (2 * config.f) + 1
    ring warms up. *)
 type entry = {
   mutable request : Types.request;
+  mutable batch : Types.request list;  (* non-empty iff the slot agreed a batch *)
   mutable acks : Quorum.t;
   mutable committed : bool;
   mutable executed : bool;
@@ -48,7 +52,8 @@ type entry = {
 
 let no_request : Types.request = { Types.client = -1; rid = -1; payload = 0L }
 
-let fresh_entry _ = { request = no_request; acks = Quorum.empty; committed = false; executed = false }
+let fresh_entry _ =
+  { request = no_request; batch = []; acks = Quorum.empty; committed = false; executed = false }
 
 type replica = {
   id : int;
@@ -79,6 +84,7 @@ type replica = {
   chk : int;  (* resoc_check session, -1 when checking is off *)
   cp : Checkpoint.t option;  (* checkpoint certificates, None = legacy *)
   mutable recover_timer : Engine.handle option;
+  mutable batcher : Batcher.t option;  (* leader-side batching, None = legacy *)
 }
 
 type t = {
@@ -92,6 +98,7 @@ type t = {
 let message_name = function
   | Request _ -> "request"
   | Accept _ -> "accept"
+  | Accept_b _ -> "accept-batch"
   | Accepted _ -> "accepted"
   | Commit _ -> "commit"
   | Reply _ -> "reply"
@@ -194,6 +201,30 @@ let reply_to_client r (request : Types.request) result =
 
 let log_retention = 256
 
+(* One agreed slot carries one request or (batching on) a whole batch;
+   agreement keys on one digest either way. *)
+let entry_digest (e : entry) =
+  if e.batch != [] then Types.batch_digest e.batch else Types.request_digest e.request
+
+(* Execute one request of an agreed slot: reply-cache dedup, execute,
+   retire the pending entry and its election timer, answer the client. *)
+let exec_one r (request : Types.request) =
+  let client = request.Types.client and rid = request.Types.rid in
+  let c = rid_slot r client in
+  let result =
+    if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+    else begin
+      let result = App.execute r.app request.Types.payload in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result;
+      result
+    end
+  in
+  let digest = Types.request_digest request in
+  Hashtbl.remove r.pending digest;
+  cancel_request_timer r digest;
+  reply_to_client r request result
+
 let rec try_execute r =
   let next = r.last_exec + 1 in
   let gate_ok =
@@ -213,29 +244,24 @@ let rec try_execute r =
           ~high:(Checkpoint.high cp)
           ~faulty:(Behavior.is_faulty r.behavior)
       | Some _ | None -> ());
-      if r.chk >= 0 then
+      if r.chk >= 0 then begin
         (* [-1] signers: followers apply leader decisions without a local
            certificate; the leader's quorum is checked in [on_accepted]. *)
         Check.commit ~session:r.chk ~replica:r.id ~view:r.term ~seq:r.last_exec
-          ~digest:(Types.request_digest e.request)
-          ~signers:(-1) ~quorum:(r.f + 1)
+          ~digest:(entry_digest e) ~signers:(-1) ~quorum:(r.f + 1)
           ~faulty:(Behavior.is_faulty r.behavior);
-      let request = e.request in
-      let client = request.Types.client and rid = request.Types.rid in
-      let c = rid_slot r client in
-      let result =
-        if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
-        else begin
-          let result = App.execute r.app request.Types.payload in
-          r.rid_last.(c) <- rid;
-          r.rid_result.(c) <- result;
-          result
+        if e.batch != [] then begin
+          let len = List.length e.batch in
+          List.iteri
+            (fun pos (req : Types.request) ->
+              Check.batch_commit ~session:r.chk ~replica:r.id ~view:r.term ~seq:next ~pos ~len
+                ~client:req.Types.client ~rid:req.Types.rid
+                ~faulty:(Behavior.is_faulty r.behavior))
+            e.batch
         end
-      in
-      let digest = Types.request_digest request in
-      Hashtbl.remove r.pending digest;
-      cancel_request_timer r digest;
-      reply_to_client r request result;
+      end;
+      if e.batch != [] then List.iter (exec_one r) e.batch else exec_one r e.request;
+      (match r.batcher with Some b -> Batcher.kick b | None -> ());
       (match r.cp with
       | None ->
         Slot_ring.release r.log (r.last_exec - log_retention);
@@ -305,8 +331,8 @@ let log_suffix (r : replica) ~from =
     let slot = Slot_ring.slot r.log !seq in
     if slot >= 0 then begin
       let e = Slot_ring.entry r.log slot in
-      if e.executed && e.request != no_request then begin
-        acc := (!seq, [ e.request ]) :: !acc;
+      if e.executed && (e.request != no_request || e.batch != []) then begin
+        acc := (!seq, if e.batch != [] then e.batch else [ e.request ]) :: !acc;
         incr seq
       end
       else continue := false
@@ -409,7 +435,31 @@ let order_request r (request : Types.request) =
     broadcast r ~to_:r.peer_ids (Accept { term = r.term; seq; request })
   end
 
+(* Batched ordering: the whole list shares one slot, one Accept_b flight
+   per follower, one ack round. [Batcher.seal] callers never hand over an
+   empty or already-ordered list (the [on_request] dedup guard). *)
+let order_batch r (requests : Types.request list) =
+  if requests <> [] then begin
+    let seq = r.next_seq in
+    r.next_seq <- r.next_seq + 1;
+    List.iter
+      (fun (req : Types.request) -> Digest_map.set r.ordered (Types.request_digest req) seq)
+      requests;
+    let e, fresh = Slot_ring.bind r.log seq in
+    if fresh then begin
+      e.request <- no_request;
+      e.batch <- requests;
+      e.acks <- Quorum.empty;
+      e.committed <- false;
+      e.executed <- false
+    end
+    else e.batch <- requests;
+    e.acks <- Quorum.add e.acks r.id;
+    broadcast r ~to_:r.peer_ids (Accept_b { term = r.term; seq; requests })
+  end
+
 let adopt_new_term r ~term ~start_seq ~state ~rid_table =
+  (match r.batcher with Some b -> Batcher.clear b | None -> ());
   (match r.cp with
   | Some cp ->
     cancel_recover_timer r;
@@ -479,8 +529,15 @@ let on_request r (request : Types.request) =
   if r.rid_last.(c) <> min_int && request.Types.rid <= r.rid_last.(c) then
     reply_to_client r request r.rid_result.(c)
   else begin
+    let was_pending = Hashtbl.mem r.pending digest in
     Hashtbl.replace r.pending digest request;
-    if is_leader r then order_request r request
+    if is_leader r then (
+      match r.batcher with
+      | Some b ->
+        (* Retransmissions of a request already buffered (still pending)
+           or already ordered must not enter a second batch. *)
+        if not (was_pending || Digest_map.mem r.ordered digest) then Batcher.add b request
+      | None -> order_request r request)
     else begin
       send r ~dst:(leader_of ~term:r.term ~n:r.n) (Request request);
       start_election_timer r digest
@@ -500,6 +557,22 @@ let on_accept r ~src ~term ~seq ~request =
     send r ~dst:src (Accepted { term; seq })
   end
 
+let on_accept_b r ~src ~term ~seq ~requests =
+  if term = r.term && src = leader_of ~term ~n:r.n && (not (is_leader r)) && requests <> [] then begin
+    List.iter
+      (fun (req : Types.request) -> Hashtbl.replace r.pending (Types.request_digest req) req)
+      requests;
+    let e, fresh = Slot_ring.bind r.log seq in
+    if fresh then begin
+      e.request <- no_request;
+      e.batch <- requests;
+      e.acks <- Quorum.empty;
+      e.committed <- false;
+      e.executed <- false
+    end;
+    send r ~dst:src (Accepted { term; seq })
+  end
+
 let on_accepted r ~src ~term ~seq =
   if term = r.term && is_leader r then begin
     let slot = Slot_ring.slot r.log seq in
@@ -510,8 +583,7 @@ let on_accepted r ~src ~term ~seq =
         if Quorum.reached e.acks ~threshold:(r.f + 1) then begin
           e.committed <- true;
           if r.chk >= 0 then
-            Check.commit ~session:r.chk ~replica:r.id ~view:r.term ~seq
-              ~digest:(Types.request_digest e.request)
+            Check.commit ~session:r.chk ~replica:r.id ~view:r.term ~seq ~digest:(entry_digest e)
               ~signers:(Quorum.count e.acks)
               ~quorum:(r.f + 1)
               ~faulty:(Behavior.is_faulty r.behavior);
@@ -541,6 +613,7 @@ let handle (r : replica) ~src msg =
     match msg with
     | Request request -> on_request r request
     | Accept { term; seq; request } -> on_accept r ~src ~term ~seq ~request
+    | Accept_b { term; seq; requests } -> on_accept_b r ~src ~term ~seq ~requests
     | Accepted { term; seq } -> on_accepted r ~src ~term ~seq
     | Commit { term; seq } -> on_commit r ~src ~term ~seq
     | Term_change { new_term; last_exec } -> on_term_change r ~src ~new_term ~last_exec
@@ -584,7 +657,27 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
       | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:(config.f + 1))
       | None -> None);
     recover_timer = None;
+    batcher = None;
   }
+
+(* Built after the replica record so the pipeline gate can read the live
+   sequencing state: at most [pipeline_depth] agreement instances between
+   the next proposal and the execution frontier, and never a proposal
+   past the checkpoint high watermark. *)
+let attach_batcher engine (r : replica) =
+  match r.config.batching with
+  | Some b when Batcher.active b ->
+    let ready () =
+      r.next_seq - r.last_exec - 1 < b.Types.pipeline_depth
+      &&
+      match r.cp with
+      | Some cp when not !Checkpoint.test_ignore_watermarks -> r.next_seq <= Checkpoint.high cp
+      | Some _ | None -> true
+    in
+    let occupancy () = r.next_seq - r.last_exec - 1 in
+    r.batcher <-
+      Some (Batcher.create ~engine ~cfg:b ~seal:(fun reqs -> order_batch r reqs) ~ready ~occupancy)
+  | Some _ | None -> ()
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
@@ -604,7 +697,9 @@ let start engine fabric config ?behaviors () =
     Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
-    (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+    (fun r ->
+      attach_batcher engine r;
+      fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
     replicas;
   let clients =
     Array.init config.n_clients (fun i ->
@@ -633,6 +728,7 @@ let replica_online t ~replica = t.replicas.(replica).online
 let set_offline t ~replica =
   let r = t.replicas.(replica) in
   r.online <- false;
+  (match r.batcher with Some b -> Batcher.clear b | None -> ());
   cancel_recover_timer r;
   Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Digest_map.reset r.timers

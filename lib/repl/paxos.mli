@@ -12,6 +12,10 @@ module Behavior = Resoc_fault.Behavior
 type msg =
   | Request of Types.request
   | Accept of { term : int; seq : int; request : Types.request }
+  | Accept_b of { term : int; seq : int; requests : Types.request list }
+      (** Batched ordering ([config.batching]): the list shares one slot
+          and one ack round; agreement keys on
+          [Types.batch_digest requests]. *)
   | Accepted of { term : int; seq : int }
   | Commit of { term : int; seq : int }
   | Reply of Types.reply
@@ -36,6 +40,10 @@ type config = {
       (** Route replica fan-outs through the fabric's multicast (one
           injection forking in the network) when it offers one; off
           (the default) = per-destination unicast. *)
+  batching : Types.batching option;
+      (** Leader-side request batching + agreement pipelining
+          ({!Batcher}); [None] (the default) keeps the legacy
+          one-instance-per-request path byte-identical. *)
 }
 
 val default_config : config

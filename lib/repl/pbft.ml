@@ -9,6 +9,10 @@ module Check = Resoc_check.Check
 type msg =
   | Request of Types.request
   | Pre_prepare of { view : int; seq : int; digest : Hash.t; request : Types.request }
+  | Pre_prepare_b of { view : int; seq : int; digest : Hash.t; requests : Types.request list }
+      (* Batched ordering: one instance covers the whole request list
+         (digest = Types.batch_digest). One NoC flight per destination
+         carries every payload; Prepare/Commit are unchanged. *)
   | Prepare of { view : int; seq : int; digest : Hash.t }
   | Commit of { view : int; seq : int; digest : Hash.t }
   | Reply of Types.reply
@@ -25,6 +29,7 @@ type config = {
   vc_timeout : int;
   checkpoint : Checkpoint.config option;
   multicast : bool;
+  batching : Types.batching option;
 }
 
 let default_config =
@@ -35,6 +40,7 @@ let default_config =
     vc_timeout = 2500;
     checkpoint = None;
     multicast = false;
+    batching = None;
   }
 
 let n_replicas config = (3 * config.f) + 1
@@ -47,6 +53,7 @@ type entry = {
   mutable e_view : int;
   mutable digest : Hash.t;
   mutable request : Types.request;  (* == no_request when unknown *)
+  mutable batch : Types.request list;  (* batched instance payloads; [] = unbatched *)
   mutable prepares : Quorum.t;
   mutable commits : Quorum.t;
   mutable sent_commit : bool;
@@ -61,6 +68,7 @@ let fresh_entry _ =
     e_view = -1;
     digest = Hash.zero;
     request = no_request;
+    batch = [];
     prepares = Quorum.empty;
     commits = Quorum.empty;
     sent_commit = false;
@@ -97,6 +105,7 @@ type replica = {
   peer_ids : int array;  (* 0 .. n-1 minus self *)
   mcast : (src:int -> dsts:int array -> n:int -> msg -> unit) option;
       (* fabric multicast, resolved once; None = per-destination sends *)
+  mutable batcher : Batcher.t option;  (* Some iff config.batching is active *)
   obs : Obs.t;
   obs_vc : int;
   chk : int;  (* resoc_check session, -1 when checking is off *)
@@ -116,6 +125,7 @@ type t = {
 let message_name = function
   | Request _ -> "request"
   | Pre_prepare _ -> "pre-prepare"
+  | Pre_prepare_b _ -> "pre-prepare-batch"
   | Prepare _ -> "prepare"
   | Commit _ -> "commit"
   | Reply _ -> "reply"
@@ -171,6 +181,7 @@ let entry_for r ~view ~seq ~digest =
     e.e_view <- view;
     e.digest <- digest;
     e.request <- no_request;
+    e.batch <- [];
     e.prepares <- Quorum.empty;
     e.commits <- Quorum.empty;
     e.sent_commit <- false;
@@ -234,6 +245,34 @@ let log_retention = 256
    would otherwise accumulate in the overflow array for the whole run. *)
 let prune_margin = 1 lsl 15
 
+(* An entry carries its payload once the Pre_prepare (single or batched)
+   arrived; until then Prepare/Commit quorums may gather but nothing can
+   commit or execute. *)
+let entry_filled (e : entry) = e.request != no_request || e.batch != []
+
+(* Per-request execution tail, shared by single and batched instances:
+   exactly-once via the rid cache, pending/timer cleanup, reply. *)
+let exec_one r (request : Types.request) =
+  let client = request.Types.client and rid = request.Types.rid in
+  let c = rid_slot r client in
+  let result =
+    if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+    else begin
+      let result = App.execute r.app request.Types.payload in
+      r.rid_last.(c) <- rid;
+      r.rid_result.(c) <- result;
+      result
+    end
+  in
+  let digest = Types.request_digest request in
+  Hashtbl.remove r.pending digest;
+  cancel_request_timer r digest;
+  if !Obs.trace_on then
+    Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+      ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
+      ~arg:0;
+  reply_to_client r request result
+
 (* Execute committed entries in sequence order. The rid table provides
    exactly-once semantics per client and caches the last reply. With
    checkpointing on, execution additionally (a) refuses to pass the
@@ -250,39 +289,21 @@ let rec try_execute r =
     let slot = Slot_ring.slot r.log seq in
     if slot >= 0 then begin
       let e = Slot_ring.entry r.log slot in
-      if e.committed && (not e.executed) && e.request != no_request then begin
+      if e.committed && (not e.executed) && entry_filled e then begin
         (match r.cp with
         | Some cp when r.chk >= 0 ->
           Check.exec_window ~session:r.chk ~replica:r.id ~seq ~low:(Checkpoint.low cp)
             ~high:(Checkpoint.high cp)
             ~faulty:(Behavior.is_faulty r.behavior)
         | Some _ | None -> ());
-        let request = e.request in
         e.executed <- true;
         r.last_exec <- r.last_exec + 1;
         if !Obs.trace_on then
           Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
             ~id:(Obs.repl_counter_span ~replica:r.id ~counter:r.last_exec)
             ~arg:0;
-        let client = request.Types.client and rid = request.Types.rid in
-        let c = rid_slot r client in
-        let result =
-          if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
-          else begin
-            let result = App.execute r.app request.Types.payload in
-            r.rid_last.(c) <- rid;
-            r.rid_result.(c) <- result;
-            result
-          end
-        in
-        let digest = Types.request_digest request in
-        Hashtbl.remove r.pending digest;
-        cancel_request_timer r digest;
-        if !Obs.trace_on then
-          Ring.async_end r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
-            ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid)
-            ~arg:0;
-        reply_to_client r request result;
+        if e.batch != [] then List.iter (exec_one r) e.batch else exec_one r e.request;
+        (match r.batcher with Some b -> Batcher.kick b | None -> ());
         (match r.cp with
         | None ->
           Slot_ring.release r.log (r.last_exec - log_retention);
@@ -315,6 +336,8 @@ and on_cp_advance r cp prev =
     done;
     Slot_ring.prune_outside r.log ~low:(lo + 1) ~high:(Checkpoint.high cp + prune_margin);
     r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1;
+    (* The high watermark moved: parked batches may seal now. *)
+    (match r.batcher with Some b -> Batcher.kick b | None -> ());
     try_execute r
   end
 
@@ -363,8 +386,8 @@ let log_suffix r ~from =
     let slot = Slot_ring.slot r.log !seq in
     if slot >= 0 then begin
       let e = Slot_ring.entry r.log slot in
-      if e.executed && e.request != no_request then begin
-        acc := (!seq, [ e.request ]) :: !acc;
+      if e.executed && entry_filled e then begin
+        acc := (!seq, (if e.batch != [] then e.batch else [ e.request ])) :: !acc;
         incr seq
       end
       else continue := false
@@ -453,19 +476,29 @@ let try_commit r ~seq (e : entry) =
   if (not e.committed)
      && Quorum.reached e.commits ~threshold:((2 * r.f) + 1)
      && Quorum.reached e.prepares ~threshold:((2 * r.f) + 1)
-     && e.request != no_request
+     && entry_filled e
   then begin
     e.committed <- true;
-    if r.chk >= 0 then
+    if r.chk >= 0 then begin
       Check.commit ~session:r.chk ~replica:r.id ~view:r.view ~seq ~digest:e.digest
         ~signers:(Quorum.count e.commits)
         ~quorum:((2 * r.f) + 1)
         ~faulty:(Behavior.is_faulty r.behavior);
+      if e.batch != [] then begin
+        let len = List.length e.batch in
+        List.iteri
+          (fun pos (req : Types.request) ->
+            Check.batch_commit ~session:r.chk ~replica:r.id ~view:r.view ~seq ~pos ~len
+              ~client:req.Types.client ~rid:req.Types.rid
+              ~faulty:(Behavior.is_faulty r.behavior))
+          e.batch
+      end
+    end;
     try_execute r
   end
 
 let send_commit_if_prepared r ~seq (e : entry) =
-  if (not e.sent_commit) && e.request != no_request
+  if (not e.sent_commit) && entry_filled e
      && Quorum.reached e.prepares ~threshold:((2 * r.f) + 1)
   then begin
     e.sent_commit <- true;
@@ -521,7 +554,46 @@ let order_request r (request : Types.request) =
     done
   end
 
+(* Batched twin of [order_request]: one sequence number covers the whole
+   batch, agreed under its batch digest, shipped as one (multicast-able)
+   flight per destination. Dedup happened on the way into the batcher, so
+   the sealed list is ordered verbatim — which is what lets the
+   [Batcher.test_duplicate_first] mutant actually reach agreement. *)
+let order_batch r (requests : Types.request list) =
+  if requests <> [] then begin
+    let digest = Types.batch_digest requests in
+    let seq = r.next_seq in
+    r.next_seq <- r.next_seq + 1;
+    List.iter
+      (fun (req : Types.request) -> Digest_map.set r.ordered (Types.request_digest req) seq)
+      requests;
+    if !Obs.trace_on then
+      Ring.instant r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
+        ~id:(Obs.repl_event ~replica:r.id ~code:Obs.code_pre_prepare)
+        ~arg:seq;
+    let equivocating =
+      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+      | Some Behavior.Equivocate -> true
+      | Some _ | None -> false
+    in
+    let e = entry_for r ~view:r.view ~seq ~digest in
+    if e != null_entry then begin
+      e.batch <- requests;
+      e.prepares <- Quorum.add e.prepares r.id
+    end;
+    let backups = r.peer_ids in
+    if equivocating then begin
+      let lies = r.f + 1 in
+      for i = 0 to Array.length backups - 1 do
+        let digest' = if i < lies then Hash.combine digest (Hash.of_string "lie") else digest in
+        send r ~dst:backups.(i) (Pre_prepare_b { view = r.view; seq; digest = digest'; requests })
+      done
+    end
+    else broadcast r ~to_:backups (Pre_prepare_b { view = r.view; seq; digest; requests })
+  end
+
 let adopt_new_view r ~view ~start_seq ~state ~rid_table =
+  (match r.batcher with Some b -> Batcher.clear b | None -> ());
   r.view <- view;
   r.vc_voted <- max r.vc_voted view;
   Slot_ring.reset r.log;
@@ -607,8 +679,16 @@ let on_request r (request : Types.request) =
       Ring.async_begin r.obs.Obs.ring ~time:(Engine.now r.engine) ~cat:Obs.Cat.repl
         ~id:(Obs.repl_request_span ~replica:r.id ~client ~rid:request.Types.rid)
         ~arg:0;
+    let was_pending = Hashtbl.mem r.pending digest in
     Hashtbl.replace r.pending digest request;
-    if is_primary r then order_request r request
+    if is_primary r then (
+      match r.batcher with
+      | Some b ->
+        (* A retransmission of a request that is already buffered here or
+           ordered-but-unexecuted must not enter a second batch; pending
+           membership covers exactly that interval. *)
+        if not (was_pending || Digest_map.mem r.ordered digest) then Batcher.add b request
+      | None -> order_request r request)
     else begin
       (* Forward to the primary and watch it. *)
       send r ~dst:(primary_of ~view:r.view ~n:r.n) (Request request);
@@ -640,6 +720,34 @@ let on_pre_prepare r ~src ~view ~seq ~digest ~request =
     end
   end
 
+let on_pre_prepare_b r ~src ~view ~seq ~digest ~requests =
+  if view = r.view && src = primary_of ~view ~n:r.n && (not (is_primary r)) && requests <> []
+  then begin
+    if Hash.equal digest (Types.batch_digest requests) then begin
+      List.iter
+        (fun (req : Types.request) -> Hashtbl.replace r.pending (Types.request_digest req) req)
+        requests;
+      let e = entry_for r ~view ~seq ~digest in
+      if e != null_entry && Hash.equal e.digest digest then begin
+        e.batch <- requests;
+        e.prepares <- Quorum.add e.prepares src;
+        if not (Quorum.mem e.prepares r.id) then begin
+          e.prepares <- Quorum.add e.prepares r.id;
+          broadcast r ~to_:r.peer_ids (Prepare { view; seq; digest })
+        end;
+        send_commit_if_prepared r ~seq e
+      end
+    end
+    else
+      (* Batch digest mismatch: equivocating or corrupt primary. Watch
+         every carried request; the timers push a view change. *)
+      List.iter
+        (fun (req : Types.request) ->
+          Hashtbl.replace r.pending (Types.request_digest req) req;
+          start_vc_timer r (Types.request_digest req))
+        requests
+  end
+
 let on_prepare r ~src ~view ~seq ~digest =
   if view = r.view then begin
     let e = entry_for r ~view ~seq ~digest in
@@ -667,6 +775,8 @@ let handle (r : replica) ~src msg =
     match msg with
     | Request request -> on_request r request
     | Pre_prepare { view; seq; digest; request } -> on_pre_prepare r ~src ~view ~seq ~digest ~request
+    | Pre_prepare_b { view; seq; digest; requests } ->
+      on_pre_prepare_b r ~src ~view ~seq ~digest ~requests
     | Prepare { view; seq; digest } -> on_prepare r ~src ~view ~seq ~digest
     | Commit { view; seq; digest } -> on_commit r ~src ~view ~seq ~digest
     | View_change { new_view; last_exec } -> on_view_change r ~src ~new_view ~last_exec
@@ -710,6 +820,7 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
     all_ids = Array.init n Fun.id;
     peer_ids = Array.init (n - 1) (fun i -> if i < id then i else i + 1);
     mcast = (if config.multicast then fabric.Transport.multicast else None);
+    batcher = None;
     obs;
     obs_vc;
     chk;
@@ -719,6 +830,24 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
       | None -> None);
     recover_timer = None;
   }
+
+(* The batcher closures need the replica record, so it is attached after
+   construction. An inactive (armed-but-unused) batching config creates
+   no batcher at all: the ordering path stays the legacy one, event for
+   event. *)
+let attach_batcher engine (r : replica) =
+  match r.config.batching with
+  | Some b when Batcher.active b ->
+    let ready () =
+      r.next_seq - r.last_exec - 1 < b.Types.pipeline_depth
+      && (match r.cp with
+         | Some cp when not !Checkpoint.test_ignore_watermarks -> r.next_seq <= Checkpoint.high cp
+         | Some _ | None -> true)
+    in
+    let occupancy () = r.next_seq - r.last_exec - 1 in
+    r.batcher <-
+      Some (Batcher.create ~engine ~cfg:b ~seal:(fun reqs -> order_batch r reqs) ~ready ~occupancy)
+  | Some _ | None -> ()
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
@@ -738,7 +867,9 @@ let start engine fabric config ?behaviors () =
     Array.init n (fun id -> make_replica engine fabric config stats ~id ~behavior:behaviors.(id) ~chk)
   in
   Array.iter
-    (fun r -> fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
+    (fun r ->
+      attach_batcher engine r;
+      fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg))
     replicas;
   let clients =
     Array.init config.n_clients (fun i ->
@@ -769,6 +900,7 @@ let set_offline t ~replica =
   r.online <- false;
   Digest_map.iter (fun _ h -> Engine.cancel r.engine h) r.timers;
   Digest_map.reset r.timers;
+  (match r.batcher with Some b -> Batcher.clear b | None -> ());
   cancel_recover_timer r
 
 let set_online t ~replica =

@@ -30,6 +30,10 @@ module Behavior = Resoc_fault.Behavior
 type msg =
   | Request of Types.request
   | Pre_prepare of { view : int; seq : int; digest : Hash.t; request : Types.request }
+  | Pre_prepare_b of { view : int; seq : int; digest : Hash.t; requests : Types.request list }
+      (** Batched ordering ([config.batching]): one agreement instance
+          covers the whole list; [digest = Types.batch_digest requests].
+          Prepare/Commit are shared with the single-request path. *)
   | Prepare of { view : int; seq : int; digest : Hash.t }
   | Commit of { view : int; seq : int; digest : Hash.t }
   | Reply of Types.reply
@@ -51,11 +55,15 @@ type config = {
       (** Route replica fan-outs through the fabric's multicast (one
           injection forking in the network) when it offers one; off =
           per-destination unicast. *)
+  batching : Types.batching option;
+      (** Primary-side request batching + agreement pipelining
+          ({!Batcher}); [None] (the default) keeps the legacy
+          one-instance-per-request path byte-identical. *)
 }
 
 val default_config : config
 (** f=1, 2 clients, timeouts 4000/2500 cycles, checkpointing off,
-    multicast off. *)
+    multicast off, batching off. *)
 
 val n_replicas : config -> int
 

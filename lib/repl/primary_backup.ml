@@ -6,6 +6,7 @@ module Check = Resoc_check.Check
 type msg =
   | Request of Types.request
   | Update of { epoch : int; seq : int; state : int64; client : int; rid : int; result : int64 }
+  | Update_b of { epoch : int; seq : int; state : int64; replies : (int * int * int64) list }
   | Heartbeat of { epoch : int }
   | Promote of { epoch : int }
   | Reply of Types.reply
@@ -21,6 +22,7 @@ type config = {
   detection_timeout : int;
   checkpoint : Checkpoint.config option;
   multicast : bool;
+  batching : Types.batching option;
 }
 
 let default_config =
@@ -32,6 +34,7 @@ let default_config =
     detection_timeout = 1500;
     checkpoint = None;
     multicast = false;
+    batching = None;
   }
 
 let n_replicas config = config.n_backups + 1
@@ -57,6 +60,8 @@ type replica = {
   mutable online : bool;
   cp : Checkpoint.t option;  (* checkpoint certificates, None = legacy *)
   mutable recover_timer : Engine.handle option;
+  mutable batcher : Batcher.t option;  (* primary-side batching, None = legacy *)
+  buffered : (int * int, unit) Hashtbl.t;  (* (client, rid) parked in the batcher *)
 }
 
 type t = {
@@ -70,6 +75,7 @@ type t = {
 let message_name = function
   | Request _ -> "request"
   | Update _ -> "update"
+  | Update_b _ -> "update-batch"
   | Heartbeat _ -> "heartbeat"
   | Promote _ -> "promote"
   | Reply _ -> "reply"
@@ -119,6 +125,16 @@ let update_digest ~state ~client ~rid ~result =
   Hash.combine_int
     (Hash.combine (Hash.combine (Hash.of_string "pb-update") state) result)
     ((client * 1_000_003) + rid)
+
+(* Batched updates: the digest folds every (client, rid, result) reply
+   over the post-batch state, so primary and backups again agree on one
+   value per (epoch, seq). *)
+let update_b_digest ~state ~(replies : (int * int * int64) list) =
+  List.fold_left
+    (fun acc (client, rid, result) ->
+      Hash.combine_int (Hash.combine acc result) ((client * 1_000_003) + rid))
+    (Hash.combine (Hash.of_string "pb-update-b") state)
+    replies
 
 let rid_slot r client =
   let len = Array.length r.rid_last in
@@ -190,36 +206,96 @@ let note_boundary r =
       if Checkpoint.note_vote cp ~seq:r.seq ~digest:d ~voter:r.id >= 0 then
         r.stats.Stats.checkpoints <- r.stats.Stats.checkpoints + 1)
 
+let reply_now r ~client ~rid ~result =
+  let corrupt =
+    match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
+    | Some Behavior.Corrupt_execution -> true
+    | Some _ | None -> false
+  in
+  let result = if corrupt then Int64.logxor result 0xBADBADL else result in
+  send r ~dst:client (Reply { Types.client = client; rid; result; replica = r.id })
+
+(* Batched primary path ([config.batching], the [Batcher.seal] callback):
+   execute the whole batch in arrival order, bump the sequence number
+   ONCE, and ship one Update_b with the post-batch state plus one
+   (client, rid, result) reply per request — the reply list is what lets
+   backups rebuild the same reply cache the primary has. *)
+let exec_batch r (requests : Types.request list) =
+  List.iter
+    (fun (req : Types.request) -> Hashtbl.remove r.buffered (req.Types.client, req.Types.rid))
+    requests;
+  if requests <> [] && is_primary r then begin
+    let replies =
+      List.map
+        (fun (req : Types.request) ->
+          let client = req.Types.client and rid = req.Types.rid in
+          let c = rid_slot r client in
+          let result =
+            if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
+            else begin
+              let result = App.execute r.app req.Types.payload in
+              r.rid_last.(c) <- rid;
+              r.rid_result.(c) <- result;
+              result
+            end
+          in
+          (client, rid, result))
+        requests
+    in
+    r.seq <- r.seq + 1;
+    let state = App.state r.app in
+    if r.chk >= 0 then begin
+      Check.commit ~session:r.chk ~replica:r.id ~view:r.epoch ~seq:r.seq
+        ~digest:(update_b_digest ~state ~replies)
+        ~signers:(-1) ~quorum:1
+        ~faulty:(Behavior.is_faulty r.behavior);
+      let len = List.length replies in
+      List.iteri
+        (fun pos (client, rid, _) ->
+          Check.batch_commit ~session:r.chk ~replica:r.id ~view:r.epoch ~seq:r.seq ~pos ~len
+            ~client ~rid
+            ~faulty:(Behavior.is_faulty r.behavior))
+        replies
+    end;
+    broadcast r ~to_:r.peer_ids (Update_b { epoch = r.epoch; seq = r.seq; state; replies });
+    note_boundary r;
+    List.iter (fun (client, rid, result) -> reply_now r ~client ~rid ~result) replies
+  end
+
 let on_request r (request : Types.request) =
   if is_primary r then begin
     let client = request.Types.client and rid = request.Types.rid in
     let c = rid_slot r client in
-    let result =
-      if r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) then r.rid_result.(c)
-      else begin
-        let result = App.execute r.app request.Types.payload in
-        r.rid_last.(c) <- rid;
-        r.rid_result.(c) <- result;
-        r.seq <- r.seq + 1;
-        if r.chk >= 0 then
-          Check.commit ~session:r.chk ~replica:r.id ~view:r.epoch ~seq:r.seq
-            ~digest:(update_digest ~state:(App.state r.app) ~client ~rid ~result)
-            ~signers:(-1) ~quorum:1
-            ~faulty:(Behavior.is_faulty r.behavior);
-        (* Ship the new state to the standbys. *)
-        broadcast r ~to_:r.peer_ids
-          (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result });
-        note_boundary r;
-        result
+    let cached = r.rid_last.(c) <> min_int && rid <= r.rid_last.(c) in
+    match r.batcher with
+    | Some b when not cached ->
+      (* Retransmissions of a request already parked in the batcher must
+         not enter a second batch. *)
+      if not (Hashtbl.mem r.buffered (client, rid)) then begin
+        Hashtbl.replace r.buffered (client, rid) ();
+        Batcher.add b request
       end
-    in
-    let corrupt =
-      match Behavior.active_strategy r.behavior ~now:(Engine.now r.engine) with
-      | Some Behavior.Corrupt_execution -> true
-      | Some _ | None -> false
-    in
-    let result = if corrupt then Int64.logxor result 0xBADBADL else result in
-    send r ~dst:client (Reply { Types.client; rid; result; replica = r.id })
+    | Some _ | None ->
+      let result =
+        if cached then r.rid_result.(c)
+        else begin
+          let result = App.execute r.app request.Types.payload in
+          r.rid_last.(c) <- rid;
+          r.rid_result.(c) <- result;
+          r.seq <- r.seq + 1;
+          if r.chk >= 0 then
+            Check.commit ~session:r.chk ~replica:r.id ~view:r.epoch ~seq:r.seq
+              ~digest:(update_digest ~state:(App.state r.app) ~client ~rid ~result)
+              ~signers:(-1) ~quorum:1
+              ~faulty:(Behavior.is_faulty r.behavior);
+          (* Ship the new state to the standbys. *)
+          broadcast r ~to_:r.peer_ids
+            (Update { epoch = r.epoch; seq = r.seq; state = App.state r.app; client; rid; result });
+          note_boundary r;
+          result
+        end
+      in
+      reply_now r ~client ~rid ~result
   end
 
 let on_update r ~epoch ~seq ~state ~client ~rid ~result =
@@ -243,6 +319,39 @@ let on_update r ~epoch ~seq ~state ~client ~rid ~result =
          instead trips the catch-up path when the vote arrives. *)
       ignore
         (Checkpoint.note_exec cp ~seq ~state ~rid_last:r.rid_last ~rid_result:r.rid_result))
+  end
+
+let on_update_b r ~epoch ~seq ~state ~(replies : (int * int * int64) list) =
+  if epoch >= r.epoch && seq > r.seq then begin
+    r.epoch <- max r.epoch epoch;
+    r.seq <- seq;
+    App.set_state r.app state;
+    if r.chk >= 0 then begin
+      Check.commit ~session:r.chk ~replica:r.id ~view:epoch ~seq
+        ~digest:(update_b_digest ~state ~replies)
+        ~signers:(-1) ~quorum:1
+        ~faulty:(Behavior.is_faulty r.behavior);
+      let len = List.length replies in
+      List.iteri
+        (fun pos (client, rid, _) ->
+          Check.batch_commit ~session:r.chk ~replica:r.id ~view:epoch ~seq ~pos ~len ~client ~rid
+            ~faulty:(Behavior.is_faulty r.behavior))
+        replies
+    end;
+    List.iter
+      (fun (client, rid, result) ->
+        let c = rid_slot r client in
+        (* Reply-cache hits sealed into a batch carry their old rid; never
+           regress the cache below what this backup already recorded. *)
+        if r.rid_last.(c) = min_int || rid > r.rid_last.(c) then begin
+          r.rid_last.(c) <- rid;
+          r.rid_result.(c) <- result
+        end)
+      replies;
+    (match r.cp with
+    | None -> ()
+    | Some cp ->
+      ignore (Checkpoint.note_exec cp ~seq ~state ~rid_last:r.rid_last ~rid_result:r.rid_result))
   end
 
 let on_checkpoint_vote r ~src ~seq ~digest =
@@ -325,6 +434,7 @@ let handle (r : replica) ~src msg =
     | Request request -> on_request r request
     | Update { epoch; seq; state; client; rid; result } ->
       on_update r ~epoch ~seq ~state ~client ~rid ~result
+    | Update_b { epoch; seq; state; replies } -> on_update_b r ~epoch ~seq ~state ~replies
     | Heartbeat { epoch } -> on_heartbeat r ~epoch
     | Promote { epoch } -> on_promote r ~epoch
     | Reply _ -> ()
@@ -382,7 +492,23 @@ let make_replica engine fabric config stats ~id ~behavior ~chk =
       | Some c -> Some (Checkpoint.create c ~obs:(Engine.obs engine) ~quorum:1)
       | None -> None);
     recover_timer = None;
+    batcher = None;
+    buffered = Hashtbl.create 16;
   }
+
+(* The primary executes and replies the moment it seals, so there is no
+   in-flight agreement to bound: the pipeline gate is trivially open and
+   occupancy is always 0 — batching here only amortizes Update traffic. *)
+let attach_batcher engine (r : replica) =
+  match r.config.batching with
+  | Some b when Batcher.active b ->
+    r.batcher <-
+      Some
+        (Batcher.create ~engine ~cfg:b
+           ~seal:(fun reqs -> exec_batch r reqs)
+           ~ready:(fun () -> true)
+           ~occupancy:(fun () -> 0))
+  | Some _ | None -> ()
 
 let start engine fabric config ?behaviors () =
   let n = n_replicas config in
@@ -403,6 +529,7 @@ let start engine fabric config ?behaviors () =
   in
   Array.iter
     (fun r ->
+      attach_batcher engine r;
       fabric.Transport.set_handler r.id (fun ~src msg -> handle r ~src msg);
       start_timers r)
     replicas;
@@ -439,6 +566,8 @@ let set_offline t ~replica =
   let r = t.replicas.(replica) in
   if r.online then begin
     r.online <- false;
+    (match r.batcher with Some b -> Batcher.clear b | None -> ());
+    Hashtbl.reset r.buffered;
     cancel_recover_timer r
   end
 

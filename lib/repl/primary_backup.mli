@@ -12,6 +12,10 @@ module Behavior = Resoc_fault.Behavior
 type msg =
   | Request of Types.request
   | Update of { epoch : int; seq : int; state : int64; client : int; rid : int; result : int64 }
+  | Update_b of { epoch : int; seq : int; state : int64; replies : (int * int * int64) list }
+      (** Batched shipping ([config.batching]): one update carries the
+          post-batch state plus one (client, rid, result) reply per
+          request, so backups rebuild the primary's reply cache. *)
   | Heartbeat of { epoch : int }
   | Promote of { epoch : int }
   | Reply of Types.reply
@@ -37,6 +41,12 @@ type config = {
       (** Route peer fan-outs (updates, heartbeats, promotes, checkpoint
           votes) through the fabric's multicast when it offers one; off
           (the default) = per-destination unicast. *)
+  batching : Types.batching option;
+      (** Primary-side request batching ({!Batcher}); the primary still
+          executes immediately at seal time (no agreement to pipeline —
+          the gate is trivially open), so batching here amortizes Update
+          traffic. [None] (the default) keeps the legacy
+          one-update-per-request path byte-identical. *)
 }
 
 val default_config : config

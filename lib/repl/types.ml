@@ -16,6 +16,22 @@ let request_digest r =
 
 let request_equal (a : request) (b : request) = a.client = b.client && a.rid = b.rid && Int64.equal a.payload b.payload
 
+(* Config for the shared request-batching / agreement-pipelining layer
+   (Batcher). [None] on a protocol config keeps the one-instance-per-request
+   legacy path byte-identical; a config with [max_batch = 1] and
+   [window_cycles = 0] is "armed but inactive" — threaded through every
+   constructor yet ordering nothing differently (the determinism gate's
+   probe). *)
+type batching = { window_cycles : int; max_batch : int; pipeline_depth : int }
+
+let batch_tag = Hash.of_string "batch"
+
+(* One digest covers the whole batch, in order; agreement messages carry
+   only this, so a batch of k requests still costs one Prepare/Commit
+   exchange. Identical to the folding the hybrid protocols always used. *)
+let batch_digest requests =
+  List.fold_left (fun acc req -> Hash.combine acc (request_digest req)) batch_tag requests
+
 let pp_request ppf (r : request) = Format.fprintf ppf "req(c%d#%d:%Ld)" r.client r.rid r.payload
 
 let pp_reply ppf r = Format.fprintf ppf "reply(c%d#%d=%Ld from r%d)" r.client r.rid r.result r.replica

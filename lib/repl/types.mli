@@ -20,5 +20,18 @@ val request_digest : request -> Hash.t
 
 val request_equal : request -> request -> bool
 
+type batching = { window_cycles : int; max_batch : int; pipeline_depth : int }
+(** Shared batching/pipelining knob ([Batcher]): the primary buffers
+    requests for up to [window_cycles] (0 = seal as soon as possible),
+    seals at most [max_batch] per agreement instance, and keeps at most
+    [pipeline_depth] instances in flight (further bounded by the
+    checkpoint high watermark when checkpointing is on). A protocol
+    config carries [batching : batching option]; [None] (every default)
+    leaves the legacy one-request-per-instance path untouched. *)
+
+val batch_digest : request list -> Hash.t
+(** Digest covering an ordered batch of requests (order-sensitive fold);
+    what batched agreement instances agree on. *)
+
 val pp_request : Format.formatter -> request -> unit
 val pp_reply : Format.formatter -> reply -> unit

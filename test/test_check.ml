@@ -18,6 +18,7 @@ module Pbft = Resoc_repl.Pbft
 module Minbft = Resoc_repl.Minbft
 module Stats = Resoc_repl.Stats
 module Usig = Resoc_hybrid.Usig
+module Batcher = Resoc_repl.Batcher
 module Campaign = Resoc_campaign.Campaign
 module Emit = Resoc_campaign.Emit
 
@@ -250,6 +251,39 @@ let test_mutant_usig_reissue () =
             Alcotest.(check bool) "names the counter invariant" true
               (contains ~sub:"counter" msg)))
 
+let run_pbft_batched () =
+  let engine = Engine.create () in
+  let batching =
+    Some { Resoc_repl.Types.window_cycles = 50; max_batch = 4; pipeline_depth = 2 }
+  in
+  let config = { Pbft.default_config with f = 1; n_clients = 4; batching } in
+  let fabric = Transport.hub engine ~n:(Pbft.n_replicas config + 4) () in
+  let sys = Pbft.start engine fabric config () in
+  for c = 0 to 3 do
+    for i = 1 to 3 do
+      Pbft.submit sys ~client:c ~payload:(Int64.of_int ((c * 10) + i))
+    done
+  done;
+  Engine.run ~until:200_000 engine;
+  (Pbft.stats sys).Stats.completed
+
+let test_mutant_batch_duplicate () =
+  with_check (fun () ->
+      Alcotest.(check int) "unmutated batched pbft passes" 12 (run_pbft_batched ());
+      Alcotest.(check bool) "checker observed traffic" true (Check.hooks_fired () > 0);
+      Check.begin_replicate ();
+      Fun.protect
+        ~finally:(fun () -> Batcher.test_duplicate_first := false)
+        (fun () ->
+          (* Re-inject the first request of every sealed batch into the
+             next one: the same request is agreed in two instances. *)
+          Batcher.test_duplicate_first := true;
+          match run_pbft_batched () with
+          | _ -> Alcotest.fail "duplicated batch entry not flagged"
+          | exception Check.Violation msg ->
+            Alcotest.(check bool) "names batch atomicity" true
+              (contains ~sub:"batch atomicity" msg)))
+
 (* --- transparency ------------------------------------------------------- *)
 
 let minbft_fingerprint ~seed ~count =
@@ -413,6 +447,7 @@ let () =
         [
           Alcotest.test_case "broken quorum flagged" `Quick test_mutant_broken_quorum;
           Alcotest.test_case "usig re-issue flagged" `Quick test_mutant_usig_reissue;
+          Alcotest.test_case "batch duplicate flagged" `Quick test_mutant_batch_duplicate;
         ] );
       ( "transparency",
         [ Alcotest.test_case "BENCH json identical" `Quick test_bench_json_transparent ] );

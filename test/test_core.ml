@@ -312,6 +312,63 @@ let test_switch_rejects_concurrent () =
     (Invalid_argument "Protocol_switch.switch: already switching") (fun () ->
       Protocol_switch.switch sw spec ~downtime:1_000)
 
+let test_switch_twice_accumulates () =
+  (* Two full switches: epoch and total_completed must accumulate across
+     all three incarnations, and submissions dropped in either hole count. *)
+  let engine = Engine.create () in
+  let spec = { Group.default_spec with kind = `Minbft; n_clients = 1 } in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) spec in
+  let serve count =
+    for i = 1 to count do
+      Protocol_switch.submit sw ~client:0 ~payload:(Int64.of_int i)
+    done;
+    Engine.run engine
+  in
+  serve 3;
+  Protocol_switch.switch sw { spec with Group.kind = `Pbft } ~downtime:2_000;
+  Protocol_switch.submit sw ~client:0 ~payload:99L;
+  Engine.run engine;
+  serve 2;
+  Protocol_switch.switch sw { spec with Group.kind = `Paxos } ~downtime:2_000;
+  Protocol_switch.submit sw ~client:0 ~payload:99L;
+  Engine.run engine;
+  serve 4;
+  Alcotest.(check int) "epoch 2 after two switches" 2 (Protocol_switch.epoch sw);
+  Alcotest.(check string) "final protocol" "paxos" (Protocol_switch.group sw).Group.protocol;
+  Alcotest.(check int) "drops from both holes" 2 (Protocol_switch.dropped_during_switch sw);
+  Alcotest.(check int) "total across three epochs" 9 (Protocol_switch.total_completed sw)
+
+let test_switch_across_batching_configs () =
+  (* Epochs may disagree about batching: an unbatched epoch hands its state
+     to a batched one and back. State carry and the completed count must be
+     oblivious to the batching mode on either side of the switch. *)
+  let engine = Engine.create () in
+  let batching =
+    Some { Resoc_repl.Types.window_cycles = 50; max_batch = 4; pipeline_depth = 2 }
+  in
+  let plain = { Group.default_spec with kind = `Minbft; n_clients = 2 } in
+  let sw = Protocol_switch.create engine (Group.Hub { latency = 5 }) plain in
+  let serve count =
+    for i = 1 to count do
+      Protocol_switch.submit sw ~client:(i mod 2) ~payload:1L
+    done;
+    Engine.run engine
+  in
+  serve 4;
+  let state_before = (Protocol_switch.group sw).Group.replica_state ~replica:0 in
+  Protocol_switch.switch sw { plain with Group.kind = `Pbft; batching } ~downtime:2_000;
+  Engine.run engine;
+  Alcotest.(check int64) "state carried into batched epoch" state_before
+    ((Protocol_switch.group sw).Group.replica_state ~replica:0);
+  serve 6;
+  Protocol_switch.switch sw plain ~downtime:2_000;
+  Engine.run engine;
+  serve 2;
+  Alcotest.(check int) "epoch 2" 2 (Protocol_switch.epoch sw);
+  Alcotest.(check int) "all served across modes" 12 (Protocol_switch.total_completed sw);
+  Alcotest.(check int64) "state reflects every epoch's executions" 12L
+    ((Protocol_switch.group sw).Group.replica_state ~replica:0)
+
 (* --- Scenarios --- *)
 
 let test_scenarios_build_and_run () =
@@ -380,6 +437,9 @@ let () =
           Alcotest.test_case "carries state, counts drops" `Quick
             test_switch_carries_state_and_counts_drops;
           Alcotest.test_case "rejects concurrent" `Quick test_switch_rejects_concurrent;
+          Alcotest.test_case "two switches accumulate" `Quick test_switch_twice_accumulates;
+          Alcotest.test_case "batching differs across epochs" `Quick
+            test_switch_across_batching_configs;
         ] );
       ( "scenario",
         [

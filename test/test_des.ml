@@ -152,6 +152,40 @@ let test_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
 
+let test_geometric_endpoints () =
+  (* p = 1.0: success on the first trial, deterministically 0 — the old
+     code computed log u / log 0 = 0/-inf and fed int_of_float an
+     implementation-defined value. *)
+  let r = Rng.create 11L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 is always 0" 0 (Rng.geometric r ~p:1.0)
+  done;
+  (* p = 1.0 consumes no draw: the stream is unperturbed. *)
+  let a = Rng.create 12L and b = Rng.create 12L in
+  ignore (Rng.geometric a ~p:1.0);
+  Alcotest.(check int64) "no draw consumed" (Rng.int64 b) (Rng.int64 a);
+  let err = Invalid_argument "Rng.geometric: p must be in (0,1]" in
+  Alcotest.check_raises "p=0 rejected" err (fun () -> ignore (Rng.geometric r ~p:0.0));
+  Alcotest.check_raises "p<0 rejected" err (fun () -> ignore (Rng.geometric r ~p:(-0.5)));
+  Alcotest.check_raises "p>1 rejected" err (fun () -> ignore (Rng.geometric r ~p:1.5));
+  (* Tiny p: the draw can push the quotient past the int range; the clamp
+     must keep the result a non-negative int instead of wrapping. *)
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "tiny p non-negative" true (Rng.geometric r ~p:1e-300 >= 0)
+  done
+
+let test_poisson_endpoints () =
+  let r = Rng.create 13L in
+  Alcotest.(check int) "mean=0 is 0" 0 (Rng.poisson r ~mean:0.0);
+  Alcotest.check_raises "negative mean rejected"
+    (Invalid_argument "Rng.poisson: mean must be non-negative") (fun () ->
+      ignore (Rng.poisson r ~mean:(-1.0)));
+  (* Above the normal-approximation cutoff the Float.round draw must stay
+     clamped to [0, max_int] — never truncated into a negative int. *)
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "huge mean non-negative" true (Rng.poisson r ~mean:1e18 >= 0)
+  done
+
 let test_geometric_mean () =
   let r = Rng.create 10L in
   let n = 20000 in
@@ -389,6 +423,35 @@ let test_histogram_percentile () =
   Alcotest.(check (float 1e-9)) "p0" 1.0 (Metrics.Histogram.percentile h 0.0);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Metrics.Histogram.percentile h 100.0)
 
+let test_percentile_small_n () =
+  (* The regression the nearest-rank fix pins down: with two samples, p50
+     is the FIRST sample (half the mass is at or below it) — the old
+     round (p/100 x (n-1)) definition returned the max. *)
+  let h = Metrics.Histogram.create "h" in
+  Metrics.Histogram.add h 1.0;
+  Metrics.Histogram.add h 2.0;
+  Alcotest.(check (float 1e-9)) "p50 of 2 samples" 1.0 (Metrics.Histogram.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p51 of 2 samples" 2.0 (Metrics.Histogram.percentile h 51.0);
+  let one = Metrics.Histogram.create "one" in
+  Metrics.Histogram.add one 7.0;
+  Alcotest.(check (float 1e-9)) "p0 of 1 sample" 7.0 (Metrics.Histogram.percentile one 0.0);
+  Alcotest.(check (float 1e-9)) "p99 of 1 sample" 7.0 (Metrics.Histogram.percentile one 99.0)
+
+let prop_percentile_oracle =
+  (* Nearest-rank reference oracle on a sorted array: the smallest sample
+     with at least p% of the mass at or below it. *)
+  QCheck.Test.make ~name:"percentile matches nearest-rank oracle" ~count:500
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_inclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let h = Metrics.Histogram.create "h" in
+      List.iter (Metrics.Histogram.add h) xs;
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      let rank = Stdlib.max 0 (Stdlib.min (n - 1) rank) in
+      Float.equal (Metrics.Histogram.percentile h p) sorted.(rank))
+
 let test_histogram_empty () =
   let h = Metrics.Histogram.create "h" in
   Alcotest.(check (float 0.0)) "mean empty" 0.0 (Metrics.Histogram.mean h);
@@ -470,6 +533,8 @@ let () =
           Alcotest.test_case "weibull positive" `Quick test_weibull_positive;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
           Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+          Alcotest.test_case "geometric endpoints" `Quick test_geometric_endpoints;
+          Alcotest.test_case "poisson endpoints" `Quick test_poisson_endpoints;
         ] );
       ( "engine",
         [
@@ -494,9 +559,11 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
           Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "percentile small n" `Quick test_percentile_small_n;
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
           Alcotest.test_case "series" `Quick test_series;
         ] );
+      qsuite "metrics-prop" [ prop_percentile_oracle ];
       ( "trace",
         [
           Alcotest.test_case "levels" `Quick test_trace_levels;

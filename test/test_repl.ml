@@ -464,6 +464,177 @@ let test_minbft_batching_with_primary_crash () =
   Alcotest.(check int64) "survivors agree" (Minbft.replica_state sys ~replica:1)
     (Minbft.replica_state sys ~replica:2)
 
+(* --- Cross-protocol batching + pipelining (Batcher) --- *)
+
+let some_batching ?(window = 100) ?(max_batch = 8) ?(depth = 4) () =
+  Some { Types.window_cycles = window; max_batch; pipeline_depth = depth }
+
+let batched_pbft_setup ?batching ?(n_clients = 8) () =
+  let engine = Engine.create () in
+  let config = { Pbft.default_config with f = 1; n_clients; batching } in
+  let n = Pbft.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + n_clients) () in
+  let sys = Pbft.start engine fabric config () in
+  (engine, sys, n, fabric)
+
+let test_pbft_batching_preserves_semantics () =
+  let engine, sys, n, _ = batched_pbft_setup ?batching:(some_batching ()) () in
+  for client = 0 to 7 do
+    submit_series (Pbft.submit sys) ~client ~count:4
+  done;
+  Engine.run ~until:horizon engine;
+  let s = Pbft.stats sys in
+  Alcotest.(check int) "all completed" 32 s.Stats.completed;
+  Alcotest.(check int) "no view change" 0 s.Stats.view_changes;
+  check_pbft_agreement sys ~n ~expect:(Int64.mul 8L (sum_1_to 4)) ~skip:[]
+
+let test_pbft_batching_cuts_messages () =
+  (* Identical logical traffic with and without batching: agreement cost
+     collapses because one Pre_prepare_b/Prepare/Commit round covers a
+     whole batch. *)
+  let run batching =
+    let engine, sys, _, fabric = batched_pbft_setup ?batching () in
+    for client = 0 to 7 do
+      submit_series (Pbft.submit sys) ~client ~count:4
+    done;
+    Engine.run ~until:horizon engine;
+    Alcotest.(check int) "completed" 32 (Pbft.stats sys).Stats.completed;
+    fabric.Transport.messages_sent ()
+  in
+  let unbatched = run None in
+  let batched = run (some_batching ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d msgs < 2/3 of unbatched %d" batched unbatched)
+    true
+    (3 * batched < 2 * unbatched)
+
+let test_pbft_batching_armed_identical () =
+  (* A present-but-inactive config (max_batch 1, window 0) creates no
+     batcher: message counts and stats must match a plain run exactly —
+     the determinism gate's byte-identity argument in miniature. *)
+  let run batching =
+    let engine, sys, _, fabric = batched_pbft_setup ?batching () in
+    for client = 0 to 7 do
+      submit_series (Pbft.submit sys) ~client ~count:4
+    done;
+    Engine.run ~until:horizon engine;
+    ((Pbft.stats sys).Stats.completed, fabric.Transport.messages_sent (),
+     fabric.Transport.bytes_sent ())
+  in
+  let plain = run None in
+  let armed = run (some_batching ~window:0 ~max_batch:1 ~depth:1 ()) in
+  Alcotest.(check bool) "armed run identical to plain" true (plain = armed)
+
+let test_pbft_batching_depth_one () =
+  (* pipeline_depth 1 serializes agreement instances; everything still
+     completes, just in more batches. *)
+  let engine, sys, n, _ =
+    batched_pbft_setup ?batching:(some_batching ~depth:1 ()) ()
+  in
+  for client = 0 to 7 do
+    submit_series (Pbft.submit sys) ~client ~count:3
+  done;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "all completed" 24 (Pbft.stats sys).Stats.completed;
+  check_pbft_agreement sys ~n ~expect:(Int64.mul 8L (sum_1_to 3)) ~skip:[]
+
+let test_pbft_batching_with_checkpointing () =
+  (* The pipeline is additionally bounded by the checkpoint high
+     watermark; with a small interval the two gates interleave. *)
+  let engine = Engine.create () in
+  let config =
+    {
+      Pbft.default_config with
+      f = 1;
+      n_clients = 8;
+      batching = some_batching ();
+      checkpoint = Some { Checkpoint.interval = 4; window = 2; chunk = 8 };
+    }
+  in
+  let n = Pbft.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 8) () in
+  let sys = Pbft.start engine fabric config () in
+  for client = 0 to 7 do
+    submit_series (Pbft.submit sys) ~client ~count:4
+  done;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "all completed" 32 (Pbft.stats sys).Stats.completed;
+  check_pbft_agreement sys ~n ~expect:(Int64.mul 8L (sum_1_to 4)) ~skip:[]
+
+let test_paxos_batching_completes () =
+  let engine = Engine.create () in
+  let config = { Paxos.default_config with f = 1; n_clients = 8; batching = some_batching () } in
+  let n = Paxos.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 8) () in
+  let sys = Paxos.start engine fabric config () in
+  for client = 0 to 7 do
+    submit_series (Paxos.submit sys) ~client ~count:4
+  done;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "all completed" 32 (Paxos.stats sys).Stats.completed;
+  for r = 0 to n - 1 do
+    Alcotest.(check int64)
+      (Printf.sprintf "replica %d" r)
+      (Int64.mul 8L (sum_1_to 4))
+      (Paxos.replica_state sys ~replica:r)
+  done
+
+let test_paxos_batching_survives_failover () =
+  let engine = Engine.create () in
+  let config = { Paxos.default_config with f = 1; n_clients = 4; batching = some_batching () } in
+  let n = Paxos.n_replicas config in
+  let behaviors = Array.make n Behavior.honest in
+  behaviors.(0) <- Behavior.crash_at 10;
+  let fabric = Transport.hub engine ~n:(n + 4) () in
+  let sys = Paxos.start engine fabric config ~behaviors () in
+  for client = 0 to 3 do
+    submit_series (Paxos.submit sys) ~client ~count:3
+  done;
+  Engine.run ~until:horizon engine;
+  Alcotest.(check int) "completed through failover" 12 (Paxos.stats sys).Stats.completed;
+  Alcotest.(check int64) "survivors agree" (Paxos.replica_state sys ~replica:1)
+    (Paxos.replica_state sys ~replica:2)
+
+let test_pb_batching_completes () =
+  let engine = Engine.create () in
+  let config =
+    { Primary_backup.default_config with n_clients = 8; batching = some_batching () }
+  in
+  let n = Primary_backup.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 8) () in
+  let sys = Primary_backup.start engine fabric config () in
+  for client = 0 to 7 do
+    submit_series (Primary_backup.submit sys) ~client ~count:4
+  done;
+  Engine.run ~until:horizon engine;
+  let s = Primary_backup.stats sys in
+  Alcotest.(check int) "all completed" 32 s.Stats.completed;
+  Alcotest.(check int64) "backup synced" (Primary_backup.replica_state sys ~replica:0)
+    (Primary_backup.replica_state sys ~replica:1)
+
+let test_pb_batching_exactly_once () =
+  (* Retransmissions of a buffered request must not enter a second batch:
+     the accumulator would show the double execution. *)
+  let engine = Engine.create () in
+  let config =
+    {
+      Primary_backup.default_config with
+      n_clients = 2;
+      request_timeout = 50;  (* shorter than the 200-cycle window: forces retx *)
+      batching = some_batching ~window:200 ();
+    }
+  in
+  let n = Primary_backup.n_replicas config in
+  let fabric = Transport.hub engine ~n:(n + 2) () in
+  let sys = Primary_backup.start engine fabric config () in
+  submit_series (Primary_backup.submit sys) ~client:0 ~count:3;
+  submit_series (Primary_backup.submit sys) ~client:1 ~count:3;
+  Engine.run ~until:horizon engine;
+  let s = Primary_backup.stats sys in
+  Alcotest.(check int) "completed" 6 s.Stats.completed;
+  Alcotest.(check int64) "executed exactly once" (Int64.mul 2L (sum_1_to 3))
+    (Primary_backup.replica_state sys ~replica:0)
+
 (* --- Paxos --- *)
 
 let paxos_setup ?(f = 1) ?(n_clients = 1) ?behaviors () =
@@ -641,5 +812,22 @@ let () =
           Alcotest.test_case "low message cost" `Quick test_pb_cheapest_messages;
           Alcotest.test_case "failover" `Quick test_pb_failover;
           Alcotest.test_case "failover window visible" `Quick test_pb_failover_window_visible;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "pbft preserves semantics" `Quick
+            test_pbft_batching_preserves_semantics;
+          Alcotest.test_case "pbft cuts messages" `Quick test_pbft_batching_cuts_messages;
+          Alcotest.test_case "pbft armed config identical" `Quick
+            test_pbft_batching_armed_identical;
+          Alcotest.test_case "pbft pipeline depth one" `Quick test_pbft_batching_depth_one;
+          Alcotest.test_case "pbft with checkpointing" `Quick
+            test_pbft_batching_with_checkpointing;
+          Alcotest.test_case "paxos completes" `Quick test_paxos_batching_completes;
+          Alcotest.test_case "paxos survives failover" `Quick
+            test_paxos_batching_survives_failover;
+          Alcotest.test_case "primary-backup completes" `Quick test_pb_batching_completes;
+          Alcotest.test_case "primary-backup exactly once" `Quick
+            test_pb_batching_exactly_once;
         ] );
     ]
